@@ -1,0 +1,22 @@
+"""Theorem-bound verification across workload shapes, as a bench table.
+
+Complements the property tests: measures how much slack the Theorem 4
+bound leaves on each workload (observed error vs N^res(j)/(k/3 - j)) and
+writes ``benchmarks/out/bounds.txt``.
+"""
+
+from repro.bench.figures import bounds_table
+
+
+def test_bounds_report(benchmark, config, write_report):
+    benchmark.group = "theorem bounds"
+
+    def run():
+        return bounds_table(config)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report("bounds", table)
+
+    assert all(table.column("holds"))
+    for row in table.rows:
+        assert row["observed"] <= row["bound_j0"] + 1e-9

@@ -1,0 +1,90 @@
+"""Ablations: decrement policy, sample size ℓ, and storage backend.
+
+Three design choices DESIGN.md calls out, each isolated:
+
+* policy — sampled median (Alg. 4) vs exact k/2-th (Alg. 3) vs global
+  min vs random-admission takeover;
+* ℓ — the paper fixes 1024 (Section 2.3.2); the sweep shows the error
+  plateau that justifies it;
+* backend — the Section 2.3.3 probing layout vs CPython's builtin dict.
+
+Reports land in ``benchmarks/out/ablation_*.txt``.
+"""
+
+import pytest
+
+from repro.bench.figures import (
+    ablation_backend,
+    ablation_policies,
+    ablation_sample_size,
+)
+from repro.bench.harness import feed_stream, packet_stream
+from repro.baselines.factory import make_smed
+
+
+@pytest.mark.parametrize("backend", ["dict", "probing"])
+def test_backend_throughput(benchmark, config, backend):
+    stream = packet_stream(config)
+    k = config.k_values[-1]
+    benchmark.group = f"ablation: backend, k={k}"
+
+    def run():
+        sketch = make_smed(k, seed=config.seed, backend=backend)
+        feed_stream(sketch, stream)
+        return sketch
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.stats.updates == len(stream)
+
+
+def test_policy_ablation_report(benchmark, config, write_report):
+    benchmark.group = "ablation: decrement policy"
+
+    def run():
+        return ablation_policies(config)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report("ablation_policies", table)
+
+    rows = {row["policy"]: row for row in table.rows}
+    smed = next(row for name, row in rows.items() if name.startswith("SMED"))
+    gmin = next(row for name, row in rows.items() if name.startswith("GMIN"))
+    rap = next(row for name, row in rows.items() if name.startswith("RAP"))
+    # The global-min policy decrements far more often than the median.
+    assert gmin["decrements"] > 4 * smed["decrements"]
+    # RAP never runs a decrement pass but pays in accuracy.
+    assert rap["decrements"] == 0
+    assert rap["max_error"] > smed["max_error"]
+
+
+def test_sample_size_ablation_report(benchmark, config, write_report):
+    benchmark.group = "ablation: sample size"
+
+    def run():
+        return ablation_sample_size(config)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report("ablation_sample_size", table)
+    errors = table.column("max_error")
+    # Larger samples can only help (and plateau by ell = 1024).
+    assert errors[-1] <= errors[0] * 1.1
+
+
+def test_backend_ablation_report(benchmark, config, write_report):
+    benchmark.group = "ablation: backend"
+
+    def run():
+        return ablation_backend(config)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report("ablation_backend", table)
+
+    # Both backends compute identical summaries (error columns match).
+    for k in set(table.column("k")):
+        probing = table.cell({"backend": "probing", "k": k}, "max_error")
+        dictionary = table.cell({"backend": "dict", "k": k}, "max_error")
+        assert probing == pytest.approx(dictionary)
+        # The probing table's access cost stays a small constant per
+        # update (the Section 2.3.3 claim, measured in probes).
+        probes = table.cell({"backend": "probing", "k": k}, "probes_per_update")
+        assert probes < 8

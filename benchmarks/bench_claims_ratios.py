@@ -1,0 +1,46 @@
+"""The Section 4.3 in-text numeric claims, regenerated as ratio ranges.
+
+Writes ``benchmarks/out/claims.txt`` with measured-vs-paper ranges and
+asserts the *qualitative* orderings that survive the Java-to-Python
+move.  Known, documented platform effects at quick scale:
+
+* SMIN/RBMC ordering flips when k <= ell (both then compute the exact
+  minimum; RBMC's ``min()`` is one C call) — the paper's 2x gap needs
+  k >> 1024 so that sampling 1024 beats scanning k.
+* MHE's heap is Python code while dicts are C, so the 5.5-8.7x becomes
+  ~2-3x here.
+"""
+
+from repro.bench.figures import claims_table
+
+
+def test_claims_report(benchmark, config, write_report):
+    benchmark.group = "section 4.3 claims"
+
+    def run():
+        return claims_table(config)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report("claims", table)
+
+    measured = {row["claim"]: row for row in table.rows}
+
+    # The table itself is the deliverable (measured vs paper ranges);
+    # what is *asserted* here are the deterministic claims — the error
+    # ratios, which depend only on the seeds, not on wall-clock noise.
+    # Wall-clock speed dominance is enforced where it is robust: the
+    # adversarial benchmark (guaranteed-separated regime) and the
+    # decrement/heap op counts in bench_fig1_runtime.
+    for row in table.rows:
+        assert row["measured_min"] == row["measured_min"]  # not NaN
+        assert row["measured_min"] > 0
+
+    # Error orderings: SMED gives up accuracy vs SMIN, within the 2.5x
+    # envelope the paper reports (slack for quick-scale noise).
+    smed_vs_smin = measured["SMED err / SMIN err"]
+    assert 1.0 <= smed_vs_smin["measured_min"]
+    assert smed_vs_smin["measured_max"] <= 3.0
+
+    # At equal space MHE affords ~half the counters, so its error
+    # exceeds SMIN's (the paper's 1.6-1.8x).
+    assert measured["MHE err / SMIN err"]["measured_min"] > 1.0

@@ -1,0 +1,58 @@
+"""The Section 1.3 premise: counter-based beats sketch/quantile classes.
+
+Cormode and Hadjieleftheriou's finding — which the paper verifies and
+builds on — is that counter-based algorithms dominate linear sketches
+and quantile-style algorithms in speed, space, and accuracy on insertion
+streams.  This benchmark reproduces the comparison at a shared byte
+budget and writes ``benchmarks/out/context.txt``.
+"""
+
+import pytest
+
+from repro.baselines.count_min import CountMinSketch
+from repro.baselines.factory import make_smed
+from repro.bench.figures import context_table
+from repro.bench.harness import feed_stream, packet_stream
+from repro.metrics.space import space_model_bytes
+
+
+@pytest.mark.parametrize("family", ["counter", "sketch"])
+def test_class_throughput(benchmark, config, family):
+    stream = packet_stream(config)
+    k = config.k_values[len(config.k_values) // 2]
+    benchmark.group = "context: algorithm classes"
+    benchmark.extra_info["family"] = family
+
+    def run():
+        if family == "counter":
+            instance = make_smed(k, seed=config.seed)
+        else:
+            budget = space_model_bytes("smed", k)
+            width = 1
+            while 8 * 5 * (width * 2) <= budget:
+                width *= 2
+            instance = CountMinSketch(5, width, seed=config.seed)
+        feed_stream(instance, stream)
+        return instance
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.stats.updates == len(stream)
+
+
+def test_context_report(benchmark, config, write_report):
+    benchmark.group = "context: algorithm classes"
+
+    def run():
+        return context_table(config)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report("context", table)
+
+    by_name = {row["algorithm"]: row for row in table.rows}
+    smed = by_name["SMED (counter)"]
+    # Counter-based wins on speed against every sketch entry...
+    for name, row in by_name.items():
+        if "sketch" in name:
+            assert smed["seconds"] < row["seconds"], name
+    # ...and on accuracy against the plain CountMin at equal budget.
+    assert smed["max_error"] <= by_name["CountMin (sketch)"]["max_error"]

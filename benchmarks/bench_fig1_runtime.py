@@ -1,0 +1,82 @@
+"""Figure 1: update-throughput comparison of SMED, SMIN, RBMC, MHE.
+
+Per-algorithm benchmarks at the two extreme k values of the sweep give
+pytest-benchmark timings; the report benchmark regenerates the full
+figure (both equal-space and equal-counters panels) and writes it to
+``benchmarks/out/fig1.txt``.
+
+Expected shape (paper Section 4.3): SMED fastest by a wide margin; RBMC
+and SMIN pay frequent Θ(k) decrement passes; MHE pays O(log k) heap
+maintenance on every update.
+"""
+
+import pytest
+
+from repro.baselines.factory import make_algorithm
+from repro.bench.figures import FOUR_ALGORITHMS, fig1_runtime
+from repro.bench.harness import feed_stream, packet_stream
+
+
+@pytest.mark.parametrize("algorithm", FOUR_ALGORITHMS)
+@pytest.mark.parametrize("k_index", [0, -1], ids=["smallest_k", "largest_k"])
+def test_update_throughput(benchmark, config, algorithm, k_index):
+    stream = packet_stream(config)
+    k = config.k_values[k_index]
+    benchmark.group = f"fig1 update throughput, k={k}"
+    benchmark.extra_info["algorithm"] = algorithm
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["updates"] = len(stream)
+
+    def run():
+        instance = make_algorithm(algorithm, k, seed=config.seed, backend="dict")
+        feed_stream(instance, stream)
+        return instance
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.stats.updates == len(stream)
+
+
+def test_fig1_report(benchmark, config, write_report):
+    benchmark.group = "fig1 full figure"
+
+    def run():
+        return fig1_runtime(config)
+
+    equal_space, equal_counters = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report("fig1", equal_space, equal_counters)
+
+    # Shape assertions.  The deterministic face of the paper's speed
+    # argument is the per-update work: SMED scans fewer counters per
+    # update than SMIN/RBMC at every k (its decrement passes free ~half
+    # the table, theirs free only the minima), and it does no heap work
+    # while MHE sifts on every update.  Wall-clock ordering is asserted
+    # only where the rival's work volume actually separates the
+    # algorithms — at large k the quick trace barely overflows the table
+    # (the Section 4.2 convergence regime) and 20ms timings are noise;
+    # the adversarial benchmark enforces the wall-clock gap robustly.
+    for table in (equal_space, equal_counters):
+        for k in config.k_values:
+            smed_seconds = table.cell({"algorithm": "SMED", "k": k}, "seconds")
+            smed_scan = table.cell(
+                {"algorithm": "SMED", "k": k}, "scan_per_update"
+            )
+            assert table.cell({"algorithm": "SMED", "k": k}, "heap_sifts") == 0
+            for rival in ("SMIN", "RBMC"):
+                rival_scan = table.cell(
+                    {"algorithm": rival, "k": k}, "scan_per_update"
+                )
+                assert smed_scan <= rival_scan + 1e-12, (
+                    f"SMED scans more than {rival} at k={k}"
+                )
+                rival_decrements = table.cell(
+                    {"algorithm": rival, "k": k}, "decrements"
+                )
+                if rival_decrements >= 1_000:  # genuinely separated regime
+                    rival_seconds = table.cell(
+                        {"algorithm": rival, "k": k}, "seconds"
+                    )
+                    assert smed_seconds < rival_seconds, (
+                        f"SMED not faster than {rival} at k={k} despite "
+                        f"{rival_decrements} decrement passes"
+                    )
+            assert table.cell({"algorithm": "MHE", "k": k}, "heap_sifts") > 0

@@ -1,0 +1,55 @@
+"""Figure 2: maximum point-query error of the four algorithms.
+
+Error is not a timing quantity, so the benchmark wraps the full-figure
+computation once and the assertions carry the reproduction: at equal k,
+RBMC / SMIN / MHE are indistinguishable (the isomorphism), SMED trades
+up to ~2.5x error for its speed, and doubling SMED's counters overcomes
+the gap.  The report lands in ``benchmarks/out/fig2.txt``.
+"""
+
+from repro.bench.figures import FOUR_ALGORITHMS, fig2_error
+
+
+def test_fig2_report(benchmark, config, write_report):
+    benchmark.group = "fig2 full figure"
+
+    def run():
+        return fig2_error(config)
+
+    equal_space, equal_counters = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report("fig2", equal_space, equal_counters)
+
+    for k in config.k_values:
+        # Equal counters: the isomorphic trio within a whisker of each other.
+        rbmc = equal_counters.cell({"algorithm": "RBMC", "k": k}, "max_error")
+        smin = equal_counters.cell({"algorithm": "SMIN", "k": k}, "max_error")
+        mhe = equal_counters.cell({"algorithm": "MHE", "k": k}, "max_error")
+        smed = equal_counters.cell({"algorithm": "SMED", "k": k}, "max_error")
+        scale = max(rbmc, smin, mhe, 1.0)
+        assert abs(rbmc - smin) / scale < 0.15
+        assert abs(rbmc - mhe) / scale < 0.15
+        # SMED pays a bounded accuracy premium for its speed (the paper
+        # measures <= 2.5x vs RBMC/SMIN; allow headroom at small scale).
+        assert smed <= 3.5 * smin
+
+    # Overcoming the gap by doubling k (paper Section 4.3): SMED with 2k
+    # counters beats SMIN with k.
+    ks = config.k_values
+    for small, big in zip(ks, ks[1:]):
+        if big == 2 * small:
+            smed_big = equal_counters.cell(
+                {"algorithm": "SMED", "k": big}, "max_error"
+            )
+            smin_small = equal_counters.cell(
+                {"algorithm": "SMIN", "k": small}, "max_error"
+            )
+            assert smed_big <= smin_small
+
+    # Convergence in k (Section 4.2): every algorithm's error decreases.
+    for table in (equal_space, equal_counters):
+        for algorithm in FOUR_ALGORITHMS:
+            errors = [
+                table.cell({"algorithm": algorithm, "k": k}, "max_error")
+                for k in config.k_values
+            ]
+            assert errors[-1] <= errors[0]

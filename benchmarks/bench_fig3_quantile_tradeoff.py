@@ -1,0 +1,56 @@
+"""Figure 3: runtime and error as a function of the decrement quantile.
+
+Per-quantile throughput benchmarks plus the full sweep report
+(``benchmarks/out/fig3.txt``).  Expected shape (paper Section 4.4):
+runtime falls steeply from the 0th quantile (SMIN) to the median and
+then flattens ("diminishing returns"); error stays near-flat through
+mid quantiles and shoots up at the high end.
+"""
+
+import pytest
+
+from repro.baselines.factory import make_quantile_variant
+from repro.bench.figures import fig3_quantile_tradeoff
+from repro.bench.harness import feed_stream, packet_stream
+
+
+@pytest.mark.parametrize("quantile_pct", [0, 10, 50, 90])
+def test_quantile_throughput(benchmark, config, quantile_pct):
+    stream = packet_stream(config)
+    k = config.k_values[-1]
+    benchmark.group = f"fig3 throughput by quantile, k={k}"
+    benchmark.extra_info["quantile_pct"] = quantile_pct
+
+    def run():
+        sketch = make_quantile_variant(
+            k, quantile_pct / 100.0, seed=config.seed
+        )
+        feed_stream(sketch, stream)
+        return sketch
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.stats.updates == len(stream)
+
+
+def test_fig3_report(benchmark, config, write_report):
+    benchmark.group = "fig3 full figure"
+
+    def run():
+        return fig3_quantile_tradeoff(config)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report("fig3", table)
+
+    for k in set(table.column("k")):
+        rows = {
+            row["quantile_pct"]: row for row in table.rows if row["k"] == k
+        }
+        quantiles = sorted(rows)
+        # Decrement passes decrease monotonically with the quantile.
+        decrements = [rows[q]["decrements"] for q in quantiles]
+        assert all(a >= b for a, b in zip(decrements, decrements[1:]))
+        # Error at the top of the sweep dwarfs error at the bottom.
+        assert rows[quantiles[-1]]["max_error"] >= rows[quantiles[0]]["max_error"]
+        # SMIN (q=0) is the slowest configuration of the family.
+        slowest = max(rows[q]["seconds"] for q in quantiles)
+        assert rows[0]["seconds"] >= 0.5 * slowest

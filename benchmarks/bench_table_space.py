@@ -1,0 +1,43 @@
+"""The space-accounting table (Sections 2.3.3, 4.3, 4.5).
+
+Pure model evaluation (no stream needed): verifies the paper's 24-bytes-
+per-counter figure at aligned k, the MHE/MED/SSL overheads, and the
+zero-vs-2.5x merge scratch.  Written to ``benchmarks/out/space.txt``.
+"""
+
+from repro.bench.figures import space_table
+from repro.metrics.space import merge_scratch_bytes, space_model_bytes
+
+
+def test_space_report(benchmark, write_report):
+    benchmark.group = "space accounting"
+
+    table = benchmark.pedantic(space_table, rounds=1, iterations=1)
+    write_report("space", table)
+
+    # Aligned k (4k/3 a power of two): exactly 24 bytes per counter.
+    for k in (3072, 12288, 49152):
+        per_counter = table.cell({"k": k}, "bytes_per_counter_ours")
+        assert abs(per_counter - 24.0) < 0.1
+
+    for row in table.rows:
+        k = row["k"]
+        assert row["mhe"] > row["smed_smin_rbmc"]
+        assert row["med"] == row["smed_smin_rbmc"] + 8 * k
+        assert row["merge_scratch_ours"] == 0
+        assert row["merge_scratch_prior"] > 2 * row["smed_smin_rbmc"]
+
+
+def test_space_model_evaluation_speed(benchmark):
+    """The models themselves are cheap enough for tight sweep loops."""
+    benchmark.group = "space accounting"
+
+    def run():
+        total = 0
+        for k in range(64, 8192, 64):
+            total += space_model_bytes("smed", k)
+            total += space_model_bytes("mhe", k)
+            total += merge_scratch_bytes("ach13", k)
+        return total
+
+    assert benchmark(run) > 0

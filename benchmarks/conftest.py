@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures.
+
+Scale selection: set ``REPRO_BENCH_SCALE`` to ``quick`` (default),
+``medium``, or ``paper``.  Every figure's full table is also written to
+``benchmarks/out/<name>.txt`` as the benchmarks run, so a
+``pytest benchmarks/ --benchmark-only`` leaves the paper-shaped reports
+on disk alongside pytest-benchmark's timing table.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import SCALES
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def config():
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if scale not in SCALES:
+        raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(SCALES)}")
+    return SCALES[scale]
+
+
+@pytest.fixture(scope="session")
+def write_report():
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, *tables) -> None:
+        text = "\n\n".join(table.to_text() for table in tables)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _write

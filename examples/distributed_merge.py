@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Distributed summarization: shard, sketch per shard, merge (Section 3).
+
+Models the paper's mergeability scenario: a dataset partitioned across 8
+workers, each summarizing independently; the per-worker summaries are
+serialized (the wire format standing in for the network) and combined by
+a balanced aggregation tree at the coordinator.  The merged summary is
+compared against (a) the exact answer and (b) a single sketch that saw
+the whole stream — demonstrating Theorem 5: merging does not blow up the
+error.
+
+Run:  python examples/distributed_merge.py
+"""
+
+from repro import FrequentItemsSketch, merge_pairwise_tree
+from repro.streams import ExactCounter, ZipfianStream, partition_round_robin
+
+
+def main() -> None:
+    k = 256
+    workers = 8
+    stream = list(
+        ZipfianStream(
+            num_updates=120_000,
+            universe=30_000,
+            alpha=1.1,
+            seed=99,
+            weight_low=1,
+            weight_high=10_000,
+        )
+    )
+    shards = partition_round_robin(stream, workers)
+
+    # Each worker builds its own summary (distinct seeds: Section 3.2's
+    # advice that merged summaries should not share hash functions).
+    blobs = []
+    for worker, shard in enumerate(shards):
+        sketch = FrequentItemsSketch(k, seed=worker)
+        for item, weight in shard:
+            sketch.update(item, weight)
+        blobs.append(sketch.to_bytes())
+    wire_bytes = sum(len(blob) for blob in blobs)
+
+    # Coordinator: deserialize and fold up a binary aggregation tree.
+    summaries = [FrequentItemsSketch.from_bytes(blob) for blob in blobs]
+    merged = merge_pairwise_tree(summaries)
+
+    # References: exact counts and a single all-seeing sketch.
+    exact = ExactCounter()
+    exact.update_all(stream)
+    single = FrequentItemsSketch(k, seed=1234)
+    for item, weight in stream:
+        single.update(item, weight)
+
+    def max_err(sketch: FrequentItemsSketch) -> float:
+        return max(
+            abs(freq - sketch.estimate(item)) for item, freq in exact.items()
+        )
+
+    n = exact.total_weight
+    print(f"{workers} workers x {len(shards[0]):,} updates, N = {n:,.0f}")
+    print(f"wire transfer: {wire_bytes:,} bytes total "
+          f"(vs {exact.num_items:,} distinct items exact)")
+    print()
+    print(f"{'summary':<22} {'max error':>12} {'rel to N':>9}")
+    print(f"{'merged (8-way tree)':<22} {max_err(merged):12,.0f} "
+          f"{max_err(merged) / n:9.2e}")
+    print(f"{'single-pass sketch':<22} {max_err(single):12,.0f} "
+          f"{max_err(single) / n:9.2e}")
+    print()
+    print("top-5 items, merged summary vs exact:")
+    for row in merged.to_rows()[:5]:
+        print(f"  item {row.item:>12}: est {row.estimate:12,.0f}   "
+              f"exact {exact.frequency(row.item):12,.0f}   "
+              f"bracket [{row.lower_bound:,.0f}, {row.upper_bound:,.0f}]")
+
+
+if __name__ == "__main__":
+    main()

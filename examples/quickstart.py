@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: the FrequentItemsSketch public API in two minutes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ErrorType, FrequentItemsSketch
+from repro.streams import ZipfianStream
+
+
+def main() -> None:
+    # A sketch with k = 128 counters.  The default configuration is the
+    # paper's recommended SMED: decrement by the median of 1024 sampled
+    # counters whenever the table overflows.
+    sketch = FrequentItemsSketch(max_counters=128, seed=42)
+
+    # Feed a weighted stream: 50k updates, Zipf-popular items, and a
+    # weight attached to each update (think bytes per packet).
+    stream = ZipfianStream(
+        num_updates=50_000,
+        universe=10_000,
+        alpha=1.2,
+        seed=7,
+        weight_low=1,
+        weight_high=100,
+    )
+    for item, weight in stream:
+        sketch.update(item, weight)
+
+    print(f"stream weight N        = {sketch.stream_weight:,.0f}")
+    print(f"counters in use        = {sketch.num_active} / {sketch.max_counters}")
+    print(f"maximum estimate error = {sketch.maximum_error:,.0f}")
+    print(f"sketch footprint       = {sketch.space_bytes():,} bytes (vs exact: "
+          f"one counter per distinct item)")
+    print()
+
+    # Point queries come with deterministic brackets.
+    top_row = sketch.to_rows()[0]
+    print("heaviest tracked item:")
+    print(f"  item {top_row.item}: estimate {top_row.estimate:,.0f} "
+          f"in [{top_row.lower_bound:,.0f}, {top_row.upper_bound:,.0f}]")
+    print()
+
+    # Heavy hitters, both error directions (Section 1.2 of the paper).
+    phi = 0.02
+    sure = sketch.heavy_hitters(phi, ErrorType.NO_FALSE_POSITIVES)
+    complete = sketch.heavy_hitters(phi, ErrorType.NO_FALSE_NEGATIVES)
+    print(f"phi = {phi}: {len(sure)} certain heavy hitters, "
+          f"{len(complete)} candidates including borderline cases")
+    print()
+
+    # Summaries serialize compactly and merge losslessly (Algorithm 5).
+    blob = sketch.to_bytes()
+    other = FrequentItemsSketch(max_counters=128, seed=43)
+    for item, weight in ZipfianStream(
+        20_000, universe=10_000, alpha=1.2, seed=8, weight_low=1, weight_high=100
+    ):
+        other.update(item, weight)
+    restored = FrequentItemsSketch.from_bytes(blob)
+    restored.merge(other)
+    print(f"serialized to {len(blob):,} bytes; merged summary now covers "
+          f"N = {restored.stream_weight:,.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Metadata lives in pyproject.toml; this file exists so the package can be
+installed editable (``pip install -e .``) in offline environments whose
+setuptools/pip combination lacks the ``wheel`` package required by the
+PEP 517 editable path.
+"""
+
+from setuptools import setup
+
+setup()

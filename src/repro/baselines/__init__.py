@@ -1,0 +1,57 @@
+"""Every comparison algorithm from the paper, implemented from scratch.
+
+Counter-based algorithms (Section 1.3):
+
+* :class:`MisraGries` — Algorithm 1, unit updates.
+* :class:`SpaceSavingHeap` — SS on an indexed min-heap; with unit updates
+  this is the paper's SSH, with weighted updates it is MHE (the prior
+  state of the art for weighted streams).
+* :class:`StreamSummary` — Metwally et al.'s doubly-linked-list SS (the
+  SSL of Cormode-Hadjieleftheriou), unit updates, O(1) worst case.
+* :class:`RTUCMisraGries` / :class:`RTUCSpaceSaving` — the
+  reduce-to-unit-case weighted extensions (Θ(Δ) per update).
+* :class:`ReduceByMinCounter` — RBMC, Berinde et al.'s weighted MG.
+* :func:`make_med` — MED (Algorithm 3) via the exact-k*-th policy.
+
+The "other classes" from Cormode-Hadjieleftheriou's taxonomy, for the
+counter-vs-sketch context experiment:
+
+* :class:`CountMinSketch`, :class:`CountSketch` — linear sketches.
+* :class:`LossyCounting`, :class:`StickySampling` — the Manku-Motwani
+  quantile-style algorithms.
+
+Prior merge procedures (Section 3.1 / Figure 4): :mod:`merge_prior`.
+"""
+
+from repro.baselines.count_min import CountMinSketch
+from repro.baselines.count_sketch import CountSketch
+from repro.baselines.factory import make_algorithm, make_med, make_smed, make_smin
+from repro.baselines.heap import IndexedMinHeap
+from repro.baselines.lossy_counting import LossyCounting
+from repro.baselines.merge_prior import ach13_merge, hoa61_merge
+from repro.baselines.misra_gries import MisraGries
+from repro.baselines.rbmc import ReduceByMinCounter
+from repro.baselines.rtuc import RTUCMisraGries, RTUCSpaceSaving
+from repro.baselines.space_saving_heap import SpaceSavingHeap
+from repro.baselines.sticky_sampling import StickySampling
+from repro.baselines.stream_summary import StreamSummary
+
+__all__ = [
+    "MisraGries",
+    "SpaceSavingHeap",
+    "StreamSummary",
+    "RTUCMisraGries",
+    "RTUCSpaceSaving",
+    "ReduceByMinCounter",
+    "CountMinSketch",
+    "CountSketch",
+    "LossyCounting",
+    "StickySampling",
+    "IndexedMinHeap",
+    "ach13_merge",
+    "hoa61_merge",
+    "make_algorithm",
+    "make_smed",
+    "make_smin",
+    "make_med",
+]

@@ -1,0 +1,155 @@
+"""CountMin sketch (Cormode-Muthukrishnan, LATIN 2004).
+
+A linear sketch: ``depth`` rows of ``width`` counters; an update adds
+its weight at one hashed cell per row, a point query takes the row-wise
+minimum, overestimating by at most ``e/width * N`` per row w.h.p.  The
+optional *conservative update* only raises cells to the new minimum,
+trading update speed for accuracy.
+
+Included as the representative of the "(linear) sketch" class that
+Cormode and Hadjieleftheriou compared against counter-based algorithms
+(Section 1.3); the context benchmark reproduces their finding — and this
+paper's premise — that counter-based algorithms dominate for insertion
+streams.  Heavy hitters are tracked with the standard candidate-set
+method (a bounded dict of the items whose estimates cleared the
+threshold when they arrived).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError, InvalidUpdateError
+from repro.hashing.families import MultiplyShiftFamily
+from repro.hashing.mixers import item_to_u64
+from repro.metrics.instrumentation import OpStats
+from repro.types import ItemId
+
+
+class CountMinSketch:
+    """CountMin with optional conservative update and HH candidate tracking."""
+
+    __slots__ = (
+        "_depth",
+        "_width",
+        "_table",
+        "_family",
+        "_conservative",
+        "_stream_weight",
+        "_track_top",
+        "_candidates",
+        "stats",
+    )
+
+    def __init__(
+        self,
+        depth: int,
+        width: int,
+        seed: int = 0,
+        conservative: bool = False,
+        track_top: int = 0,
+    ) -> None:
+        if depth <= 0:
+            raise InvalidParameterError(f"depth must be positive, got {depth}")
+        if width <= 0 or width & (width - 1):
+            raise InvalidParameterError(
+                f"width must be a positive power of two, got {width}"
+            )
+        self._depth = depth
+        self._width = width
+        self._table = np.zeros((depth, width), dtype=np.float64)
+        self._family = MultiplyShiftFamily(depth, width, seed)
+        self._conservative = conservative
+        self._stream_weight = 0.0
+        self._track_top = track_top
+        self._candidates: dict[ItemId, float] = {}
+        self.stats = OpStats()
+
+    @property
+    def depth(self) -> int:
+        """Number of rows."""
+        return self._depth
+
+    @property
+    def width(self) -> int:
+        """Counters per row."""
+        return self._width
+
+    @property
+    def stream_weight(self) -> float:
+        """Total processed weight ``N``."""
+        return self._stream_weight
+
+    def update(self, item: ItemId, weight: float = 1.0) -> None:
+        """Add ``weight`` to the item's cell in every row."""
+        if weight <= 0:
+            raise InvalidUpdateError(
+                f"update weights must be positive, got {weight} for item {item}"
+            )
+        self._stream_weight += weight
+        self.stats.updates += 1
+        key = item_to_u64(item)
+        columns = self._family.hash_all(key)
+        table = self._table
+        if self._conservative:
+            current = min(table[row, col] for row, col in enumerate(columns))
+            target = current + weight
+            for row, col in enumerate(columns):
+                if table[row, col] < target:
+                    table[row, col] = target
+        else:
+            for row, col in enumerate(columns):
+                table[row, col] += weight
+        if self._track_top:
+            self._track(item, columns)
+
+    def _track(self, item: ItemId, columns: list[int]) -> None:
+        estimate = min(self._table[row, col] for row, col in enumerate(columns))
+        candidates = self._candidates
+        candidates[item] = estimate
+        if len(candidates) > 2 * self._track_top:
+            # Keep the top track_top candidates by estimate.
+            kept = sorted(candidates.items(), key=lambda kv: -kv[1])[: self._track_top]
+            self._candidates = dict(kept)
+
+    def estimate(self, item: ItemId) -> float:
+        """Row-wise minimum: never underestimates."""
+        key = item_to_u64(item)
+        table = self._table
+        return float(
+            min(table[row, col] for row, col in enumerate(self._family.hash_all(key)))
+        )
+
+    def upper_bound(self, item: ItemId) -> float:
+        """The estimate itself (CountMin only overestimates)."""
+        return self.estimate(item)
+
+    def lower_bound(self, item: ItemId) -> float:
+        """``max(0, estimate - 2N/width)`` via the Markov guarantee."""
+        return max(0.0, self.estimate(item) - 2.0 * self._stream_weight / self._width)
+
+    def heavy_hitter_candidates(self, phi: float) -> dict[ItemId, float]:
+        """Tracked candidates whose current estimate is >= ``phi * N``.
+
+        Requires construction with ``track_top > 0``.
+        """
+        if not 0.0 < phi <= 1.0:
+            raise InvalidParameterError(f"phi must be in (0, 1], got {phi}")
+        threshold = phi * self._stream_weight
+        return {
+            item: self.estimate(item)
+            for item in self._candidates
+            if self.estimate(item) >= threshold
+        }
+
+    def space_bytes(self) -> int:
+        """8 bytes per cell plus hash parameters."""
+        return 8 * self._depth * self._width + 16 * self._depth
+
+    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
+        """Cell-wise addition (requires identical shape and seed family)."""
+        if (self._depth, self._width) != (other._depth, other._width):
+            raise InvalidParameterError("cannot merge CountMin sketches of different shapes")
+        self._table += other._table
+        self._stream_weight += other._stream_weight
+        return self

@@ -1,0 +1,88 @@
+"""Uniform construction of every compared algorithm by name.
+
+The benchmark harness sweeps algorithm names; this module maps them to
+configured instances sharing the minimal common interface
+(``update(item, weight)``, ``estimate(item)``, ``stats``,
+``space_bytes()``).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.rbmc import ReduceByMinCounter
+from repro.baselines.space_saving_heap import SpaceSavingHeap
+from repro.core.frequent_items import FrequentItemsSketch
+from repro.core.policies import (
+    ExactKthLargestPolicy,
+    SampleQuantilePolicy,
+)
+from repro.errors import InvalidParameterError
+from repro.selection.sampling import DEFAULT_SAMPLE_SIZE
+
+
+def make_smed(
+    k: int, seed: int = 0, backend: str = "dict", sample_size: int = DEFAULT_SAMPLE_SIZE
+) -> FrequentItemsSketch:
+    """The paper's recommended algorithm: sample-median decrements."""
+    return FrequentItemsSketch(
+        k, policy=SampleQuantilePolicy(0.5, sample_size), backend=backend, seed=seed
+    )
+
+
+def make_smin(
+    k: int, seed: int = 0, backend: str = "dict", sample_size: int = DEFAULT_SAMPLE_SIZE
+) -> FrequentItemsSketch:
+    """The accuracy-leaning variant: sample-minimum decrements."""
+    return FrequentItemsSketch(
+        k, policy=SampleQuantilePolicy(0.0, sample_size), backend=backend, seed=seed
+    )
+
+
+def make_med(k: int, seed: int = 0, backend: str = "dict") -> FrequentItemsSketch:
+    """Algorithm 3 (MED): exact k/2-th largest decrements."""
+    return FrequentItemsSketch(
+        k, policy=ExactKthLargestPolicy(0.5), backend=backend, seed=seed
+    )
+
+
+def make_quantile_variant(
+    k: int,
+    quantile: float,
+    seed: int = 0,
+    backend: str = "dict",
+    sample_size: int = DEFAULT_SAMPLE_SIZE,
+) -> FrequentItemsSketch:
+    """A Section 4.4 variant decrementing by an arbitrary sample quantile."""
+    return FrequentItemsSketch(
+        k,
+        policy=SampleQuantilePolicy(quantile, sample_size),
+        backend=backend,
+        seed=seed,
+    )
+
+
+def make_algorithm(name: str, k: int, seed: int = 0, backend: str = "dict"):
+    """Build a weighted-stream algorithm by its paper name.
+
+    Supported names: ``SMED``, ``SMIN``, ``MED``, ``RBMC``, ``MHE``, and
+    ``SQ<percent>`` for arbitrary decrement quantiles (e.g. ``SQ70``).
+    """
+    upper = name.upper()
+    if upper == "SMED":
+        return make_smed(k, seed, backend)
+    if upper == "SMIN":
+        return make_smin(k, seed, backend)
+    if upper == "MED":
+        return make_med(k, seed, backend)
+    if upper == "RBMC":
+        return ReduceByMinCounter(k)
+    if upper == "MHE":
+        return SpaceSavingHeap(k)
+    if upper.startswith("SQ"):
+        try:
+            percent = int(upper[2:])
+        except ValueError as exc:
+            raise InvalidParameterError(f"bad quantile algorithm name {name!r}") from exc
+        if not 0 <= percent <= 100:
+            raise InvalidParameterError(f"quantile out of range in {name!r}")
+        return make_quantile_variant(k, percent / 100.0, seed, backend)
+    raise InvalidParameterError(f"unknown algorithm {name!r}")

@@ -1,0 +1,163 @@
+"""An indexed binary min-heap, the substrate under SSH / MHE.
+
+Space Saving needs three operations a plain heap lacks: find an
+arbitrary item's entry (to increment it), increase a key in place, and
+replace the minimum.  We therefore maintain an item -> heap-position
+index alongside the value and item arrays.  Every sift step is counted
+(``sift_steps``) because heap maintenance is exactly the O(log k) cost
+the paper holds against MHE.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import InvalidParameterError
+from repro.types import ItemId
+
+
+class IndexedMinHeap:
+    """Binary min-heap over ``(value, item)`` with item-position tracking."""
+
+    __slots__ = ("_values", "_items", "_pos", "sift_steps")
+
+    def __init__(self) -> None:
+        self._values: list[float] = []
+        self._items: list[ItemId] = []
+        self._pos: dict[ItemId, int] = {}
+        #: Total sift (parent/child swap) steps performed.
+        self.sift_steps = 0
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, item: ItemId) -> bool:
+        return item in self._pos
+
+    def value_of(self, item: ItemId) -> Optional[float]:
+        """Return the item's value, or ``None`` if absent."""
+        position = self._pos.get(item)
+        return None if position is None else self._values[position]
+
+    def min_value(self) -> float:
+        """The smallest value (the heap must be non-empty)."""
+        if not self._values:
+            raise InvalidParameterError("heap is empty")
+        return self._values[0]
+
+    def min_item(self) -> ItemId:
+        """The item holding the smallest value."""
+        if not self._items:
+            raise InvalidParameterError("heap is empty")
+        return self._items[0]
+
+    # -- internal movement ----------------------------------------------------
+
+    def _swap(self, a: int, b: int) -> None:
+        values, items, pos = self._values, self._items, self._pos
+        values[a], values[b] = values[b], values[a]
+        items[a], items[b] = items[b], items[a]
+        pos[items[a]] = a
+        pos[items[b]] = b
+        self.sift_steps += 1
+
+    def _sift_up(self, index: int) -> None:
+        values = self._values
+        while index > 0:
+            parent = (index - 1) >> 1
+            if values[index] < values[parent]:
+                self._swap(index, parent)
+                index = parent
+            else:
+                return
+
+    def _sift_down(self, index: int) -> None:
+        values = self._values
+        size = len(values)
+        while True:
+            left = 2 * index + 1
+            if left >= size:
+                return
+            smallest = left
+            right = left + 1
+            if right < size and values[right] < values[left]:
+                smallest = right
+            if values[smallest] < values[index]:
+                self._swap(index, smallest)
+                index = smallest
+            else:
+                return
+
+    # -- public mutators --------------------------------------------------------
+
+    def push(self, item: ItemId, value: float) -> None:
+        """Insert a new item (must be absent)."""
+        if item in self._pos:
+            raise InvalidParameterError(f"item {item} is already in the heap")
+        index = len(self._values)
+        self._values.append(value)
+        self._items.append(item)
+        self._pos[item] = index
+        self._sift_up(index)
+
+    def increase_key(self, item: ItemId, new_value: float) -> None:
+        """Raise an existing item's value (values only grow in SS)."""
+        position = self._pos.get(item)
+        if position is None:
+            raise InvalidParameterError(f"item {item} is not in the heap")
+        if new_value < self._values[position]:
+            raise InvalidParameterError(
+                f"increase_key would lower {item}: "
+                f"{self._values[position]} -> {new_value}"
+            )
+        self._values[position] = new_value
+        self._sift_down(position)
+
+    def replace_min(self, item: ItemId, value: float) -> ItemId:
+        """Evict the minimum entry, install ``(item, value)``; return evictee.
+
+        This is the SS takeover step: the new item inherits the root slot
+        with ``value = old_min + delta`` and sifts down.
+        """
+        if not self._values:
+            raise InvalidParameterError("heap is empty")
+        if item in self._pos:
+            raise InvalidParameterError(f"item {item} is already in the heap")
+        evicted = self._items[0]
+        del self._pos[evicted]
+        self._items[0] = item
+        self._values[0] = value
+        self._pos[item] = 0
+        self._sift_down(0)
+        return evicted
+
+    def pop_min(self) -> tuple[ItemId, float]:
+        """Remove and return the minimum ``(item, value)``."""
+        if not self._values:
+            raise InvalidParameterError("heap is empty")
+        item = self._items[0]
+        value = self._values[0]
+        del self._pos[item]
+        last_value = self._values.pop()
+        last_item = self._items.pop()
+        if self._values:
+            self._values[0] = last_value
+            self._items[0] = last_item
+            self._pos[last_item] = 0
+            self._sift_down(0)
+        return item, value
+
+    def items(self) -> list[tuple[ItemId, float]]:
+        """All ``(item, value)`` pairs in heap-array order."""
+        return list(zip(self._items, self._values))
+
+    def check_invariant(self) -> bool:
+        """Verify the heap order and index consistency (for tests)."""
+        values = self._values
+        for index in range(1, len(values)):
+            if values[index] < values[(index - 1) >> 1]:
+                return False
+        for item, position in self._pos.items():
+            if self._items[position] != item:
+                return False
+        return len(self._pos) == len(self._values)

@@ -1,0 +1,123 @@
+"""Lossy Counting (Manku-Motwani, VLDB 2002), weighted-capable.
+
+A representative of the "quantile algorithm" class in Cormode and
+Hadjieleftheriou's taxonomy (Section 1.3): the stream is conceptually
+divided into buckets of weight ``1/epsilon``; each entry carries the
+bucket error ``delta`` it may have missed before insertion, and at every
+bucket boundary entries with ``count + delta <= current_bucket`` are
+pruned.  Estimates underestimate by at most ``epsilon * N``.  Unlike the
+counter-based algorithms its space is O((1/ε) log(εN)) rather than a
+fixed k — one of the reasons the paper's class of choice is counter-based.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.errors import InvalidParameterError, InvalidUpdateError
+from repro.metrics.instrumentation import OpStats
+from repro.types import ItemId
+
+
+class LossyCounting:
+    """Manku-Motwani Lossy Counting with real-valued weights."""
+
+    __slots__ = ("_epsilon", "_entries", "_stream_weight", "_bucket", "stats")
+
+    def __init__(self, epsilon: float) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise InvalidParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+        self._epsilon = epsilon
+        #: item -> (count, delta): count since insertion, prior-bucket slack.
+        self._entries: dict[ItemId, tuple[float, float]] = {}
+        self._stream_weight = 0.0
+        self._bucket = 1
+        self.stats = OpStats()
+
+    @property
+    def epsilon(self) -> float:
+        """The configured error fraction."""
+        return self._epsilon
+
+    @property
+    def stream_weight(self) -> float:
+        """Total processed weight ``N``."""
+        return self._stream_weight
+
+    @property
+    def num_active(self) -> int:
+        """Entries currently stored (varies with the data, unlike ``k``)."""
+        return len(self._entries)
+
+    def update(self, item: ItemId, weight: float = 1.0) -> None:
+        """Process one weighted update."""
+        if weight <= 0:
+            raise InvalidUpdateError(
+                f"update weights must be positive, got {weight} for item {item}"
+            )
+        self._stream_weight += weight
+        stats = self.stats
+        stats.updates += 1
+        entries = self._entries
+        entry = entries.get(item)
+        if entry is not None:
+            entries[item] = (entry[0] + weight, entry[1])
+            stats.hits += 1
+        else:
+            # delta = current bucket - 1: the weight this item may have
+            # accumulated and lost in earlier buckets.
+            entries[item] = (weight, float(self._bucket - 1))
+            stats.inserts += 1
+        current_bucket = int(math.ceil(self._epsilon * self._stream_weight))
+        if current_bucket > self._bucket:
+            self._bucket = current_bucket
+            self._prune()
+
+    def _prune(self) -> None:
+        stats = self.stats
+        stats.decrements += 1
+        stats.counters_scanned += len(self._entries)
+        threshold = float(self._bucket)
+        survivors = {
+            item: entry
+            for item, entry in self._entries.items()
+            if entry[0] + entry[1] > threshold
+        }
+        stats.counters_freed += len(self._entries) - len(survivors)
+        self._entries = survivors
+
+    def estimate(self, item: ItemId) -> float:
+        """The stored count (an underestimate by at most ``epsilon * N``)."""
+        entry = self._entries.get(item)
+        return 0.0 if entry is None else entry[0]
+
+    def upper_bound(self, item: ItemId) -> float:
+        """``count + delta``: the most the true frequency can be."""
+        entry = self._entries.get(item)
+        if entry is None:
+            return self._epsilon * self._stream_weight
+        return entry[0] + entry[1]
+
+    def lower_bound(self, item: ItemId) -> float:
+        """Same as the estimate: Lossy Counting never overestimates."""
+        return self.estimate(item)
+
+    def heavy_hitters(self, phi: float) -> dict[ItemId, float]:
+        """Items whose frequency may reach ``phi * N`` (no false negatives)."""
+        if not 0.0 < phi <= 1.0:
+            raise InvalidParameterError(f"phi must be in (0, 1], got {phi}")
+        threshold = (phi - self._epsilon) * self._stream_weight
+        return {
+            item: entry[0]
+            for item, entry in self._entries.items()
+            if entry[0] >= threshold
+        }
+
+    def items(self) -> Iterator[tuple[ItemId, float]]:
+        """Iterate over stored ``(item, count)`` pairs."""
+        for item, entry in self._entries.items():
+            yield item, entry[0]
+
+    def __len__(self) -> int:
+        return len(self._entries)

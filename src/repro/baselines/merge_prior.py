@@ -1,0 +1,114 @@
+"""The prior merge procedures compared against in Figure 4 (Section 3.1).
+
+Both implement Agarwal et al.'s mergeable-summaries procedure for MG-type
+summaries: sum the two summaries' counters, find the (k+1)-th largest of
+the combined multiset, subtract it from every counter, and keep the (at
+most k) survivors.  They differ in how the order statistic is found:
+
+* :func:`ach13_merge` — "ACH+13": full sort, Ω(k log k);
+* :func:`hoa61_merge` — "Hoa61": quickselect, O(k), the variant this
+  paper proposes as the stronger straw man (Section 3.1).
+
+Both allocate an intermediate combined table (capacity up to 2k) and a
+fresh output sketch — the 2.5x space overhead Section 4.5 charges them —
+whereas Algorithm 5 (``FrequentItemsSketch.merge``) works in place.
+The offset bookkeeping follows the Section 2.3.1 estimator: output offset
+= both input offsets plus the subtracted order statistic, preserving
+``lower <= f <= upper``.
+"""
+
+from __future__ import annotations
+
+from repro.core.frequent_items import FrequentItemsSketch
+from repro.errors import IncompatibleSketchError
+from repro.prng import Xoroshiro128PlusPlus
+from repro.selection.quickselect import kth_largest
+from repro.types import ItemId
+
+
+def _combine_counters(
+    first: FrequentItemsSketch, second: FrequentItemsSketch
+) -> dict[ItemId, float]:
+    """Sum the raw counters of both sketches into a fresh table."""
+    combined: dict[ItemId, float] = dict(first._store.items())
+    for item, count in second._store.items():
+        existing = combined.get(item)
+        combined[item] = count if existing is None else existing + count
+    return combined
+
+
+def _build_output(
+    first: FrequentItemsSketch,
+    second: FrequentItemsSketch,
+    survivors: dict[ItemId, float],
+    subtracted: float,
+) -> FrequentItemsSketch:
+    """Allocate the fresh output summary the prior procedures require."""
+    out = FrequentItemsSketch(
+        first.max_counters,
+        policy=first.policy,
+        backend=first.backend,
+        seed=first.seed,
+    )
+    for item, count in survivors.items():
+        out._store.insert(item, count)
+    out._offset = first.maximum_error + second.maximum_error + subtracted
+    out._stream_weight = first.stream_weight + second.stream_weight
+    out.stats.scratch_words = 2 * (len(first._store) + len(second._store))
+    return out
+
+
+def _check_compatible(
+    first: FrequentItemsSketch, second: FrequentItemsSketch
+) -> None:
+    if first.max_counters != second.max_counters:
+        raise IncompatibleSketchError(
+            "the prior merge procedures require equal k "
+            f"(got {first.max_counters} and {second.max_counters})"
+        )
+
+
+def ach13_merge(
+    first: FrequentItemsSketch, second: FrequentItemsSketch
+) -> FrequentItemsSketch:
+    """Sort-based merge of Agarwal et al. (the paper's "ACH+13").
+
+    Returns a new sketch; the inputs are unchanged.
+    """
+    _check_compatible(first, second)
+    k = first.max_counters
+    combined = _combine_counters(first, second)
+    if len(combined) <= k:
+        return _build_output(first, second, combined, 0.0)
+    ordered = sorted(combined.items(), key=lambda kv: -kv[1])
+    cutoff = ordered[k][1]  # the (k+1)-th largest counter
+    survivors = {
+        item: count - cutoff for item, count in ordered[:k] if count > cutoff
+    }
+    return _build_output(first, second, survivors, cutoff)
+
+
+def hoa61_merge(
+    first: FrequentItemsSketch,
+    second: FrequentItemsSketch,
+    seed: int = 0,
+) -> FrequentItemsSketch:
+    """Quickselect-based variant of the prior merge (the paper's "Hoa61").
+
+    Identical output distribution to :func:`ach13_merge` (exact ties at
+    the cutoff are dropped by both), found in O(k) instead of O(k log k).
+    """
+    _check_compatible(first, second)
+    k = first.max_counters
+    combined = _combine_counters(first, second)
+    if len(combined) <= k:
+        return _build_output(first, second, combined, 0.0)
+    values = list(combined.values())
+    rng = Xoroshiro128PlusPlus(seed)
+    cutoff = kth_largest(values, k + 1, rng)
+    survivors = {}
+    for item, count in combined.items():
+        remaining = count - cutoff
+        if remaining > 0.0:
+            survivors[item] = remaining
+    return _build_output(first, second, survivors, cutoff)

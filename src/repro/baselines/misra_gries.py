@@ -1,0 +1,108 @@
+"""The classic Misra-Gries algorithm for unit updates (Algorithm 1).
+
+The 1982 original: ``k`` counters in a hash table; a hit increments, a
+miss inserts while room remains, and a miss against a full table
+decrements *every* counter by one, discarding those that reach zero.
+Estimates satisfy ``0 <= f_i - f̂_i <= N/(k+1)`` (Lemma 1) and the tail
+bound of Lemma 2.  Amortized O(1) per update because a decrement pass
+requires k prior insertions to re-fill the table.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import InvalidParameterError, InvalidUpdateError
+from repro.metrics.instrumentation import OpStats
+from repro.metrics.space import space_model_bytes
+from repro.types import ItemId
+
+
+class MisraGries:
+    """Algorithm 1: unit-weight Misra-Gries with ``k`` counters."""
+
+    __slots__ = ("_k", "_counts", "_num_updates", "stats")
+
+    def __init__(self, max_counters: int) -> None:
+        if max_counters < 1:
+            raise InvalidParameterError(
+                f"max_counters must be at least 1, got {max_counters}"
+            )
+        self._k = max_counters
+        self._counts: dict[ItemId, float] = {}
+        self._num_updates = 0
+        self.stats = OpStats()
+
+    @property
+    def max_counters(self) -> int:
+        """The configured number of counters ``k``."""
+        return self._k
+
+    @property
+    def num_active(self) -> int:
+        """Number of items currently assigned counters."""
+        return len(self._counts)
+
+    @property
+    def num_updates(self) -> int:
+        """Unit updates processed so far (the stream length ``n = N``)."""
+        return self._num_updates
+
+    def update(self, item: ItemId, weight: float = 1.0) -> None:
+        """Process one unit update; ``weight`` must be exactly 1.
+
+        (The weighted extensions are separate algorithms — RTUC, RBMC,
+        and the paper's SMED family.)
+        """
+        if weight != 1.0:
+            raise InvalidUpdateError(
+                f"MisraGries handles unit updates only, got weight {weight}"
+            )
+        self._num_updates += 1
+        stats = self.stats
+        stats.updates += 1
+        counts = self._counts
+        current = counts.get(item)
+        if current is not None:
+            counts[item] = current + 1.0
+            stats.hits += 1
+            return
+        if len(counts) < self._k:
+            counts[item] = 1.0
+            stats.inserts += 1
+            return
+        # DecrementCounters(): every counter loses 1; zeros are freed.
+        stats.decrements += 1
+        stats.counters_scanned += len(counts)
+        survivors = {}
+        freed = 0
+        for key, value in counts.items():
+            if value > 1.0:
+                survivors[key] = value - 1.0
+            else:
+                freed += 1
+        self._counts = survivors
+        stats.counters_freed += freed
+
+    def estimate(self, item: ItemId) -> float:
+        """``c(i)`` if assigned, else 0 — always an underestimate."""
+        return self._counts.get(item, 0.0)
+
+    def lower_bound(self, item: ItemId) -> float:
+        """Same as the estimate: MG never overestimates."""
+        return self._counts.get(item, 0.0)
+
+    def upper_bound(self, item: ItemId) -> float:
+        """``c(i) + n/(k+1)`` via Lemma 1's worst-case decrement count."""
+        return self._counts.get(item, 0.0) + self._num_updates / (self._k + 1)
+
+    def items(self) -> Iterator[tuple[ItemId, float]]:
+        """Iterate over assigned ``(item, counter)`` pairs."""
+        return iter(self._counts.items())
+
+    def space_bytes(self) -> int:
+        """Modeled footprint: one counter table."""
+        return space_model_bytes("mg", self._k)
+
+    def __len__(self) -> int:
+        return len(self._counts)

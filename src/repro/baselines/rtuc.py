@@ -1,0 +1,100 @@
+"""Reduce-To-Unit-Case weighted extensions (Sections 1.3.4-1.3.5).
+
+The naive way to make a unit-stream algorithm weighted: explode an
+update ``(i, delta)`` into ``delta`` unit updates.  Time Θ(delta) per
+update and integer weights only — "unacceptable when the weights may be
+large" — but semantically golden: RTUC-MG is *the* reference semantics
+that RBMC provably matches, and RTUC-SS likewise for MHE (Section 1.4).
+The test suite leans on both equivalences as whole-algorithm oracles.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.baselines.misra_gries import MisraGries
+from repro.baselines.space_saving_heap import SpaceSavingHeap
+from repro.errors import InvalidUpdateError
+from repro.types import ItemId
+
+
+class RTUCMisraGries:
+    """RTUC-MG: weighted Misra-Gries by unit-update explosion."""
+
+    __slots__ = ("_inner",)
+
+    def __init__(self, max_counters: int) -> None:
+        self._inner = MisraGries(max_counters)
+
+    @property
+    def max_counters(self) -> int:
+        """The configured number of counters ``k``."""
+        return self._inner.max_counters
+
+    @property
+    def stats(self):
+        """Op counters of the underlying unit-update algorithm."""
+        return self._inner.stats
+
+    def update(self, item: ItemId, weight: float = 1.0) -> None:
+        """Feed ``weight`` unit updates; ``weight`` must be a positive int."""
+        if weight <= 0 or weight != int(weight):
+            raise InvalidUpdateError(
+                f"RTUC requires positive integer weights, got {weight}"
+            )
+        inner = self._inner
+        for _ in range(int(weight)):
+            inner.update(item)
+        inner.stats.rtuc_expansions += int(weight)
+
+    def estimate(self, item: ItemId) -> float:
+        """The unit-case MG estimate."""
+        return self._inner.estimate(item)
+
+    def items(self) -> Iterator[tuple[ItemId, float]]:
+        """Assigned ``(item, counter)`` pairs."""
+        return self._inner.items()
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+
+class RTUCSpaceSaving:
+    """RTUC-SS: weighted Space Saving by unit-update explosion."""
+
+    __slots__ = ("_inner",)
+
+    def __init__(self, max_counters: int) -> None:
+        self._inner = SpaceSavingHeap(max_counters)
+
+    @property
+    def max_counters(self) -> int:
+        """The configured number of counters ``k``."""
+        return self._inner.max_counters
+
+    @property
+    def stats(self):
+        """Op counters of the underlying unit-update algorithm."""
+        return self._inner.stats
+
+    def update(self, item: ItemId, weight: float = 1.0) -> None:
+        """Feed ``weight`` unit updates; ``weight`` must be a positive int."""
+        if weight <= 0 or weight != int(weight):
+            raise InvalidUpdateError(
+                f"RTUC requires positive integer weights, got {weight}"
+            )
+        inner = self._inner
+        for _ in range(int(weight)):
+            inner.update(item, 1.0)
+        inner.stats.rtuc_expansions += int(weight)
+
+    def estimate(self, item: ItemId) -> float:
+        """The unit-case SS estimate."""
+        return self._inner.estimate(item)
+
+    def items(self) -> Iterator[tuple[ItemId, float]]:
+        """Assigned ``(item, counter)`` pairs."""
+        return self._inner.items()
+
+    def __len__(self) -> int:
+        return len(self._inner)

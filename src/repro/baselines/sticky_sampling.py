@@ -1,0 +1,129 @@
+"""Sticky Sampling (Manku-Motwani, VLDB 2002) for unit streams.
+
+The probabilistic sibling of Lossy Counting: items enter the summary by
+coin flip at a rate that halves as the stream grows, and at each rate
+change every stored counter is "diminished" by a run of tail coin
+flips.  Provides (φ, ε)-heavy-hitter reporting with failure probability
+δ.  Included to round out the Cormode-Hadjieleftheriou taxonomy the
+paper builds on; like SSL it has no natural weighted extension.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.errors import InvalidParameterError, InvalidUpdateError
+from repro.metrics.instrumentation import OpStats
+from repro.prng import Xoroshiro128PlusPlus
+from repro.types import ItemId
+
+
+class StickySampling:
+    """Manku-Motwani Sticky Sampling (unit updates)."""
+
+    __slots__ = ("_epsilon", "_delta", "_phi", "_t", "_rate", "_next_boundary",
+                 "_counts", "_num_updates", "_rng", "stats")
+
+    def __init__(
+        self, phi: float, epsilon: float, delta: float = 1e-4, seed: int = 0
+    ) -> None:
+        if not 0.0 < epsilon < phi <= 1.0:
+            raise InvalidParameterError(
+                f"need 0 < epsilon < phi <= 1, got epsilon={epsilon}, phi={phi}"
+            )
+        if not 0.0 < delta < 1.0:
+            raise InvalidParameterError(f"delta must be in (0, 1), got {delta}")
+        self._epsilon = epsilon
+        self._delta = delta
+        self._phi = phi
+        # t = (1/epsilon) * ln(1/(phi * delta)); first 2t updates at rate 1.
+        self._t = math.log(1.0 / (phi * delta)) / epsilon
+        self._rate = 1
+        self._next_boundary = 2.0 * self._t
+        self._counts: dict[ItemId, float] = {}
+        self._num_updates = 0
+        self._rng = Xoroshiro128PlusPlus(seed)
+        self.stats = OpStats()
+
+    @property
+    def num_active(self) -> int:
+        """Entries currently stored."""
+        return len(self._counts)
+
+    @property
+    def num_updates(self) -> int:
+        """Unit updates processed."""
+        return self._num_updates
+
+    @property
+    def sampling_rate(self) -> int:
+        """Current rate ``r``: new items enter with probability ``1/r``."""
+        return self._rate
+
+    def update(self, item: ItemId, weight: float = 1.0) -> None:
+        """Process one unit update."""
+        if weight != 1.0:
+            raise InvalidUpdateError(
+                f"StickySampling handles unit updates only, got {weight}"
+            )
+        self._num_updates += 1
+        stats = self.stats
+        stats.updates += 1
+        if self._num_updates > self._next_boundary:
+            self._rate *= 2
+            self._next_boundary *= 2.0
+            self._diminish()
+        counts = self._counts
+        current = counts.get(item)
+        if current is not None:
+            counts[item] = current + 1.0
+            stats.hits += 1
+        elif self._rng.randrange(self._rate) == 0:
+            counts[item] = 1.0
+            stats.inserts += 1
+
+    def _diminish(self) -> None:
+        """At a rate change, geometrically shrink every stored count."""
+        stats = self.stats
+        stats.decrements += 1
+        stats.counters_scanned += len(self._counts)
+        rng = self._rng
+        survivors = {}
+        freed = 0
+        for item, count in self._counts.items():
+            # Repeatedly toss an unbiased coin; diminish by one per tail.
+            while count > 0 and rng.randrange(2) == 0:
+                count -= 1.0
+            if count > 0:
+                survivors[item] = count
+            else:
+                freed += 1
+        self._counts = survivors
+        stats.counters_freed += freed
+
+    def estimate(self, item: ItemId) -> float:
+        """The stored count — raw, not scaled.
+
+        Once an item is admitted every occurrence increments its counter,
+        so the count underestimates the true frequency only by what was
+        missed before admission and lost to diminishing —
+        at most ``epsilon * n`` with probability ``1 - delta``.
+        """
+        return self._counts.get(item, 0.0)
+
+    def heavy_hitters(self) -> dict[ItemId, float]:
+        """Items with stored count at least ``(phi - epsilon) * n``."""
+        threshold = (self._phi - self._epsilon) * self._num_updates
+        return {
+            item: count
+            for item, count in self._counts.items()
+            if count >= threshold
+        }
+
+    def items(self) -> Iterator[tuple[ItemId, float]]:
+        """Iterate over stored ``(item, raw_count)`` pairs."""
+        return iter(self._counts.items())
+
+    def __len__(self) -> int:
+        return len(self._counts)

@@ -1,0 +1,197 @@
+"""Metwally et al.'s Stream Summary structure: SSL, unit updates in O(1).
+
+The doubly-linked "bucket list" implementation of Space Saving from the
+original ICDT 2005 paper: buckets hold all counters sharing a value and
+are kept sorted by value; promoting a counter moves its node to the
+neighbouring bucket, so every unit update is O(1) worst case — no heap,
+no amortization.  The cost is pointer-heavy storage (the paper cites
+more than double the Misra-Gries footprint) and, crucially for this
+paper, *no natural weighted extension*: a weight-Δ promotion would need
+to jump an unbounded number of buckets (Section 1.3.5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import InvalidParameterError, InvalidUpdateError
+from repro.metrics.instrumentation import OpStats
+from repro.metrics.space import space_model_bytes
+from repro.types import ItemId
+
+
+class _Bucket:
+    """A value class holding all counter nodes with the same count."""
+
+    __slots__ = ("value", "nodes", "prev", "next")
+
+    def __init__(self, value: float) -> None:
+        self.value = value
+        self.nodes: set["_Node"] = set()
+        self.prev: Optional["_Bucket"] = None
+        self.next: Optional["_Bucket"] = None
+
+
+class _Node:
+    """One counter: an item attached to its current bucket."""
+
+    __slots__ = ("item", "bucket", "error")
+
+    def __init__(self, item: ItemId, bucket: _Bucket, error: float) -> None:
+        self.item = item
+        self.bucket = bucket
+        #: Metwally's epsilon(i): the count inherited at takeover, which
+        #: upper-bounds this counter's overestimate.
+        self.error = error
+
+
+class StreamSummary:
+    """SSL: Space Saving via the Stream Summary bucket list (unit updates)."""
+
+    __slots__ = ("_k", "_nodes", "_min_bucket", "_num_updates", "stats")
+
+    def __init__(self, max_counters: int) -> None:
+        if max_counters < 1:
+            raise InvalidParameterError(
+                f"max_counters must be at least 1, got {max_counters}"
+            )
+        self._k = max_counters
+        self._nodes: dict[ItemId, _Node] = {}
+        self._min_bucket: Optional[_Bucket] = None  # head of ascending list
+        self._num_updates = 0
+        self.stats = OpStats()
+
+    @property
+    def max_counters(self) -> int:
+        """The configured number of counters ``k``."""
+        return self._k
+
+    @property
+    def num_active(self) -> int:
+        """Number of items currently assigned counters."""
+        return len(self._nodes)
+
+    @property
+    def num_updates(self) -> int:
+        """Unit updates processed so far."""
+        return self._num_updates
+
+    # -- bucket-list surgery ----------------------------------------------------
+
+    def _unlink_if_empty(self, bucket: _Bucket) -> None:
+        if bucket.nodes:
+            return
+        if bucket.prev is not None:
+            bucket.prev.next = bucket.next
+        else:
+            self._min_bucket = bucket.next
+        if bucket.next is not None:
+            bucket.next.prev = bucket.prev
+
+    def _promote(self, node: _Node) -> None:
+        """Move ``node`` from its bucket to the bucket of value+1."""
+        old = node.bucket
+        target_value = old.value + 1.0
+        successor = old.next
+        if successor is not None and successor.value == target_value:
+            new_bucket = successor
+        else:
+            new_bucket = _Bucket(target_value)
+            new_bucket.prev = old
+            new_bucket.next = successor
+            old.next = new_bucket
+            if successor is not None:
+                successor.prev = new_bucket
+        old.nodes.discard(node)
+        new_bucket.nodes.add(node)
+        node.bucket = new_bucket
+        self._unlink_if_empty(old)
+
+    def _insert_at_value(self, item: ItemId, value: float, error: float) -> None:
+        """Insert a brand-new counter node at ``value``."""
+        bucket = self._min_bucket
+        prev = None
+        while bucket is not None and bucket.value < value:
+            prev = bucket
+            bucket = bucket.next
+        if bucket is not None and bucket.value == value:
+            target = bucket
+        else:
+            target = _Bucket(value)
+            target.prev = prev
+            target.next = bucket
+            if prev is not None:
+                prev.next = target
+            else:
+                self._min_bucket = target
+            if bucket is not None:
+                bucket.prev = target
+        node = _Node(item, target, error)
+        target.nodes.add(node)
+        self._nodes[item] = node
+
+    # -- the algorithm -------------------------------------------------------------
+
+    def update(self, item: ItemId, weight: float = 1.0) -> None:
+        """Process one unit update in O(1) worst-case time."""
+        if weight != 1.0:
+            raise InvalidUpdateError(
+                "StreamSummary handles unit updates only (Section 1.3.5: the "
+                f"structure does not extend to weighted updates); got {weight}"
+            )
+        self._num_updates += 1
+        stats = self.stats
+        stats.updates += 1
+        node = self._nodes.get(item)
+        if node is not None:
+            self._promote(node)
+            stats.hits += 1
+            return
+        if len(self._nodes) < self._k:
+            self._insert_at_value(item, 1.0, 0.0)
+            stats.inserts += 1
+            return
+        # Take over some counter in the minimum bucket.
+        min_bucket = self._min_bucket
+        assert min_bucket is not None and min_bucket.nodes
+        victim = next(iter(min_bucket.nodes))
+        del self._nodes[victim.item]
+        victim.item = item
+        victim.error = min_bucket.value
+        self._nodes[item] = victim
+        self._promote(victim)
+        stats.inserts += 1
+
+    # -- queries ----------------------------------------------------------------------
+
+    def estimate(self, item: ItemId) -> float:
+        """``c(i)`` if assigned, else the minimum counter value."""
+        node = self._nodes.get(item)
+        if node is not None:
+            return node.bucket.value
+        if len(self._nodes) < self._k or self._min_bucket is None:
+            return 0.0
+        return self._min_bucket.value
+
+    def upper_bound(self, item: ItemId) -> float:
+        """SS never underestimates."""
+        return self.estimate(item)
+
+    def lower_bound(self, item: ItemId) -> float:
+        """``c(i) - epsilon(i)`` using the per-counter takeover error."""
+        node = self._nodes.get(item)
+        if node is None:
+            return 0.0
+        return node.bucket.value - node.error
+
+    def items(self) -> Iterator[tuple[ItemId, float]]:
+        """Iterate over assigned ``(item, counter)`` pairs."""
+        for item, node in self._nodes.items():
+            yield item, node.bucket.value
+
+    def space_bytes(self) -> int:
+        """Modeled footprint: table plus node/bucket pointers."""
+        return space_model_bytes("ssl", self._k)
+
+    def __len__(self) -> int:
+        return len(self._nodes)

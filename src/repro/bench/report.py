@@ -1,0 +1,66 @@
+"""Plain-text result tables, aligned the way the paper reports series."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        if abs(value) >= 100:
+            return f"{value:,.1f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+class ResultTable:
+    """An ordered collection of result rows with aligned text rendering."""
+
+    def __init__(self, title: str, columns: Iterable[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[dict[str, Any]] = []
+
+    def add_row(self, **values: Any) -> None:
+        """Append one row; keys must be a subset of the declared columns."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)} for table {self.title!r}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def cell(self, match: dict[str, Any], column: str) -> Any:
+        """The ``column`` value of the first row matching ``match``."""
+        for row in self.rows:
+            if all(row.get(key) == value for key, value in match.items()):
+                return row.get(column)
+        raise KeyError(f"no row matching {match} in table {self.title!r}")
+
+    def to_text(self) -> str:
+        """Render the table with a title bar and aligned columns."""
+        header = self.columns
+        body = [
+            [_format_value(row.get(column, "")) for column in header]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        bar = "=" * (sum(widths) + 2 * (len(widths) - 1))
+        lines = [bar, self.title, bar]
+        lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+        lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+        for line in body:
+            lines.append("  ".join(line[i].rjust(widths[i]) for i in range(len(header))))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_text()

@@ -1,0 +1,34 @@
+"""The paper's contribution: the optimized weighted Misra-Gries sketch.
+
+* :class:`FrequentItemsSketch` — Algorithm 4 (SMED / SMIN and the whole
+  Figure-3 quantile family) with the Section 2.3.1 hybrid estimator and
+  the Section 2.3.3 storage layout.
+* :mod:`repro.core.policies` — the pluggable ``DecrementCounters()``
+  strategies: sampled quantile (Algorithm 4), exact k*-th largest
+  (Algorithm 3 / MED), global minimum.
+* :mod:`repro.core.merge` — Algorithm 5 merging plus aggregation-tree
+  helpers.
+* :mod:`repro.core.serialize` — compact binary serialization.
+"""
+
+from repro.core.frequent_items import FrequentItemsSketch
+from repro.core.merge import merge_linear, merge_pairwise_tree
+from repro.core.policies import (
+    DecrementPolicy,
+    ExactKthLargestPolicy,
+    GlobalMinPolicy,
+    SampleQuantilePolicy,
+)
+from repro.core.row import ErrorType, HeavyHitterRow
+
+__all__ = [
+    "FrequentItemsSketch",
+    "DecrementPolicy",
+    "SampleQuantilePolicy",
+    "ExactKthLargestPolicy",
+    "GlobalMinPolicy",
+    "ErrorType",
+    "HeavyHitterRow",
+    "merge_linear",
+    "merge_pairwise_tree",
+]

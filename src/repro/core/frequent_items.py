@@ -1,0 +1,418 @@
+"""The optimized weighted Misra-Gries sketch (Algorithm 4 + Section 2.3).
+
+This is the paper's contribution in one class:
+
+* **Weighted updates in amortized O(1)** — when the table is full, all
+  counters are decremented by ``c*``, a sampled quantile of the live
+  counter values (Algorithm 4).  With the default median policy at least
+  ~half the counters are freed per pass w.h.p., so passes occur at most
+  once every Ω(k) updates (Theorem 3) while the error guarantee
+  ``0 <= f_i - f̂_i <= N^res(j)/(k/c - j)`` holds w.h.p. (Theorem 4).
+* **Hybrid MG/SS estimator (Section 2.3.1)** — an ``offset`` accumulates
+  every ``c*``; tracked items report ``c(i) + offset`` (SS-style, often
+  exactly correct for genuinely frequent items), untracked items report 0
+  (MG-style, exactly correct for absent items).  Deterministic bounds:
+  ``c(i) <= f_i <= c(i) + offset``.
+* **Compact storage (Section 2.3.3)** — counters live in a linear-probing
+  table of parallel arrays with in-place backward-shift deletion
+  (``backend="probing"``); a builtin-dict backend is provided because
+  CPython's dict is itself a C-coded open-addressing table and is the
+  pragmatic fast path in pure Python (ablation benchmark included).
+* **O(k) merging (Algorithm 5, Section 3.2)** — the other summary's
+  counters are replayed through ``update`` in random order; offsets and
+  stream weights add.  Error after any aggregation tree obeys
+  ``f_i - f̂_i <= (N - C)/k*`` (Theorem 5).
+
+>>> sketch = FrequentItemsSketch(64, seed=1)
+>>> for item, weight in [(7, 100.0), (8, 50.0), (7, 25.0)]:
+...     sketch.update(item, weight)
+>>> sketch.estimate(7)
+125.0
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.core.policies import DecrementPolicy, SampleQuantilePolicy
+from repro.core.row import ErrorType, HeavyHitterRow
+from repro.errors import (
+    IncompatibleSketchError,
+    InvalidParameterError,
+    InvalidUpdateError,
+)
+from repro.metrics.instrumentation import OpStats
+from repro.prng import Xoroshiro128PlusPlus
+from repro.table import make_store
+from repro.types import ItemId, StreamUpdate, Weight
+
+
+class FrequentItemsSketch:
+    """Approximate frequencies and heavy hitters over weighted streams.
+
+    Parameters
+    ----------
+    max_counters:
+        The paper's ``k`` — the number of counters maintained.  Larger is
+        more accurate and (beyond a point) faster per update, at linearly
+        more space.  Must be at least 2.
+    policy:
+        The ``DecrementCounters()`` strategy.  Defaults to the paper's
+        recommended SMED configuration (sample median, ℓ = 1024).
+    backend:
+        ``"probing"`` (default) for the faithful Section 2.3.3 layout, or
+        ``"dict"`` for the CPython-pragmatic fast path.
+    seed:
+        Controls counter sampling, quickselect pivots, the merge
+        iteration order, and the table's hash — two sketches built with
+        the same seed and inputs are identical.
+    """
+
+    __slots__ = (
+        "_k",
+        "_policy",
+        "_backend",
+        "_seed",
+        "_store",
+        "_rng",
+        "_offset",
+        "_stream_weight",
+        "stats",
+    )
+
+    def __init__(
+        self,
+        max_counters: int,
+        policy: Optional[DecrementPolicy] = None,
+        backend: str = "probing",
+        seed: int = 0,
+    ) -> None:
+        if max_counters < 2:
+            raise InvalidParameterError(
+                f"max_counters must be at least 2, got {max_counters}"
+            )
+        self._k = max_counters
+        self._policy = policy if policy is not None else SampleQuantilePolicy()
+        self._backend = backend
+        self._seed = seed
+        self._store = make_store(backend, max_counters, seed=seed)
+        self._rng = Xoroshiro128PlusPlus(seed ^ 0x5EED_0F_5EED)
+        self._offset = 0.0
+        self._stream_weight = 0.0
+        self.stats = OpStats()
+
+    # -- configuration introspection ------------------------------------------
+
+    @property
+    def max_counters(self) -> int:
+        """The configured number of counters ``k``."""
+        return self._k
+
+    @property
+    def policy(self) -> DecrementPolicy:
+        """The active decrement policy."""
+        return self._policy
+
+    @property
+    def backend(self) -> str:
+        """The counter-store backend name."""
+        return self._backend
+
+    @property
+    def seed(self) -> int:
+        """The seed this sketch was constructed with."""
+        return self._seed
+
+    # -- state introspection ---------------------------------------------------
+
+    @property
+    def num_active(self) -> int:
+        """Number of items currently assigned counters."""
+        return len(self._store)
+
+    @property
+    def stream_weight(self) -> float:
+        """Total weight ``N`` processed (including merged-in sketches)."""
+        return self._stream_weight
+
+    @property
+    def maximum_error(self) -> float:
+        """The accumulated offset: a bound on ``f_i - lower_bound(i)``.
+
+        This is the sum of all decrement values ``c*`` so far; every
+        estimate's uncertainty interval has exactly this width.
+        """
+        return self._offset
+
+    def is_empty(self) -> bool:
+        """True if the sketch has processed no weight."""
+        return self._stream_weight == 0.0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, item: ItemId) -> bool:
+        return self._store.get(item) is not None
+
+    # -- updates ---------------------------------------------------------------
+
+    def update(self, item: ItemId, weight: Weight = 1.0) -> None:
+        """Process one weighted stream update ``(item, weight)``.
+
+        Amortized O(1): the only non-constant step is a decrement pass,
+        which frees a constant fraction of the ``k`` counters and so can
+        recur at most once every Ω(k) updates (Theorem 3).
+        """
+        if weight <= 0:
+            raise InvalidUpdateError(
+                f"update weights must be positive, got {weight} for item {item}"
+            )
+        self._stream_weight += weight
+        self._ingest(item, weight)
+
+    def update_all(self, updates: Iterable[StreamUpdate]) -> None:
+        """Consume an iterable of updates (items, pairs, or StreamUpdates)."""
+        for item, weight in updates:
+            self.update(item, weight)
+
+    def _ingest(self, item: ItemId, weight: float) -> None:
+        """Counter logic shared by :meth:`update` and :meth:`merge`.
+
+        Does *not* touch ``_stream_weight`` — merging must account for
+        the other summary's true stream weight, not its counter sum.
+        """
+        stats = self.stats
+        stats.updates += 1
+        store = self._store
+        if store.add_to(item, weight):
+            stats.hits += 1
+            return
+        if len(store) < self._k:
+            store.insert(item, weight)
+            stats.inserts += 1
+            return
+        # Table full: DecrementCounters() (Algorithm 4, lines 15-21).
+        c_star = self._policy.decrement_value(store, self._rng)
+        scanned = len(store)
+        freed = store.decrement_and_purge(c_star)
+        self._offset += c_star
+        stats.decrements += 1
+        stats.counters_scanned += scanned
+        stats.counters_freed += freed
+        if weight > c_star:
+            store.insert(item, weight - c_star)
+            stats.inserts += 1
+
+    # -- point queries ----------------------------------------------------------
+
+    def estimate(self, item: ItemId) -> float:
+        """The hybrid point estimate of Section 2.3.1.
+
+        ``c(i) + offset`` when the item holds a counter (SS-like), else 0
+        (MG-like).  Always within ``[lower_bound, upper_bound]``.
+        """
+        count = self._store.get(item)
+        if count is None:
+            return 0.0
+        return count + self._offset
+
+    def lower_bound(self, item: ItemId) -> float:
+        """A value guaranteed ``<= f(item)``: the raw MG counter."""
+        count = self._store.get(item)
+        return 0.0 if count is None else count
+
+    def upper_bound(self, item: ItemId) -> float:
+        """A value guaranteed ``>= f(item)``: counter plus total offset."""
+        count = self._store.get(item)
+        return self._offset if count is None else count + self._offset
+
+    # -- heavy hitters ------------------------------------------------------------
+
+    def row(self, item: ItemId) -> HeavyHitterRow:
+        """The full (estimate, bounds) record for one item."""
+        return HeavyHitterRow(
+            item, self.estimate(item), self.lower_bound(item), self.upper_bound(item)
+        )
+
+    def frequent_items(
+        self,
+        error_type: ErrorType = ErrorType.NO_FALSE_POSITIVES,
+        threshold: Optional[float] = None,
+    ) -> list[HeavyHitterRow]:
+        """Items whose frequency (may) exceed ``threshold``, sorted by estimate.
+
+        With ``NO_FALSE_POSITIVES`` an item is reported only if its lower
+        bound clears the threshold — everything reported truly qualifies.
+        With ``NO_FALSE_NEGATIVES`` the upper bound is compared — every
+        true heavy hitter is reported, possibly with a few borderline
+        extras.  The default threshold is :attr:`maximum_error`, the
+        tightest level at which the reports are meaningful.
+        """
+        if threshold is None:
+            threshold = self._offset
+        if threshold < 0:
+            raise InvalidParameterError(f"threshold must be >= 0, got {threshold}")
+        rows = []
+        offset = self._offset
+        for item, count in self._store.items():
+            lower = count
+            upper = count + offset
+            qualifies = (
+                lower >= threshold
+                if error_type is ErrorType.NO_FALSE_POSITIVES
+                else upper >= threshold
+            )
+            if qualifies:
+                rows.append(HeavyHitterRow(item, upper, lower, upper))
+        rows.sort(key=lambda r: (-r.estimate, r.item))
+        return rows
+
+    def heavy_hitters(
+        self,
+        phi: float,
+        error_type: ErrorType = ErrorType.NO_FALSE_NEGATIVES,
+    ) -> list[HeavyHitterRow]:
+        """(φ)-heavy hitters: items with ``f_i >= phi * N`` (Section 1.2).
+
+        The default error direction guarantees every true φ-heavy hitter
+        is returned, with false positives limited to items of frequency
+        at least ``phi*N - maximum_error``.
+        """
+        if not 0.0 < phi <= 1.0:
+            raise InvalidParameterError(f"phi must be in (0, 1], got {phi}")
+        return self.frequent_items(error_type, phi * self._stream_weight)
+
+    def to_rows(self) -> list[HeavyHitterRow]:
+        """All tracked items as rows, sorted by estimate descending."""
+        offset = self._offset
+        rows = [
+            HeavyHitterRow(item, count + offset, count, count + offset)
+            for item, count in self._store.items()
+        ]
+        rows.sort(key=lambda r: (-r.estimate, r.item))
+        return rows
+
+    def __iter__(self) -> Iterator[HeavyHitterRow]:
+        return iter(self.to_rows())
+
+    # -- merging -------------------------------------------------------------------
+
+    def merge(self, other: "FrequentItemsSketch") -> "FrequentItemsSketch":
+        """Algorithm 5: absorb ``other`` into this sketch; returns self.
+
+        The other summary's counters are replayed through the update path
+        in *random order* — the Section 3.2 note: iterating a hash table
+        front-to-back into another table (possibly sharing the hash
+        function) would overpopulate the front of this sketch's table.
+        Offsets add (each summary's accumulated error carries over) and
+        stream weights add.  ``other`` is not modified.
+
+        Runs in O(k) time, O(min(k, k'))-amortized when many small
+        summaries are merged in, and allocates nothing beyond the
+        iteration order.
+        """
+        if other is self:
+            raise IncompatibleSketchError("cannot merge a sketch into itself")
+        entries = list(other._store.items())
+        if len(entries) > 1:
+            # Deterministic random order, seeded from this sketch's PRNG
+            # (numpy's permutation is C-coded; a pure-Python shuffle would
+            # dominate the merge cost at large k).
+            import numpy as np
+
+            order = np.random.Generator(
+                np.random.PCG64(self._rng.next_u64())
+            ).permutation(len(entries))
+            entries = [entries[index] for index in order]
+        from repro.table.dictstore import DictCounterStore
+
+        if isinstance(self._store, DictCounterStore):
+            self._merge_entries_dict_fast(entries)
+        else:
+            for item, count in entries:
+                self._ingest(item, count)
+        self._offset += other._offset
+        self._stream_weight += other._stream_weight
+        return self
+
+    def _merge_entries_dict_fast(self, entries: list[tuple[ItemId, float]]) -> None:
+        """Inlined Algorithm 5 ingest loop for the dict backend.
+
+        Semantically identical to calling :meth:`_ingest` per entry (the
+        tests assert so); inlining removes the per-counter Python call
+        frames that would otherwise dominate merge cost at large k.
+        """
+        store = self._store
+        counts = store._counts
+        k = self._k
+        stats = self.stats
+        hits = 0
+        inserts = 0
+        for item, count in entries:
+            current = counts.get(item)
+            if current is not None:
+                counts[item] = current + count
+                hits += 1
+                continue
+            if len(counts) < k:
+                counts[item] = count
+                inserts += 1
+                continue
+            c_star = self._policy.decrement_value(store, self._rng)
+            stats.decrements += 1
+            stats.counters_scanned += len(counts)
+            survivors = {
+                key: value - c_star
+                for key, value in counts.items()
+                if value > c_star
+            }
+            stats.counters_freed += len(counts) - len(survivors)
+            counts = store._counts = survivors
+            self._offset += c_star
+            if count > c_star:
+                counts[item] = count - c_star
+                inserts += 1
+        stats.updates += len(entries)
+        stats.hits += hits
+        stats.inserts += inserts
+
+    def copy(self) -> "FrequentItemsSketch":
+        """An independent deep copy (same configuration and contents)."""
+        dup = FrequentItemsSketch(
+            self._k, policy=self._policy, backend=self._backend, seed=self._seed
+        )
+        for item, count in self._store.items():
+            dup._store.insert(item, count)
+        dup._offset = self._offset
+        dup._stream_weight = self._stream_weight
+        dup._rng.setstate(self._rng.getstate())
+        dup.stats = OpStats(**self.stats.as_dict())
+        return dup
+
+    # -- accounting ------------------------------------------------------------------
+
+    def space_bytes(self) -> int:
+        """Modeled memory footprint (Section 2.3.3: ~24k bytes)."""
+        return self._store.space_bytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FrequentItemsSketch(k={self._k}, policy={self._policy.describe()}, "
+            f"backend={self._backend!r}, active={len(self._store)}, "
+            f"N={self._stream_weight:g}, offset={self._offset:g})"
+        )
+
+    # -- serialization hooks (implemented in repro.core.serialize) --------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the compact binary format (see repro.core.serialize)."""
+        from repro.core.serialize import sketch_to_bytes
+
+        return sketch_to_bytes(self)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "FrequentItemsSketch":
+        """Reconstruct a sketch serialized with :meth:`to_bytes`."""
+        from repro.core.serialize import sketch_from_bytes
+
+        return sketch_from_bytes(blob)

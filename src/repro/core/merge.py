@@ -1,0 +1,56 @@
+"""Aggregation-tree merging helpers (Section 3).
+
+Algorithm 5 itself is :meth:`FrequentItemsSketch.merge`; these helpers
+exercise the property prior work lacked — that summaries may be combined
+via an *arbitrary* aggregation tree without compounding error — and give
+the two canonical shapes: a left-deep linear fold (merging many
+summaries "into" one, e.g. a query-time scatter-gather) and a balanced
+pairwise tree (a distributed reduction).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.frequent_items import FrequentItemsSketch
+from repro.errors import InvalidParameterError
+
+
+def merge_linear(sketches: Sequence[FrequentItemsSketch]) -> FrequentItemsSketch:
+    """Fold every sketch into the first, left to right; returns it.
+
+    The shape used when millions of per-hour summaries are merged at
+    query time (the Section 3 motivating example).  The inputs after the
+    first are not modified.
+    """
+    if not sketches:
+        raise InvalidParameterError("need at least one sketch to merge")
+    result = sketches[0]
+    for other in sketches[1:]:
+        result.merge(other)
+    return result
+
+
+def merge_pairwise_tree(
+    sketches: Sequence[FrequentItemsSketch],
+) -> FrequentItemsSketch:
+    """Merge by repeatedly pairing neighbours — a balanced binary tree.
+
+    This is the aggregation pattern of a distributed reduction; Theorem 5
+    guarantees the same error bound as the linear fold because the bound
+    depends only on total weight and surviving counter mass, not the tree
+    shape (the tests verify this equivalence empirically).  Sketches in
+    even positions absorb their right neighbours and are reused as the
+    next round's inputs.
+    """
+    if not sketches:
+        raise InvalidParameterError("need at least one sketch to merge")
+    layer = list(sketches)
+    while len(layer) > 1:
+        next_layer = []
+        for index in range(0, len(layer) - 1, 2):
+            next_layer.append(layer[index].merge(layer[index + 1]))
+        if len(layer) % 2 == 1:
+            next_layer.append(layer[-1])
+        layer = next_layer
+    return layer[0]

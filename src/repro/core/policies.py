@@ -1,0 +1,145 @@
+"""``DecrementCounters()`` strategies.
+
+The single design axis separating the paper's algorithms is *what value
+gets subtracted from every counter* when the table is full:
+
+=====================  =======================================  ==========
+Policy                 Decrement value ``c*``                   Algorithm
+=====================  =======================================  ==========
+SampleQuantilePolicy   quantile of ``ell`` sampled counters      Alg. 4
+(q = 0.5)              sample median                             SMED
+(q = 0.0)              sample minimum                            SMIN
+(other q)              the Figure-3 tradeoff sweep               Sec. 4.4
+ExactKthLargestPolicy  exact k*-th largest counter               Alg. 3 MED
+GlobalMinPolicy        exact minimum counter                     cf. RBMC
+=====================  =======================================  ==========
+
+A larger ``c*`` frees more counters per pass (fewer, cheaper-amortized
+decrements — speed) but adds more error per pass; Section 4.4 maps this
+tradeoff empirically.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import InvalidParameterError
+from repro.prng import Xoroshiro128PlusPlus
+from repro.selection.quickselect import kth_largest
+from repro.selection.sampling import DEFAULT_SAMPLE_SIZE, sample_quantile
+from repro.table.base import CounterStore
+
+
+class DecrementPolicy(ABC):
+    """Chooses the decrement value ``c*`` from the live counter multiset."""
+
+    @abstractmethod
+    def decrement_value(self, store: CounterStore, rng: Xoroshiro128PlusPlus) -> float:
+        """Return ``c* > 0`` given the current (full) counter store."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Short human-readable label used by benchmark reports."""
+
+
+class SampleQuantilePolicy(DecrementPolicy):
+    """Algorithm 4: decrement by a quantile of a random counter sample.
+
+    ``quantile = 0.5`` reproduces SMED, ``0.0`` SMIN; any value in
+    ``[0, 1]`` reproduces a point on the Section 4.4 tradeoff curve.
+    ``sample_size`` defaults to the paper's ℓ = 1024 (Section 2.3.2).
+    When the table holds no more counters than ``sample_size`` the whole
+    multiset is used, making the quantile exact.
+    """
+
+    __slots__ = ("quantile", "sample_size", "selector")
+
+    def __init__(
+        self,
+        quantile: float = 0.5,
+        sample_size: int = DEFAULT_SAMPLE_SIZE,
+        selector: str = "auto",
+    ) -> None:
+        if not 0.0 <= quantile <= 1.0:
+            raise InvalidParameterError(f"quantile must be in [0, 1], got {quantile}")
+        if sample_size <= 0:
+            raise InvalidParameterError(
+                f"sample_size must be positive, got {sample_size}"
+            )
+        if selector not in ("auto", "quickselect"):
+            raise InvalidParameterError(f"unknown selector {selector!r}")
+        self.quantile = quantile
+        self.sample_size = sample_size
+        #: How the sample order statistic is computed; see
+        #: :func:`repro.selection.sampling.sample_quantile`.
+        self.selector = selector
+
+    def decrement_value(self, store: CounterStore, rng: Xoroshiro128PlusPlus) -> float:
+        if len(store) <= self.sample_size:
+            sample = store.values_list()
+        else:
+            sample = store.sample_values(self.sample_size, rng)
+        return sample_quantile(sample, self.quantile, rng, self.selector)
+
+    def describe(self) -> str:
+        if self.quantile == 0.5:
+            return f"SMED(ell={self.sample_size})"
+        if self.quantile == 0.0:
+            return f"SMIN(ell={self.sample_size})"
+        return f"SQ{int(round(self.quantile * 100))}(ell={self.sample_size})"
+
+
+class ExactKthLargestPolicy(DecrementPolicy):
+    """Algorithm 3 (MED): decrement by the exact k*-th largest counter.
+
+    ``fraction`` positions k* relative to the table size; the paper's
+    exposition uses k* = k/2 (``fraction = 0.5``).  Requires copying the
+    counter values out of the table for quickselect — the extra k words
+    of scratch space Section 2.2 calls out as the initial proposal's
+    disadvantage, which our space model charges it for.
+    """
+
+    __slots__ = ("fraction",)
+
+    def __init__(self, fraction: float = 0.5) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise InvalidParameterError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = fraction
+
+    def decrement_value(self, store: CounterStore, rng: Xoroshiro128PlusPlus) -> float:
+        values = store.values_list()
+        k_star = max(1, int(self.fraction * len(values)))
+        return kth_largest(values, k_star, rng)
+
+    def describe(self) -> str:
+        return f"MED(k*={self.fraction:g}k)"
+
+
+class GlobalMinPolicy(DecrementPolicy):
+    """Decrement by the exact global minimum counter.
+
+    This is the most accurate / slowest extreme: with this policy each
+    decrement pass frees only the minimum-valued counters, so passes can
+    recur on nearly every update (the RBMC pathology of Section 1.3.4).
+    Provided for ablations; the RBMC *baseline* (which additionally caps
+    the decrement at the update weight ``min(delta, c_min)``) lives in
+    :mod:`repro.baselines.rbmc`.
+    """
+
+    __slots__ = ()
+
+    def decrement_value(self, store: CounterStore, rng: Xoroshiro128PlusPlus) -> float:
+        return min(store.values_list())
+
+    def describe(self) -> str:
+        return "GMIN"
+
+
+def smed_policy(sample_size: int = DEFAULT_SAMPLE_SIZE) -> SampleQuantilePolicy:
+    """The paper's recommended configuration: sample median, ℓ = 1024."""
+    return SampleQuantilePolicy(0.5, sample_size)
+
+
+def smin_policy(sample_size: int = DEFAULT_SAMPLE_SIZE) -> SampleQuantilePolicy:
+    """The accuracy-leaning variant: sample minimum, ℓ = 1024."""
+    return SampleQuantilePolicy(0.0, sample_size)

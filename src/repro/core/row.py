@@ -1,0 +1,36 @@
+"""Result records and error-direction selectors for heavy-hitter queries."""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+from repro.types import ItemId
+
+
+class ErrorType(enum.Enum):
+    """Which side a heavy-hitter report may err on.
+
+    A counter-based summary brackets each frequency between a lower and an
+    upper bound, so a threshold query can be answered two ways:
+
+    * ``NO_FALSE_POSITIVES`` — report items whose *lower* bound clears the
+      threshold.  Everything reported truly qualifies, but a borderline
+      heavy hitter may be missed.
+    * ``NO_FALSE_NEGATIVES`` — report items whose *upper* bound clears the
+      threshold.  Every true heavy hitter is reported (this is the
+      (φ, ε)-guarantee of Section 1.2), at the cost of possible false
+      positives whose frequency is slightly below the threshold.
+    """
+
+    NO_FALSE_POSITIVES = "no_false_positives"
+    NO_FALSE_NEGATIVES = "no_false_negatives"
+
+
+class HeavyHitterRow(NamedTuple):
+    """One reported item with its estimate and deterministic bracket."""
+
+    item: ItemId
+    estimate: float
+    lower_bound: float
+    upper_bound: float

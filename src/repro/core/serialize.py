@@ -1,0 +1,133 @@
+"""Compact binary serialization of :class:`FrequentItemsSketch`.
+
+Real deployments (the Section 3 scenarios) persist summaries and merge
+them later, often on different machines, so a stable wire format is part
+of making the sketch production-usable.  The format is little-endian and
+versioned:
+
+===========  =====  ====================================================
+field        bytes  meaning
+===========  =====  ====================================================
+magic        4      ``b"RFI1"``
+k            4      uint32 ``max_counters``
+backend      1      0 = probing, 1 = dict
+policy kind  1      0 = sample-quantile, 1 = exact-kth, 2 = global-min
+policy p     8      float64 quantile / fraction (0 for global-min)
+sample size  4      uint32 ℓ (0 when not applicable)
+seed         8      uint64 construction seed (masked)
+offset       8      float64 accumulated decrement offset
+weight       8      float64 stream weight N
+count        4      uint32 number of live counters
+records      16×n   ``(uint64 item, float64 count)`` pairs
+===========  =====  ====================================================
+
+Deserialization reconstructs an operational sketch: it can keep
+receiving updates and merging.  The PRNG restarts from the stored seed
+(sampling decisions after a round trip may differ from the un-serialized
+original's future, but the summary state — counters, offset, weight — is
+preserved exactly, which is what the error guarantees depend on).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.frequent_items import FrequentItemsSketch
+from repro.core.policies import (
+    ExactKthLargestPolicy,
+    GlobalMinPolicy,
+    SampleQuantilePolicy,
+)
+from repro.errors import SerializationError
+
+_MAGIC = b"RFI1"
+_HEADER = struct.Struct("<4sIBBdIQddI")
+_RECORD = struct.Struct("<Qd")
+
+_BACKEND_CODES = {"probing": 0, "dict": 1, "robinhood": 2}
+_BACKEND_NAMES = {code: name for name, code in _BACKEND_CODES.items()}
+
+
+def _encode_policy(policy) -> tuple[int, float, int]:
+    if isinstance(policy, SampleQuantilePolicy):
+        return 0, policy.quantile, policy.sample_size
+    if isinstance(policy, ExactKthLargestPolicy):
+        return 1, policy.fraction, 0
+    if isinstance(policy, GlobalMinPolicy):
+        return 2, 0.0, 0
+    raise SerializationError(
+        f"cannot serialize custom decrement policy {type(policy).__name__}"
+    )
+
+
+def _decode_policy(kind: int, param: float, sample_size: int):
+    if kind == 0:
+        return SampleQuantilePolicy(param, sample_size)
+    if kind == 1:
+        return ExactKthLargestPolicy(param)
+    if kind == 2:
+        return GlobalMinPolicy()
+    raise SerializationError(f"unknown policy kind {kind}")
+
+
+def sketch_to_bytes(sketch: FrequentItemsSketch) -> bytes:
+    """Serialize ``sketch`` to the versioned binary format."""
+    backend_code = _BACKEND_CODES.get(sketch.backend)
+    if backend_code is None:
+        raise SerializationError(f"unknown backend {sketch.backend!r}")
+    kind, param, sample_size = _encode_policy(sketch.policy)
+    counters = list(sketch._store.items())
+    header = _HEADER.pack(
+        _MAGIC,
+        sketch.max_counters,
+        backend_code,
+        kind,
+        param,
+        sample_size,
+        sketch.seed & ((1 << 64) - 1),
+        sketch.maximum_error,
+        sketch.stream_weight,
+        len(counters),
+    )
+    body = b"".join(_RECORD.pack(item, count) for item, count in counters)
+    return header + body
+
+
+def sketch_from_bytes(blob: bytes) -> FrequentItemsSketch:
+    """Reconstruct a sketch from :func:`sketch_to_bytes` output."""
+    if len(blob) < _HEADER.size:
+        raise SerializationError(
+            f"blob too short for header: {len(blob)} < {_HEADER.size}"
+        )
+    (
+        magic,
+        k,
+        backend_code,
+        kind,
+        param,
+        sample_size,
+        seed,
+        offset,
+        weight,
+        count,
+    ) = _HEADER.unpack_from(blob, 0)
+    if magic != _MAGIC:
+        raise SerializationError(f"bad magic {magic!r}")
+    backend = _BACKEND_NAMES.get(backend_code)
+    if backend is None:
+        raise SerializationError(f"unknown backend code {backend_code}")
+    expected = _HEADER.size + count * _RECORD.size
+    if len(blob) != expected:
+        raise SerializationError(
+            f"blob length {len(blob)} does not match header (expected {expected})"
+        )
+    policy = _decode_policy(kind, param, sample_size)
+    sketch = FrequentItemsSketch(k, policy=policy, backend=backend, seed=seed)
+    position = _HEADER.size
+    for _ in range(count):
+        item, value = _RECORD.unpack_from(blob, position)
+        position += _RECORD.size
+        sketch._store.insert(item, value)
+    sketch._offset = offset
+    sketch._stream_weight = weight
+    return sketch

@@ -1,0 +1,42 @@
+"""Exception types raised by the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything this package raises with a single ``except`` clause while
+still letting genuine programming errors (``TypeError`` and friends)
+propagate untouched.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A constructor or method argument is outside its documented domain.
+
+    Raised, for example, for a non-positive number of counters, a decrement
+    quantile outside ``[0, 1]``, or a non-positive stream weight.
+    """
+
+
+class InvalidUpdateError(ReproError, ValueError):
+    """A stream update is malformed (e.g. a non-positive weight)."""
+
+
+class TableFullError(ReproError, RuntimeError):
+    """An insert was attempted on a counter table that is at capacity.
+
+    The counter-based algorithms in this library never trigger this error
+    themselves: they purge before inserting.  Seeing it indicates misuse of
+    the low-level table API.
+    """
+
+
+class SerializationError(ReproError, ValueError):
+    """A byte blob could not be decoded into a sketch."""
+
+
+class IncompatibleSketchError(ReproError, ValueError):
+    """Two sketches cannot be merged (e.g. mismatched item encodings)."""

@@ -1,0 +1,37 @@
+"""Extensions the paper sketches or names as future work.
+
+* :class:`SampledFrequentItems` — the Section 5 adaptation of
+  Bhattacharyya et al.'s sampling algorithm to weighted streams via
+  geometric skipping, layered over our optimized sketch.
+* :class:`RandomAdmissionSpaceSaving` — the Section 5 description of
+  Sivaraman et al.'s proposal (sample ℓ counters, take over the sampled
+  minimum), the HashPipe-style constant-memory-access variant.
+* :class:`HierarchicalHeavyHitters` — the Section 6 future-work item:
+  hierarchical heavy hitters over IP prefixes with our sketch as the
+  per-level subroutine (after Mitzenmacher-Steinke-Thaler).
+* :class:`StreamingEntropy` — the other Section 6 item: empirical
+  entropy estimation driven by the heavy-hitter summary (with a
+  from-scratch HyperLogLog supplying the distinct count the residual
+  term needs).
+* :class:`TwoSidedSketch` — the Section 1.3 note: handling deletions by
+  running one summary on positive and one on negative updates.
+"""
+
+from repro.extensions.hierarchical import HierarchicalHeavyHitters, HHHNode
+from repro.extensions.hyperloglog import HyperLogLog
+from repro.extensions.entropy import StreamingEntropy
+from repro.extensions.rap import RandomAdmissionSpaceSaving
+from repro.extensions.sampled_mg import SampledFrequentItems
+from repro.extensions.turnstile import TwoSidedSketch
+from repro.extensions.windowed import SlidingWindowHeavyHitters
+
+__all__ = [
+    "SampledFrequentItems",
+    "RandomAdmissionSpaceSaving",
+    "HierarchicalHeavyHitters",
+    "HHHNode",
+    "StreamingEntropy",
+    "HyperLogLog",
+    "TwoSidedSketch",
+    "SlidingWindowHeavyHitters",
+]

@@ -1,0 +1,89 @@
+"""HyperLogLog distinct counting (Flajolet et al. 2007), from scratch.
+
+The entropy extension needs an estimate of the number of distinct items
+to apportion the residual (non-heavy) probability mass; HyperLogLog
+supplies it in O(2^precision) bytes.  Standard estimator with the small-
+range (linear counting) correction; hashing via our own 64-bit mixer.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import InvalidParameterError
+from repro.hashing.mixers import hash_u64, item_to_u64
+
+
+class HyperLogLog:
+    """Distinct-count estimator over 64-bit-hashable items."""
+
+    __slots__ = ("_p", "_m", "_registers", "_seed", "_alpha")
+
+    def __init__(self, precision: int = 12, seed: int = 0) -> None:
+        if not 4 <= precision <= 18:
+            raise InvalidParameterError(
+                f"precision must be in [4, 18], got {precision}"
+            )
+        self._p = precision
+        self._m = 1 << precision
+        self._registers = bytearray(self._m)
+        self._seed = seed
+        if self._m >= 128:
+            self._alpha = 0.7213 / (1.0 + 1.079 / self._m)
+        elif self._m == 64:
+            self._alpha = 0.709
+        elif self._m == 32:
+            self._alpha = 0.697
+        else:
+            self._alpha = 0.673
+
+    @property
+    def precision(self) -> int:
+        """The register-count exponent ``p`` (``m = 2^p`` registers)."""
+        return self._p
+
+    def add(self, item: object) -> None:
+        """Observe one item (duplicates do not change the estimate's target)."""
+        digest = hash_u64(item_to_u64(item), self._seed)
+        index = digest >> (64 - self._p)
+        remainder = digest << self._p & ((1 << 64) - 1)
+        # Rank: position of the leftmost 1 in the remaining bits, 1-based;
+        # a zero remainder gets the maximum rank.
+        if remainder == 0:
+            rank = 64 - self._p + 1
+        else:
+            rank = 65 - remainder.bit_length()
+        if rank > self._registers[index]:
+            self._registers[index] = rank
+
+    def estimate(self) -> float:
+        """The HLL cardinality estimate with small-range correction."""
+        m = self._m
+        inverse_sum = 0.0
+        zeros = 0
+        for register in self._registers:
+            inverse_sum += 2.0 ** (-register)
+            if register == 0:
+                zeros += 1
+        raw = self._alpha * m * m / inverse_sum
+        if raw <= 2.5 * m and zeros:
+            # Linear counting for small cardinalities.
+            return m * math.log(m / zeros)
+        return raw
+
+    def merge(self, other: "HyperLogLog") -> "HyperLogLog":
+        """Register-wise maximum; requires equal precision and seed."""
+        if self._p != other._p or self._seed != other._seed:
+            raise InvalidParameterError(
+                "can only merge HyperLogLogs with equal precision and seed"
+            )
+        mine = self._registers
+        theirs = other._registers
+        for index in range(self._m):
+            if theirs[index] > mine[index]:
+                mine[index] = theirs[index]
+        return self
+
+    def space_bytes(self) -> int:
+        """One byte per register."""
+        return self._m

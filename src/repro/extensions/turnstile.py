@@ -1,0 +1,126 @@
+"""Deletions via paired summaries (the Section 1.3 note).
+
+Counter-based algorithms cannot process negative updates directly, but
+the paper observes that in the strict turnstile model one can run one
+instance on the positive updates and another on the magnitudes of the
+negative updates; the difference of the two estimates has error at most
+the *sum* of the two instances' errors (triangle inequality) — i.e.
+proportional to ``sum |delta_j|`` instead of ``N``.  Suitable whenever
+deletions are a modest fraction of traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.frequent_items import FrequentItemsSketch
+from repro.core.policies import DecrementPolicy
+from repro.core.row import HeavyHitterRow
+from repro.errors import InvalidParameterError, InvalidUpdateError
+from repro.types import ItemId
+
+
+class TwoSidedSketch:
+    """Strict-turnstile point queries from two one-sided sketches."""
+
+    __slots__ = ("_positive", "_negative")
+
+    def __init__(
+        self,
+        max_counters: int,
+        policy: Optional[DecrementPolicy] = None,
+        backend: str = "dict",
+        seed: int = 0,
+    ) -> None:
+        self._positive = FrequentItemsSketch(
+            max_counters, policy=policy, backend=backend, seed=seed
+        )
+        self._negative = FrequentItemsSketch(
+            max_counters, policy=policy, backend=backend, seed=seed ^ 0x0FF5E7
+        )
+
+    @property
+    def positive(self) -> FrequentItemsSketch:
+        """The summary of the insertions."""
+        return self._positive
+
+    @property
+    def negative(self) -> FrequentItemsSketch:
+        """The summary of the deletion magnitudes."""
+        return self._negative
+
+    @property
+    def gross_weight(self) -> float:
+        """``sum |delta_j|`` — the error scale of this construction."""
+        return self._positive.stream_weight + self._negative.stream_weight
+
+    @property
+    def net_weight(self) -> float:
+        """``N = sum delta_j`` (assumed non-negative per strict turnstile)."""
+        return self._positive.stream_weight - self._negative.stream_weight
+
+    def update(self, item: ItemId, weight: float) -> None:
+        """Process a signed update; ``weight`` may be negative, not zero."""
+        if weight > 0:
+            self._positive.update(item, weight)
+        elif weight < 0:
+            self._negative.update(item, -weight)
+        else:
+            raise InvalidUpdateError(f"zero-weight update for item {item}")
+
+    def estimate(self, item: ItemId) -> float:
+        """Difference of the two estimates, floored at zero.
+
+        In the strict turnstile model every true frequency is
+        non-negative, so clamping can only help.
+        """
+        return max(
+            0.0, self._positive.estimate(item) - self._negative.estimate(item)
+        )
+
+    def lower_bound(self, item: ItemId) -> float:
+        """``lb+ - ub-``, floored at zero."""
+        return max(
+            0.0,
+            self._positive.lower_bound(item) - self._negative.upper_bound(item),
+        )
+
+    def upper_bound(self, item: ItemId) -> float:
+        """``ub+ - lb-`` (never below the lower bound)."""
+        return max(
+            self.lower_bound(item),
+            self._positive.upper_bound(item) - self._negative.lower_bound(item),
+        )
+
+    def heavy_hitters(self, phi: float) -> list[HeavyHitterRow]:
+        """Items whose net frequency may reach ``phi * net_weight``.
+
+        Scans the union of both instances' tracked items with upper-bound
+        qualification, so no true heavy hitter is missed.
+        """
+        if not 0.0 < phi <= 1.0:
+            raise InvalidParameterError(f"phi must be in (0, 1], got {phi}")
+        threshold = phi * self.net_weight
+        candidates = {row.item for row in self._positive.to_rows()}
+        candidates.update(row.item for row in self._negative.to_rows())
+        rows = []
+        for item in candidates:
+            upper = self.upper_bound(item)
+            if upper >= threshold:
+                rows.append(
+                    HeavyHitterRow(
+                        item, self.estimate(item), self.lower_bound(item), upper
+                    )
+                )
+        rows.sort(key=lambda r: (-r.estimate, r.item))
+        return rows
+
+    def merge(self, other: "TwoSidedSketch") -> "TwoSidedSketch":
+        """Merge side-wise (Algorithm 5 on each side); returns self."""
+        self._positive.merge(other._positive)
+        self._negative.merge(other._negative)
+        return self
+
+    def space_bytes(self) -> int:
+        """Both sides' footprints."""
+        return self._positive.space_bytes() + self._negative.space_bytes()

@@ -1,0 +1,144 @@
+"""Sliding-window heavy hitters built on cheap merging.
+
+The paper's Section 3 motivates mergeability with systems that keep one
+summary per time slice and combine slices at query time.  This module
+packages that pattern: a ring of per-bucket sketches; ``update`` feeds
+the current bucket, ``advance`` rotates it, and queries merge the live
+buckets with Algorithm 5 (cheap enough — O(k) per bucket — to run per
+query).  Expired buckets simply drop out, giving heavy hitters over the
+last ``window_buckets`` slices with the usual deterministic brackets.
+
+This is exactly the "separate summary for each 1-hour period" deployment
+of Section 3, in library form.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.frequent_items import FrequentItemsSketch
+from repro.core.policies import DecrementPolicy
+from repro.core.row import ErrorType, HeavyHitterRow
+from repro.errors import InvalidParameterError
+from repro.types import ItemId, Weight
+
+
+class SlidingWindowHeavyHitters:
+    """Heavy hitters over the most recent ``window_buckets`` time slices.
+
+    Parameters
+    ----------
+    max_counters:
+        Counters per bucket sketch (and for the merged query view).
+    window_buckets:
+        Number of slices the window spans.  One slice = whatever the
+        caller delimits with :meth:`advance` (a minute, an hour, 10k
+        packets, ...).
+    policy, backend, seed:
+        Forwarded to every bucket sketch; each bucket gets a distinct
+        derived seed, per the Section 3.2 guidance that summaries to be
+        merged should not share hash functions.
+    """
+
+    def __init__(
+        self,
+        max_counters: int,
+        window_buckets: int,
+        policy: Optional[DecrementPolicy] = None,
+        backend: str = "dict",
+        seed: int = 0,
+    ) -> None:
+        if window_buckets < 1:
+            raise InvalidParameterError(
+                f"window_buckets must be at least 1, got {window_buckets}"
+            )
+        self._k = max_counters
+        self._window = window_buckets
+        self._policy = policy
+        self._backend = backend
+        self._seed = seed
+        self._epoch = 0
+        #: Ring of (epoch, sketch); index = epoch % window.
+        self._buckets: list[Optional[tuple[int, FrequentItemsSketch]]] = (
+            [None] * window_buckets
+        )
+        self._buckets[0] = (0, self._new_sketch(0))
+
+    def _new_sketch(self, epoch: int) -> FrequentItemsSketch:
+        return FrequentItemsSketch(
+            self._k,
+            policy=self._policy,
+            backend=self._backend,
+            seed=self._seed + 0x9E37 * epoch,
+        )
+
+    @property
+    def epoch(self) -> int:
+        """Index of the current (open) time slice."""
+        return self._epoch
+
+    @property
+    def window_buckets(self) -> int:
+        """The configured window span, in slices."""
+        return self._window
+
+    def update(self, item: ItemId, weight: Weight = 1.0) -> None:
+        """Record one update in the current slice."""
+        slot = self._buckets[self._epoch % self._window]
+        assert slot is not None
+        slot[1].update(item, weight)
+
+    def advance(self) -> None:
+        """Close the current slice and open the next.
+
+        The bucket that falls out of the window is discarded wholesale —
+        no per-item decay bookkeeping, which is the point of the
+        one-summary-per-slice design.
+        """
+        self._epoch += 1
+        self._buckets[self._epoch % self._window] = (
+            self._epoch,
+            self._new_sketch(self._epoch),
+        )
+
+    def _live_sketches(self) -> list[FrequentItemsSketch]:
+        floor = self._epoch - self._window + 1
+        return [
+            sketch
+            for slot in self._buckets
+            if slot is not None
+            for epoch, sketch in [slot]
+            if epoch >= floor
+        ]
+
+    def window_sketch(self) -> FrequentItemsSketch:
+        """A fresh sketch summarizing the whole window (Algorithm 5 folds).
+
+        The returned sketch is independent of the ring: querying never
+        perturbs the per-slice summaries.
+        """
+        merged = self._new_sketch(-1)
+        for sketch in self._live_sketches():
+            merged.merge(sketch)
+        return merged
+
+    @property
+    def window_weight(self) -> float:
+        """Total weight inside the window."""
+        return sum(sketch.stream_weight for sketch in self._live_sketches())
+
+    def estimate(self, item: ItemId) -> float:
+        """Point estimate of the item's weight within the window."""
+        return self.window_sketch().estimate(item)
+
+    def heavy_hitters(
+        self,
+        phi: float,
+        error_type: ErrorType = ErrorType.NO_FALSE_NEGATIVES,
+    ) -> list[HeavyHitterRow]:
+        """φ-heavy hitters of the window."""
+        return self.window_sketch().heavy_hitters(phi, error_type)
+
+    def space_bytes(self) -> int:
+        """Footprint of the ring (excludes transient query merges)."""
+        return sum(sketch.space_bytes() for sketch in self._live_sketches())

@@ -1,0 +1,23 @@
+"""From-scratch hash functions used by every table and sketch.
+
+* :mod:`repro.hashing.mixers` — 64-bit finalizers (MurmurHash3's
+  ``fmix64``), seeded integer hashing, and mapping of arbitrary items
+  (ints, strings, bytes) onto the 64-bit identifier space the counter
+  tables operate on.
+* :mod:`repro.hashing.murmur` — MurmurHash3 x64/128 for byte strings.
+* :mod:`repro.hashing.families` — seeded multiply-shift hash families for
+  the CountMin / CountSketch baselines.
+"""
+
+from repro.hashing.families import MultiplyShiftFamily, SignHashFamily
+from repro.hashing.mixers import fmix64, hash_u64, item_to_u64
+from repro.hashing.murmur import murmur3_x64_128
+
+__all__ = [
+    "fmix64",
+    "hash_u64",
+    "item_to_u64",
+    "murmur3_x64_128",
+    "MultiplyShiftFamily",
+    "SignHashFamily",
+]

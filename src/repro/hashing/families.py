@@ -1,0 +1,88 @@
+"""Seeded hash families for the sketching baselines.
+
+CountMin and CountSketch (the "linear sketch" class that Cormode and
+Hadjieleftheriou compared counter-based algorithms against, cf. Section
+1.3 of the paper) need per-row hash functions.  We use multiply-shift
+hashing over the 64-bit integers — ``h_a,b(x) = ((a*x + b) mod 2^64) >> s``
+— which is universal enough for both sketches in practice, with the keys
+pre-mixed by ``fmix64`` to defeat structured inputs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidParameterError
+from repro.hashing.mixers import fmix64
+from repro.prng import SplitMix64
+
+_MASK64 = (1 << 64) - 1
+
+
+class MultiplyShiftFamily:
+    """``rows`` independent hash functions from 64-bit keys to ``[width)``.
+
+    ``width`` must be a power of two so the final reduction is a shift.
+    """
+
+    __slots__ = ("_rows", "_width", "_shift", "_a", "_b")
+
+    def __init__(self, rows: int, width: int, seed: int = 0) -> None:
+        if rows <= 0:
+            raise InvalidParameterError(f"rows must be positive, got {rows}")
+        if width <= 0 or width & (width - 1):
+            raise InvalidParameterError(f"width must be a positive power of two, got {width}")
+        self._rows = rows
+        self._width = width
+        self._shift = 64 - width.bit_length() + 1
+        gen = SplitMix64(seed)
+        # Multipliers must be odd for multiply-shift universality.
+        self._a = [gen.next_u64() | 1 for _ in range(rows)]
+        self._b = [gen.next_u64() for _ in range(rows)]
+
+    @property
+    def rows(self) -> int:
+        """Number of independent functions in the family."""
+        return self._rows
+
+    @property
+    def width(self) -> int:
+        """Size of each function's output range."""
+        return self._width
+
+    def hash(self, row: int, key: int) -> int:
+        """Return ``h_row(key)`` in ``[0, width)``."""
+        mixed = fmix64(key)
+        return ((self._a[row] * mixed + self._b[row]) & _MASK64) >> self._shift
+
+    def hash_all(self, key: int) -> list[int]:
+        """Return ``[h_0(key), ..., h_{rows-1}(key)]``."""
+        mixed = fmix64(key)
+        shift = self._shift
+        return [
+            ((a * mixed + b) & _MASK64) >> shift
+            for a, b in zip(self._a, self._b)
+        ]
+
+
+class SignHashFamily:
+    """``rows`` independent ±1 hash functions (for CountSketch)."""
+
+    __slots__ = ("_rows", "_a", "_b")
+
+    def __init__(self, rows: int, seed: int = 0) -> None:
+        if rows <= 0:
+            raise InvalidParameterError(f"rows must be positive, got {rows}")
+        self._rows = rows
+        gen = SplitMix64(seed ^ 0xABCDEF)
+        self._a = [gen.next_u64() | 1 for _ in range(rows)]
+        self._b = [gen.next_u64() for _ in range(rows)]
+
+    @property
+    def rows(self) -> int:
+        """Number of independent sign functions."""
+        return self._rows
+
+    def sign(self, row: int, key: int) -> int:
+        """Return +1 or -1 for ``key`` under function ``row``."""
+        mixed = fmix64(key)
+        bit = ((self._a[row] * mixed + self._b[row]) & _MASK64) >> 63
+        return 1 if bit else -1

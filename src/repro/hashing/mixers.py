@@ -1,0 +1,69 @@
+"""64-bit integer mixing and item-to-identifier hashing.
+
+The linear-probing counter table (Section 2.3.3 of the paper) needs a fast
+hash ``h : [m] -> [L]`` from 64-bit item identifiers to table slots.  We
+use MurmurHash3's ``fmix64`` finalizer, which is a bijective mixer with
+full avalanche, composed with a seed so different tables probe in
+different orders (the Section 3.2 note on merging explains why that
+matters).
+"""
+
+from __future__ import annotations
+
+from repro.hashing.murmur import murmur3_x64_128
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def fmix64(x: int) -> int:
+    """MurmurHash3's 64-bit finalizer: a bijective full-avalanche mixer."""
+    x &= _MASK64
+    x ^= x >> 33
+    x = (x * 0xFF51AFD7ED558CCD) & _MASK64
+    x ^= x >> 33
+    x = (x * 0xC4CEB9FE1A85EC53) & _MASK64
+    x ^= x >> 33
+    return x
+
+
+def hash_u64(x: int, seed: int = 0) -> int:
+    """Hash a 64-bit integer under ``seed``; different seeds are independent.
+
+    Two fmix64 rounds with the seed folded in between.  Bijective in ``x``
+    for any fixed seed, so distinct keys never collide before the final
+    modular reduction onto table slots.
+    """
+    return fmix64(fmix64(x) ^ ((seed * _GOLDEN) & _MASK64))
+
+
+def item_to_u64(item: object) -> int:
+    """Map an arbitrary item onto the 64-bit identifier space.
+
+    * non-negative ints below 2**64 are passed through unchanged (the
+      common case: IPv4/IPv6-derived identifiers, user ids, ...);
+    * other ints are folded by mixing their magnitude with their sign;
+    * ``str`` and ``bytes`` are hashed with MurmurHash3 x64/128 and the
+      low word is used.
+
+    This is how the public sketches accept friendly item types while the
+    internal tables stay flat arrays of integers.
+    """
+    if isinstance(item, bool):
+        return int(item)
+    if isinstance(item, int):
+        if 0 <= item <= _MASK64:
+            return item
+        folded = fmix64(abs(item) & _MASK64) ^ fmix64((abs(item) >> 64) & _MASK64)
+        if item < 0:
+            folded = fmix64(folded ^ _GOLDEN)
+        return folded & _MASK64
+    if isinstance(item, str):
+        low, _high = murmur3_x64_128(item.encode("utf-8"))
+        return low
+    if isinstance(item, (bytes, bytearray, memoryview)):
+        low, _high = murmur3_x64_128(bytes(item))
+        return low
+    raise TypeError(
+        f"items must be int, str, or bytes-like; got {type(item).__name__}"
+    )

@@ -1,0 +1,21 @@
+"""Measurement: accuracy, heavy-hitter quality, op counts, space models."""
+
+from repro.metrics.accuracy import (
+    check_merge_bound,
+    check_tail_bound,
+    max_error,
+    mean_absolute_error,
+)
+from repro.metrics.heavy_hitters import hh_precision_recall
+from repro.metrics.instrumentation import OpStats
+from repro.metrics.space import space_model_bytes
+
+__all__ = [
+    "max_error",
+    "mean_absolute_error",
+    "check_tail_bound",
+    "check_merge_bound",
+    "hh_precision_recall",
+    "OpStats",
+    "space_model_bytes",
+]

@@ -1,0 +1,105 @@
+"""Error measurement against exact ground truth.
+
+The paper's accuracy metric is the *maximum error* of any point estimate
+(Figures 2 and 3); the theorems bound the one-sided error
+``f_i - f̂_i`` by residual-tail quantities.  These helpers compute both
+and check the bounds mechanically, so tests and benchmarks share one
+definition.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, NamedTuple
+
+from repro.errors import InvalidParameterError
+from repro.streams.exact import ExactCounter
+from repro.types import ItemId
+
+#: Anything that maps an item to an estimated frequency.
+EstimateFn = Callable[[ItemId], float]
+
+
+def _estimator(summary) -> EstimateFn:
+    if callable(summary):
+        return summary
+    return summary.estimate
+
+
+def max_error(summary, exact: ExactCounter) -> float:
+    """``max_i |f_i - f̂_i|`` over every item that appeared in the stream.
+
+    Items never seen have exact frequency 0 and (for counter algorithms)
+    estimate 0, so restricting to observed items loses nothing for the
+    MG-family; for SS-style estimators the overestimate of absent items
+    is a separate property tested elsewhere.
+    """
+    estimate = _estimator(summary)
+    worst = 0.0
+    for item, freq in exact.items():
+        err = abs(freq - estimate(item))
+        if err > worst:
+            worst = err
+    return worst
+
+
+def max_underestimate(summary, exact: ExactCounter) -> float:
+    """``max_i (f_i - f̂_i)`` — the one-sided error the theorems bound."""
+    estimate = _estimator(summary)
+    worst = 0.0
+    for item, freq in exact.items():
+        err = freq - estimate(item)
+        if err > worst:
+            worst = err
+    return worst
+
+
+def mean_absolute_error(summary, exact: ExactCounter) -> float:
+    """Average ``|f_i - f̂_i|`` over distinct observed items."""
+    estimate = _estimator(summary)
+    if exact.num_items == 0:
+        return 0.0
+    total = sum(abs(freq - estimate(item)) for item, freq in exact.items())
+    return total / exact.num_items
+
+
+class BoundCheck(NamedTuple):
+    """Outcome of a theorem-bound verification."""
+
+    observed: float
+    bound: float
+
+    @property
+    def holds(self) -> bool:
+        return self.observed <= self.bound + 1e-9
+
+
+def check_tail_bound(
+    summary, exact: ExactCounter, j: int, k_star: float
+) -> BoundCheck:
+    """Check the Theorem 2/4 tail guarantee.
+
+    ``max_i (f_i - f̂_i) <= N^res(j) / (k* - j)`` — ``k_star`` is the
+    effective decrement rank (k/2 for MED with the default fraction, k/c
+    for SMED per Theorem 4).
+    """
+    if j < 0 or j >= k_star:
+        raise InvalidParameterError(f"need 0 <= j < k_star, got j={j}, k*={k_star}")
+    observed = max_underestimate(summary, exact)
+    bound = exact.residual_weight(j) / (k_star - j)
+    return BoundCheck(observed, bound)
+
+
+def check_merge_bound(
+    summary, exact: ExactCounter, counter_sum: float, k_star: float
+) -> BoundCheck:
+    """Check the Theorem 5 merge guarantee.
+
+    ``max_i (f_i - f̂_i) <= (N - C)/k*`` where ``C`` is the surviving
+    counter mass of the merged summary (pass the sum of raw counters as
+    ``counter_sum``).
+    """
+    if k_star <= 0:
+        raise InvalidParameterError(f"k_star must be positive, got {k_star}")
+    observed = max_underestimate(summary, exact)
+    bound = (exact.total_weight - counter_sum) / k_star
+    return BoundCheck(observed, bound)

@@ -1,0 +1,63 @@
+"""Heavy-hitter report quality: precision, recall, and the (φ, ε) check."""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple
+
+from repro.errors import InvalidParameterError
+from repro.streams.exact import ExactCounter
+from repro.types import ItemId
+
+
+class HHQuality(NamedTuple):
+    """Precision/recall of a reported heavy-hitter set vs ground truth."""
+
+    precision: float
+    recall: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def hh_precision_recall(
+    reported: Iterable[ItemId], exact: ExactCounter, phi: float
+) -> HHQuality:
+    """Compare a reported item set against the exact φ-heavy hitters."""
+    if not 0.0 < phi <= 1.0:
+        raise InvalidParameterError(f"phi must be in (0, 1], got {phi}")
+    truth = set(exact.heavy_hitters(phi))
+    got = set(reported)
+    tp = len(truth & got)
+    fp = len(got - truth)
+    fn = len(truth - got)
+    precision = tp / len(got) if got else 1.0
+    recall = tp / len(truth) if truth else 1.0
+    return HHQuality(precision, recall, tp, fp, fn)
+
+
+def check_phi_epsilon(
+    reported: Iterable[ItemId], exact: ExactCounter, phi: float, epsilon: float
+) -> bool:
+    """Verify the (φ, ε)-heavy-hitter contract of Section 1.2.
+
+    Every item with ``f_i >= phi*N`` must be reported, and nothing with
+    ``f_i < (phi - epsilon)*N`` may be.
+    """
+    if epsilon < 0 or epsilon > phi:
+        raise InvalidParameterError(f"need 0 <= epsilon <= phi, got {epsilon}, {phi}")
+    got = set(reported)
+    n = exact.total_weight
+    for item, freq in exact.items():
+        if freq >= phi * n and item not in got:
+            return False
+    floor = (phi - epsilon) * n
+    for item in got:
+        if exact.frequency(item) < floor:
+            return False
+    return True

@@ -1,0 +1,67 @@
+"""Hardware-independent operation counting.
+
+The paper's speed results are driven by a handful of countable events:
+how often ``DecrementCounters()`` runs, how many counters each pass
+touches, and (for the min-heap baseline) how many sift steps heap
+maintenance costs.  Every algorithm in this library maintains an
+:class:`OpStats` so benchmarks can report these counts alongside wall
+time — they are the part of the comparison that survives the move from
+the paper's Java/C++ testbed to Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass
+class OpStats:
+    """Counters for the events that dominate streaming-update cost."""
+
+    #: Stream updates processed (calls to ``update``).
+    updates: int = 0
+    #: Updates that found their item already holding a counter.
+    hits: int = 0
+    #: Fresh counter assignments.
+    inserts: int = 0
+    #: ``DecrementCounters()`` passes executed.
+    decrements: int = 0
+    #: Total counters examined across all decrement passes (Θ(k) each).
+    counters_scanned: int = 0
+    #: Counters freed (set non-positive) by decrement passes.
+    counters_freed: int = 0
+    #: Heap sift steps (min-heap implementations only).
+    heap_sifts: int = 0
+    #: Unit updates synthesized by reduce-to-unit-case wrappers.
+    rtuc_expansions: int = 0
+    #: Extra scratch words allocated (quickselect copies, merge buffers).
+    scratch_words: int = 0
+
+    def merge(self, other: "OpStats") -> "OpStats":
+        """Accumulate another stats record into this one; returns self."""
+        self.updates += other.updates
+        self.hits += other.hits
+        self.inserts += other.inserts
+        self.decrements += other.decrements
+        self.counters_scanned += other.counters_scanned
+        self.counters_freed += other.counters_freed
+        self.heap_sifts += other.heap_sifts
+        self.rtuc_expansions += other.rtuc_expansions
+        self.scratch_words += other.scratch_words
+        return self
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view for report tables."""
+        return asdict(self)
+
+    def decrements_per_update(self) -> float:
+        """Average decrement passes per stream update (the key speed driver)."""
+        if self.updates == 0:
+            return 0.0
+        return self.decrements / self.updates
+
+    def amortized_scan_cost(self) -> float:
+        """Average counters scanned per stream update."""
+        if self.updates == 0:
+            return 0.0
+        return self.counters_scanned / self.updates

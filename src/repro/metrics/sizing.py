@@ -1,0 +1,106 @@
+"""Capacity planning: choose ``k`` from an error target.
+
+Inverts the paper's guarantees so operators can size sketches instead of
+guessing.  Given a target absolute error (or a (φ, ε) heavy-hitter
+contract), the helpers return the smallest ``k`` whose worst-case bound
+meets it — via Theorem 4's ``N/(k/c)`` for the SMED family, or Lemma 1's
+``N/(k+1)`` for the exact-decrement family — and, when a workload sample
+is available, the usually much smaller ``k`` that the tail bound
+``N^res(j)/(k* − j)`` certifies on data of that shape.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import InvalidParameterError
+from repro.streams.exact import ExactCounter
+
+#: Theorem 3/4's conservative decrement-rank constant for SMED: k* = k/c.
+SMED_KSTAR_FACTOR = 3.0
+
+
+def k_for_error(
+    total_weight: float, target_error: float, family: str = "smed"
+) -> int:
+    """Smallest ``k`` whose worst-case bound meets ``target_error``.
+
+    ``family`` is ``"smed"`` (Theorem 4, k* = k/3) or ``"exact"``
+    (Lemma 1 / RBMC / MED with k* = k/2-style guarantees folded to the
+    conservative N/(k+1)).
+    """
+    if total_weight <= 0:
+        raise InvalidParameterError(f"total_weight must be positive, got {total_weight}")
+    if target_error <= 0:
+        raise InvalidParameterError(f"target_error must be positive, got {target_error}")
+    if family == "smed":
+        # N / (k/3) <= target  =>  k >= 3N/target
+        k = math.ceil(SMED_KSTAR_FACTOR * total_weight / target_error)
+    elif family == "exact":
+        # N / (k+1) <= target  =>  k >= N/target - 1
+        k = math.ceil(total_weight / target_error) - 1
+    else:
+        raise InvalidParameterError(f"unknown family {family!r}")
+    return max(2, k)
+
+
+def k_for_phi_epsilon(phi: float, epsilon: float, family: str = "smed") -> int:
+    """Smallest ``k`` honouring a (φ, ε) heavy-hitter contract.
+
+    Every item with ``f >= phi*N`` must be reportable with false
+    positives no lighter than ``(phi - epsilon)*N`` — i.e. the summary's
+    maximum error must stay below ``epsilon * N``.
+    """
+    if not 0 < epsilon <= phi <= 1:
+        raise InvalidParameterError(
+            f"need 0 < epsilon <= phi <= 1, got epsilon={epsilon}, phi={phi}"
+        )
+    return k_for_error(1.0, epsilon, family)
+
+
+def k_for_workload(
+    sample: ExactCounter,
+    target_error: float,
+    family: str = "smed",
+    max_k: int = 1 << 22,
+) -> int:
+    """Smallest ``k`` the *tail* bound certifies on a workload sample.
+
+    Uses ``N^res(j)/(k* − j)`` minimized over ``j`` — on skewed data this
+    is far smaller than the distribution-free answer because the heavy
+    items' mass drops out of the numerator.  The returned ``k`` still
+    carries a worst-case guarantee *for streams with this tail profile*;
+    re-run when the workload shifts.
+    """
+    if target_error <= 0:
+        raise InvalidParameterError(f"target_error must be positive, got {target_error}")
+    if sample.total_weight <= 0:
+        raise InvalidParameterError("the workload sample is empty")
+    factor = SMED_KSTAR_FACTOR if family == "smed" else 1.0
+
+    def bound_met(k: int) -> bool:
+        k_star = k / factor
+        # The bound is minimized over j; checking a geometric grid of j
+        # is enough because N^res(j) is non-increasing in j.
+        j = 0
+        while j < k_star:
+            if sample.residual_weight(j) / (k_star - j) <= target_error:
+                return True
+            j = max(j + 1, int(j * 1.5))
+        return False
+
+    low, high = 2, 4
+    while high <= max_k and not bound_met(high):
+        high *= 2
+    if high > max_k:
+        raise InvalidParameterError(
+            f"no k <= {max_k} certifies error {target_error} on this workload"
+        )
+    low = max(2, high // 2)
+    while low + 1 < high:
+        mid = (low + high) // 2
+        if bound_met(mid):
+            high = mid
+        else:
+            low = mid
+    return high if not bound_met(low) else low

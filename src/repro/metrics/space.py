@@ -1,0 +1,95 @@
+"""Closed-form space models for every compared algorithm.
+
+Following Section 2.3.3's accounting (8-byte identifiers, 8-byte counts,
+2-byte probe states, arrays of length ``next_pow2(4k/3)``), these models
+make the paper's "equal space" comparisons (Figures 1 and 2) concrete in
+bytes.  The paper's qualitative claims encoded here:
+
+* RBMC, SMED, and SMIN "all use the same amount of space (in bytes) for
+  a given number of counters k" (Section 4.3) — one probing table.
+* MED (Algorithm 3) needs "an extra k words of space ... during every
+  DecrementCounters() operation" for the quickselect copy (Section 2.2).
+* MHE "uses additional space owing to the need to maintain a min-heap
+  data structure in addition to a hash table" (Section 4.3).
+* The prior merge procedures "require allocating an additional hash
+  table of capacity 2k ... as well as an extra hash table of capacity k"
+  — 2.5x our merge's footprint (Section 4.5).
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidParameterError
+from repro.table.accounting import probing_table_bytes
+
+#: Bytes per heap entry: 8 (item id) + 8 (count).
+_HEAP_ENTRY_BYTES = 16
+#: Bytes per hash-map entry for the heap's item -> position index.
+_POSITION_ENTRY_BYTES = 12  # 8-byte key + 4-byte index
+
+
+def space_model_bytes(algorithm: str, k: int) -> int:
+    """Modeled bytes for ``algorithm`` configured with ``k`` counters.
+
+    Known algorithms: ``smed``, ``smin``, ``rbmc``, ``med``, ``mhe``,
+    ``mg``, ``ssl``.
+    """
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    name = algorithm.lower()
+    table = probing_table_bytes(k)
+    if name in ("smed", "smin", "rbmc", "mg", "sq"):
+        return table
+    if name == "med":
+        # Quickselect scratch copy: k counter values of 8 bytes each.
+        return table + 8 * k
+    if name == "mhe":
+        # Hash table + heap arrays + item->position index.
+        return table + _HEAP_ENTRY_BYTES * k + _POSITION_ENTRY_BYTES * k
+    if name == "ssl":
+        # Stream Summary: per counter, a node with item, count and two
+        # pointers, plus bucket nodes; conservatively 3 extra words.
+        return table + 24 * k
+    raise InvalidParameterError(f"unknown algorithm {algorithm!r}")
+
+
+def counters_for_equal_space(algorithm: str, budget_bytes: int) -> int:
+    """Largest ``k`` whose modeled footprint fits in ``budget_bytes``.
+
+    Used to build the "equal space" panels: give every algorithm the
+    same byte budget and let the leaner ones afford more counters.
+    """
+    if budget_bytes <= 0:
+        raise InvalidParameterError(f"budget must be positive, got {budget_bytes}")
+    low, high = 1, 1
+    while space_model_bytes(algorithm, high) <= budget_bytes:
+        high *= 2
+        if high > 1 << 40:  # pragma: no cover - absurd budgets
+            break
+    if high == 1:
+        return 1
+    low = high // 2
+    # Binary search the threshold in (low, high].
+    while low + 1 < high:
+        mid = (low + high) // 2
+        if space_model_bytes(algorithm, mid) <= budget_bytes:
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def merge_scratch_bytes(procedure: str, k: int) -> int:
+    """Extra allocation a merge procedure needs beyond the two inputs.
+
+    ``ours`` allocates nothing; ``ach13`` (sort-based) and ``hoa61``
+    (quickselect-based) allocate a 2k-capacity addition table plus a
+    k-capacity output summary (Section 4.5).
+    """
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    name = procedure.lower()
+    if name == "ours":
+        return 0
+    if name in ("ach13", "hoa61"):
+        return probing_table_bytes(2 * k) + probing_table_bytes(k)
+    raise InvalidParameterError(f"unknown merge procedure {procedure!r}")

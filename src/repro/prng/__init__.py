@@ -1,0 +1,19 @@
+"""Deterministic, seedable pseudo-random number generation.
+
+The randomized pieces of the paper's algorithm — counter sampling inside
+``DecrementCounters()`` (Algorithm 4), quickselect pivots, and the
+random-order merge iteration of Section 3.2 — all draw from the generators
+in this subpackage rather than :mod:`random`, so that a sketch built twice
+from the same seed is bit-identical.  Both generators are implemented from
+scratch:
+
+* :func:`splitmix64` / :class:`SplitMix64` — the seeding and mixing
+  generator of Steele, Lea and Flood.
+* :class:`Xoroshiro128PlusPlus` — the general-purpose generator used in
+  all hot paths.
+"""
+
+from repro.prng.splitmix import SplitMix64, splitmix64
+from repro.prng.xoroshiro import Xoroshiro128PlusPlus
+
+__all__ = ["SplitMix64", "splitmix64", "Xoroshiro128PlusPlus"]

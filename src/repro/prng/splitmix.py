@@ -1,0 +1,49 @@
+"""SplitMix64 — a tiny, statistically solid 64-bit generator.
+
+Used here mainly to expand a user seed into the larger state of
+:class:`repro.prng.xoroshiro.Xoroshiro128PlusPlus` (the construction its
+authors recommend) and as a stand-alone mixer in hash seeding.
+
+Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+generators", OOPSLA 2014.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+_GAMMA = 0x9E3779B97F4A7C15  # 2^64 / golden ratio
+
+
+def splitmix64(state: int) -> tuple[int, int]:
+    """Advance a SplitMix64 ``state`` and return ``(new_state, output)``.
+
+    The functional form is convenient for one-shot seed expansion::
+
+        state, word1 = splitmix64(seed)
+        state, word2 = splitmix64(state)
+    """
+    state = (state + _GAMMA) & _MASK64
+    z = state
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    z = z ^ (z >> 31)
+    return state, z
+
+
+class SplitMix64:
+    """Stateful wrapper around :func:`splitmix64`.
+
+    >>> g = SplitMix64(0)
+    >>> hex(g.next_u64())
+    '0xe220a8397b1dcdaf'
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, seed: int) -> None:
+        self._state = seed & _MASK64
+
+    def next_u64(self) -> int:
+        """Return the next 64-bit output word."""
+        self._state, out = splitmix64(self._state)
+        return out

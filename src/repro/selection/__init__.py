@@ -1,0 +1,18 @@
+"""Order statistics: quickselect and sampled quantiles.
+
+The paper uses Hoare's FIND (quickselect, [Hoa61]) in three places: the
+MED algorithm's exact k*-th largest counter (Algorithm 3), the sample
+median inside SMED's ``DecrementCounters()`` (Algorithm 4), and the
+quickselect-based variant of the prior merge procedure (Section 3.1).
+"""
+
+from repro.selection.quickselect import kth_largest, kth_smallest, quickselect
+from repro.selection.sampling import sample_quantile, sampled_counter_quantile
+
+__all__ = [
+    "quickselect",
+    "kth_smallest",
+    "kth_largest",
+    "sample_quantile",
+    "sampled_counter_quantile",
+]

@@ -1,0 +1,82 @@
+"""Quickselect (Hoare's Algorithm 65, "FIND") implemented from scratch.
+
+Expected O(n) selection of the r-th smallest element of a list, in place,
+with pivots drawn from a caller-supplied :class:`Xoroshiro128PlusPlus` so
+results (and run times) are reproducible.  A deterministic fallback pivot
+(middle element) is used when no generator is supplied.
+"""
+
+from __future__ import annotations
+
+from typing import MutableSequence, Optional
+
+from repro.errors import InvalidParameterError
+from repro.prng import Xoroshiro128PlusPlus
+
+
+def quickselect(
+    values: MutableSequence[float],
+    rank: int,
+    rng: Optional[Xoroshiro128PlusPlus] = None,
+) -> float:
+    """Return the element of ``values`` with 0-based ``rank`` in sorted order.
+
+    ``values`` is partially reordered in place (that is what lets the MED
+    algorithm avoid a full sort).  Runs in expected linear time.
+    """
+    n = len(values)
+    if not 0 <= rank < n:
+        raise InvalidParameterError(f"rank {rank} out of range for length {n}")
+
+    lo = 0
+    hi = n - 1
+    while True:
+        if lo == hi:
+            return values[lo]
+        pivot_index = rng.randint(lo, hi) if rng is not None else (lo + hi) // 2
+        pivot = values[pivot_index]
+        # Three-way (Dutch national flag) partition: handles heavy ties,
+        # which counter multisets have in abundance after unit streams.
+        lt = lo
+        gt = hi
+        i = lo
+        while i <= gt:
+            v = values[i]
+            if v < pivot:
+                values[lt], values[i] = values[i], values[lt]
+                lt += 1
+                i += 1
+            elif v > pivot:
+                values[gt], values[i] = values[i], values[gt]
+                gt -= 1
+            else:
+                i += 1
+        if rank < lt:
+            hi = lt - 1
+        elif rank > gt:
+            lo = gt + 1
+        else:
+            return pivot
+
+
+def kth_smallest(
+    values: MutableSequence[float],
+    k: int,
+    rng: Optional[Xoroshiro128PlusPlus] = None,
+) -> float:
+    """Return the k-th smallest element (1-based), reordering in place."""
+    return quickselect(values, k - 1, rng)
+
+
+def kth_largest(
+    values: MutableSequence[float],
+    k: int,
+    rng: Optional[Xoroshiro128PlusPlus] = None,
+) -> float:
+    """Return the k-th largest element (1-based), reordering in place.
+
+    This is the order statistic Algorithm 3's ``DecrementCounters()``
+    needs: ``c_{k*}``, the k*-th largest counter value counting
+    multiplicity.
+    """
+    return quickselect(values, len(values) - k, rng)

@@ -1,0 +1,48 @@
+"""Workload generation, ground truth, and stream plumbing.
+
+The paper evaluates on a CAIDA 2016 packet capture (items = source IPs,
+weights = packet sizes in bits) and on synthetic Zipfian streams with
+uniform random weights; it reports both behave "entirely similarly"
+(Section 4.1).  We cannot ship CAIDA data, so :mod:`repro.streams.caida`
+synthesizes a trace with the same statistical profile, and
+:mod:`repro.streams.zipf` provides the synthetic distributions (including
+the α = 1.05 / weights ~ U[1, 10000] configuration of the merge
+experiment, Section 4.5).
+
+:class:`ExactCounter` computes exact frequencies, residual tail weights
+``N^res(j)``, and exact heavy-hitter sets — the ground truth every error
+measurement compares against.
+"""
+
+from repro.streams.adversarial import rbmc_killer_stream, uniform_random_stream
+from repro.streams.caida import SyntheticPacketTrace
+from repro.streams.exact import ExactCounter
+from repro.streams.model import as_updates
+from repro.streams.transforms import (
+    concat,
+    materialize,
+    partition_hash,
+    partition_round_robin,
+    take,
+)
+from repro.streams.zipf import (
+    RejectionInversionZipf,
+    ZipfTableSampler,
+    ZipfianStream,
+)
+
+__all__ = [
+    "as_updates",
+    "ZipfianStream",
+    "ZipfTableSampler",
+    "RejectionInversionZipf",
+    "SyntheticPacketTrace",
+    "rbmc_killer_stream",
+    "uniform_random_stream",
+    "ExactCounter",
+    "take",
+    "concat",
+    "materialize",
+    "partition_round_robin",
+    "partition_hash",
+]

@@ -1,0 +1,92 @@
+"""Adversarial and degenerate streams used in tests and ablations.
+
+The centerpiece is the RBMC-killer stream from Section 1.3.4 of the
+paper: ``k`` huge distinct items followed by a long run of unit updates
+to fresh items.  On it, RBMC performs a Θ(k) decrement pass on *every*
+one of the unit updates, while SMED decrements at most once every ~k/3
+updates — the constructed separation behind Theorem 3.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import InvalidParameterError
+from repro.prng import Xoroshiro128PlusPlus
+from repro.types import StreamUpdate
+
+
+def rbmc_killer_stream(
+    k: int,
+    heavy_weight: float,
+    num_unit_updates: int,
+    id_offset: int = 0,
+) -> Iterator[StreamUpdate]:
+    """The worst case for Reduce-By-Min-Counter (paper Section 1.3.4).
+
+    First ``k`` updates give distinct items an arbitrarily large weight
+    ``heavy_weight`` (the paper's ``M``); the following
+    ``num_unit_updates`` are unit updates to brand-new items.  Every unit
+    update then finds a full table whose minimum counter is huge, forcing
+    RBMC into a full Θ(k) decrement pass per update.
+    """
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    if heavy_weight <= 1:
+        raise InvalidParameterError(
+            f"heavy_weight must exceed 1 for the construction, got {heavy_weight}"
+        )
+    for i in range(k):
+        yield StreamUpdate(id_offset + i, float(heavy_weight))
+    for i in range(num_unit_updates):
+        yield StreamUpdate(id_offset + k + i, 1.0)
+
+
+def uniform_random_stream(
+    num_updates: int,
+    universe: int,
+    seed: int = 0,
+    max_weight: float = 1.0,
+) -> Iterator[StreamUpdate]:
+    """Items uniform over ``[0, universe)``; the flattest possible profile.
+
+    With no skew, no item is a heavy hitter and counter algorithms churn
+    constantly — a useful stress profile complementing Zipfian streams.
+    Weights are uniform on ``[1, max_weight]`` (all 1.0 when
+    ``max_weight == 1``).
+    """
+    if num_updates < 0:
+        raise InvalidParameterError(f"num_updates must be >= 0, got {num_updates}")
+    if universe <= 0:
+        raise InvalidParameterError(f"universe must be positive, got {universe}")
+    if max_weight < 1.0:
+        raise InvalidParameterError(f"max_weight must be >= 1, got {max_weight}")
+    rng = Xoroshiro128PlusPlus(seed)
+    for _ in range(num_updates):
+        item = rng.randrange(universe)
+        weight = 1.0 if max_weight == 1.0 else rng.uniform(1.0, max_weight)
+        yield StreamUpdate(item, weight)
+
+
+def two_phase_stream(
+    k: int,
+    phase1_weight: float,
+    phase2_items: int,
+    phase2_weight: float,
+    seed: int = 0,
+) -> Iterator[StreamUpdate]:
+    """Heavy prefix then a differently weighted suffix over fresh items.
+
+    Generalizes the RBMC-killer: useful for exercising the decrement
+    logic at weight-scale discontinuities (e.g. floats much smaller than
+    live counters).
+    """
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    rng = Xoroshiro128PlusPlus(seed)
+    for i in range(k):
+        yield StreamUpdate(i, float(phase1_weight))
+    for i in range(phase2_items):
+        # Random fresh items, weight jittered +/- 10% for realism.
+        jitter = 0.9 + 0.2 * rng.random()
+        yield StreamUpdate(k + i, float(phase2_weight) * jitter)

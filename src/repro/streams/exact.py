@@ -1,0 +1,145 @@
+"""Exact ground truth: the trivial hash-table counter of Section 4.1.
+
+``ExactCounter`` is the "trivial (exact) algorithm that keeps a hash
+table storing an exact count for each unique" item — the reference every
+error measurement in the experiments compares against.  It also computes
+the residual tail weight ``N^res(j)`` appearing in all the paper's
+theorems, exact (φ)-heavy-hitter sets, and empirical entropy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator
+
+from repro.errors import InvalidParameterError, InvalidUpdateError
+from repro.types import ItemId, StreamUpdate, Weight
+
+
+class ExactCounter:
+    """Exact frequency table over a stream of weighted updates."""
+
+    __slots__ = ("_counts", "_total_weight", "_num_updates", "_sorted_cache")
+
+    def __init__(self) -> None:
+        self._counts: dict[ItemId, float] = {}
+        self._total_weight = 0.0
+        self._num_updates = 0
+        self._sorted_cache: list[tuple[ItemId, float]] | None = None
+
+    # -- ingestion -----------------------------------------------------------
+
+    def update(self, item: ItemId, weight: Weight = 1.0) -> None:
+        """Add one weighted update."""
+        if weight <= 0:
+            raise InvalidUpdateError(f"weights must be positive, got {weight}")
+        self._counts[item] = self._counts.get(item, 0.0) + weight
+        self._total_weight += weight
+        self._num_updates += 1
+        self._sorted_cache = None
+
+    def update_all(self, updates: Iterable[StreamUpdate]) -> None:
+        """Consume a stream of updates."""
+        counts = self._counts
+        total = 0.0
+        n = 0
+        for item, weight in updates:
+            if weight <= 0:
+                raise InvalidUpdateError(f"weights must be positive, got {weight}")
+            counts[item] = counts.get(item, 0.0) + weight
+            total += weight
+            n += 1
+        self._total_weight += total
+        self._num_updates += n
+        self._sorted_cache = None
+
+    def merge(self, other: "ExactCounter") -> "ExactCounter":
+        """Fold another exact counter into this one; returns self."""
+        counts = self._counts
+        for item, weight in other._counts.items():
+            counts[item] = counts.get(item, 0.0) + weight
+        self._total_weight += other._total_weight
+        self._num_updates += other._num_updates
+        self._sorted_cache = None
+        return self
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def total_weight(self) -> float:
+        """The weighted stream length ``N``."""
+        return self._total_weight
+
+    @property
+    def num_updates(self) -> int:
+        """The unweighted stream length ``n``."""
+        return self._num_updates
+
+    @property
+    def num_items(self) -> int:
+        """Number of distinct items observed."""
+        return len(self._counts)
+
+    def frequency(self, item: ItemId) -> float:
+        """The exact frequency ``f(item)`` (0 for unseen items)."""
+        return self._counts.get(item, 0.0)
+
+    def __contains__(self, item: ItemId) -> bool:
+        return item in self._counts
+
+    def items(self) -> Iterator[tuple[ItemId, float]]:
+        """Iterate over ``(item, frequency)`` pairs, unordered."""
+        return iter(self._counts.items())
+
+    def _sorted_desc(self) -> list[tuple[ItemId, float]]:
+        if self._sorted_cache is None:
+            self._sorted_cache = sorted(
+                self._counts.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        return self._sorted_cache
+
+    def top_k(self, k: int) -> list[tuple[ItemId, float]]:
+        """The ``k`` most frequent items, ties broken by item id."""
+        if k < 0:
+            raise InvalidParameterError(f"k must be >= 0, got {k}")
+        return self._sorted_desc()[:k]
+
+    def residual_weight(self, j: int) -> float:
+        """``N^res(j)``: total weight minus the top-``j`` frequencies.
+
+        This is the tail quantity in Lemma 2 and Theorems 2/4/5.
+        """
+        if j < 0:
+            raise InvalidParameterError(f"j must be >= 0, got {j}")
+        top = self._sorted_desc()[:j]
+        return self._total_weight - sum(freq for _item, freq in top)
+
+    def heavy_hitters(self, phi: float) -> dict[ItemId, float]:
+        """Exact φ-heavy hitters: items with ``f(i) >= phi * N``."""
+        if not 0.0 < phi <= 1.0:
+            raise InvalidParameterError(f"phi must be in (0, 1], got {phi}")
+        threshold = phi * self._total_weight
+        return {i: f for i, f in self._counts.items() if f >= threshold}
+
+    def entropy(self) -> float:
+        """Empirical Shannon entropy (bits) of the frequency distribution.
+
+        ``H = -sum (f_i/N) log2(f_i/N)`` — the quantity the streaming
+        entropy extension estimates.
+        """
+        if self._total_weight <= 0:
+            return 0.0
+        n = self._total_weight
+        return -sum(
+            (f / n) * math.log2(f / n) for f in self._counts.values() if f > 0
+        )
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+
+def exact_counts(updates: Iterable[StreamUpdate]) -> ExactCounter:
+    """Convenience: build an :class:`ExactCounter` over ``updates``."""
+    counter = ExactCounter()
+    counter.update_all(updates)
+    return counter

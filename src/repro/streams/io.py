@@ -1,0 +1,85 @@
+"""Reading and writing update streams on disk.
+
+Two formats:
+
+* **binary** — fixed 16-byte records ``<Qd`` (uint64 item, float64
+  weight), the compact form for large generated traces;
+* **csv** — ``item,weight`` text lines, for interchange and eyeballing.
+
+Both round-trip exactly (weights are IEEE doubles end to end) and accept
+``.gz`` paths transparently.
+"""
+
+from __future__ import annotations
+
+import gzip
+import struct
+from pathlib import Path
+from typing import IO, Iterable, Iterator
+
+from repro.errors import InvalidUpdateError
+from repro.types import StreamUpdate
+
+_RECORD = struct.Struct("<Qd")
+
+
+def _open(path: str | Path, mode: str) -> IO:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode)
+    return open(path, mode)
+
+
+def write_binary_trace(path: str | Path, updates: Iterable[StreamUpdate]) -> int:
+    """Write updates as fixed-width binary records; returns the count."""
+    count = 0
+    with _open(path, "wb") as fh:
+        for item, weight in updates:
+            fh.write(_RECORD.pack(item, weight))
+            count += 1
+    return count
+
+
+def read_binary_trace(path: str | Path) -> Iterator[StreamUpdate]:
+    """Stream updates back from :func:`write_binary_trace` output."""
+    with _open(path, "rb") as fh:
+        while True:
+            blob = fh.read(_RECORD.size)
+            if not blob:
+                return
+            if len(blob) != _RECORD.size:
+                raise InvalidUpdateError(
+                    f"truncated record ({len(blob)} bytes) at end of {path}"
+                )
+            item, weight = _RECORD.unpack(blob)
+            yield StreamUpdate(item, weight)
+
+
+def write_csv_trace(path: str | Path, updates: Iterable[StreamUpdate]) -> int:
+    """Write updates as ``item,weight`` lines; returns the count."""
+    count = 0
+    with _open(path, "wt") as fh:
+        fh.write("item,weight\n")
+        for item, weight in updates:
+            fh.write(f"{item},{weight!r}\n")
+            count += 1
+    return count
+
+
+def read_csv_trace(path: str | Path) -> Iterator[StreamUpdate]:
+    """Stream updates back from :func:`write_csv_trace` output."""
+    with _open(path, "rt") as fh:
+        header = fh.readline()
+        if not header.startswith("item"):
+            raise InvalidUpdateError(f"missing csv header in {path}")
+        for line_number, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                item_text, weight_text = line.split(",")
+                yield StreamUpdate(int(item_text), float(weight_text))
+            except ValueError as exc:
+                raise InvalidUpdateError(
+                    f"bad record at {path}:{line_number}: {line!r}"
+                ) from exc

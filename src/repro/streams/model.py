@@ -1,0 +1,31 @@
+"""Normalizing helpers for the stream-update model of Section 1.2."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import InvalidUpdateError
+from repro.types import StreamUpdate
+
+
+def as_updates(raw: Iterable) -> Iterator[StreamUpdate]:
+    """Normalize an iterable into :class:`~repro.types.StreamUpdate` values.
+
+    Accepts plain item ids (unit weight), ``(item, weight)`` tuples, and
+    ready-made ``StreamUpdate`` instances.  Weights must be strictly
+    positive, matching the paper's model where ``delta_j > 0``.
+    """
+    for entry in raw:
+        if isinstance(entry, StreamUpdate):
+            update = entry
+        elif isinstance(entry, tuple):
+            if len(entry) != 2:
+                raise InvalidUpdateError(f"expected (item, weight), got {entry!r}")
+            update = StreamUpdate(entry[0], float(entry[1]))
+        else:
+            update = StreamUpdate(entry, 1.0)
+        if update.weight <= 0:
+            raise InvalidUpdateError(
+                f"update weights must be positive, got {update.weight} for item {update.item}"
+            )
+        yield update

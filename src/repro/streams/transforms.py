@@ -1,0 +1,88 @@
+"""Stream combinators: slicing, concatenation, and partitioning.
+
+Partitioning feeds the mergeability experiments (Section 3): a dataset
+split across machines or time windows, summarized per partition, then
+merged via an arbitrary aggregation tree.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import InvalidParameterError
+from repro.hashing.mixers import hash_u64, item_to_u64
+from repro.types import StreamUpdate
+
+
+def take(updates: Iterable[StreamUpdate], count: int) -> Iterator[StreamUpdate]:
+    """Yield at most the first ``count`` updates."""
+    if count < 0:
+        raise InvalidParameterError(f"count must be >= 0, got {count}")
+    return itertools.islice(iter(updates), count)
+
+
+def concat(*streams: Iterable[StreamUpdate]) -> Iterator[StreamUpdate]:
+    """Concatenate streams (the paper's ``sigma_1 ∘ sigma_2``)."""
+    return itertools.chain(*streams)
+
+
+def materialize(updates: Iterable[StreamUpdate]) -> list[StreamUpdate]:
+    """Collect a stream into a list (for replaying it across algorithms)."""
+    return [StreamUpdate(item, weight) for item, weight in updates]
+
+
+def partition_round_robin(
+    updates: Iterable[StreamUpdate], parts: int
+) -> list[list[StreamUpdate]]:
+    """Deal updates into ``parts`` lists in arrival order.
+
+    Models temporal sharding: every partition sees a uniform sample of
+    the stream's time axis.
+    """
+    if parts <= 0:
+        raise InvalidParameterError(f"parts must be positive, got {parts}")
+    out: list[list[StreamUpdate]] = [[] for _ in range(parts)]
+    for index, update in enumerate(updates):
+        out[index % parts].append(StreamUpdate(update[0], update[1]))
+    return out
+
+
+def partition_hash(
+    updates: Iterable[StreamUpdate], parts: int, seed: int = 0
+) -> list[list[StreamUpdate]]:
+    """Shard updates by item hash, like a distributed key-partitioned ingest.
+
+    All of an item's weight lands in one partition, so per-partition
+    summaries see the full per-key truth — the other extreme from
+    round-robin.
+    """
+    if parts <= 0:
+        raise InvalidParameterError(f"parts must be positive, got {parts}")
+    out: list[list[StreamUpdate]] = [[] for _ in range(parts)]
+    for update in updates:
+        shard = hash_u64(item_to_u64(update[0]), seed) % parts
+        out[shard].append(StreamUpdate(update[0], update[1]))
+    return out
+
+
+def split_chunks(
+    updates: Sequence[StreamUpdate], parts: int
+) -> list[Sequence[StreamUpdate]]:
+    """Split a materialized stream into ``parts`` contiguous chunks.
+
+    Models the paper's one-summary-per-hour scenario (Section 3): each
+    chunk is a contiguous time slice.
+    """
+    if parts <= 0:
+        raise InvalidParameterError(f"parts must be positive, got {parts}")
+    n = len(updates)
+    base = n // parts
+    extra = n % parts
+    chunks = []
+    start = 0
+    for p in range(parts):
+        size = base + (1 if p < extra else 0)
+        chunks.append(updates[start : start + size])
+        start += size
+    return chunks

@@ -1,0 +1,54 @@
+"""Uniform (non-skewed) weighted streams.
+
+The flattest workload shape: items uniform over the universe, weights
+uniform on a range.  No heavy hitters exist, so counter algorithms churn
+maximally — the complementary stress case to Zipfian skew in the bound
+checks and ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import InvalidParameterError
+from repro.prng import Xoroshiro128PlusPlus
+from repro.types import StreamUpdate
+
+
+def uniform_weighted_stream(
+    num_updates: int,
+    universe: int,
+    seed: int = 0,
+    weight_low: float = 1.0,
+    weight_high: float = 10_000.0,
+) -> list[StreamUpdate]:
+    """Materialized stream of uniform items with uniform real weights."""
+    if num_updates < 0:
+        raise InvalidParameterError(f"num_updates must be >= 0, got {num_updates}")
+    if universe <= 0:
+        raise InvalidParameterError(f"universe must be positive, got {universe}")
+    if not 0 < weight_low <= weight_high:
+        raise InvalidParameterError(
+            f"need 0 < weight_low <= weight_high, got [{weight_low}, {weight_high}]"
+        )
+    rng = Xoroshiro128PlusPlus(seed)
+    out = []
+    for _ in range(num_updates):
+        item = rng.randrange(universe)
+        weight = rng.uniform(weight_low, weight_high)
+        out.append(StreamUpdate(item, weight))
+    return out
+
+
+def round_robin_stream(num_updates: int, universe: int) -> Iterator[StreamUpdate]:
+    """Deterministic cycling through the universe with unit weights.
+
+    Every item ends with (almost) identical frequency — the exact
+    worst case for frequency separation, used in edge-case tests.
+    """
+    if num_updates < 0:
+        raise InvalidParameterError(f"num_updates must be >= 0, got {num_updates}")
+    if universe <= 0:
+        raise InvalidParameterError(f"universe must be positive, got {universe}")
+    for index in range(num_updates):
+        yield StreamUpdate(index % universe, 1.0)

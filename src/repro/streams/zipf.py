@@ -1,0 +1,241 @@
+"""Zipfian item distributions.
+
+Two samplers, both seedable and deterministic:
+
+* :class:`ZipfTableSampler` — exact inverse-CDF sampling for universes
+  small enough to hold a cumulative table (O(m) memory, O(log m) per
+  draw via binary search, vectorized with numpy).
+* :class:`RejectionInversionZipf` — the rejection-inversion method of
+  Hörmann and Derflinger ("Rejection-inversion to generate variates from
+  monotone discrete distributions", 1996), O(1) memory and O(1) expected
+  time per draw, usable for universes up to 2**63.  This is the sampler
+  Apache Commons uses and is implemented here from the published
+  algorithm.
+
+:class:`ZipfianStream` wraps either sampler into a weighted update stream
+(unit weights by default; the paper's merge experiment uses weights
+uniform on [1, 10000], Section 4.5).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.hashing.mixers import hash_u64
+from repro.prng import Xoroshiro128PlusPlus
+from repro.types import StreamUpdate
+
+#: Universe sizes up to this use the exact CDF-table sampler by default.
+TABLE_SAMPLER_LIMIT = 4_000_000
+
+
+class ZipfTableSampler:
+    """Exact Zipf(α) sampler over ranks ``1..universe`` via an inverse CDF."""
+
+    def __init__(self, universe: int, alpha: float, seed: int = 0) -> None:
+        if universe <= 0:
+            raise InvalidParameterError(f"universe must be positive, got {universe}")
+        if alpha < 0:
+            raise InvalidParameterError(f"alpha must be non-negative, got {alpha}")
+        self.universe = universe
+        self.alpha = alpha
+        ranks = np.arange(1, universe + 1, dtype=np.float64)
+        weights = ranks ** (-alpha)
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+        self._np_rng = np.random.Generator(np.random.PCG64(seed))
+
+    def sample(self, count: int) -> np.ndarray:
+        """Return ``count`` ranks in ``[1, universe]``, Zipf(α)-distributed."""
+        draws = self._np_rng.random(count)
+        return np.searchsorted(self._cdf, draws, side="left") + 1
+
+    def probability(self, rank: int) -> float:
+        """Exact probability of ``rank`` under the distribution."""
+        if not 1 <= rank <= self.universe:
+            return 0.0
+        prev = self._cdf[rank - 2] if rank >= 2 else 0.0
+        return float(self._cdf[rank - 1] - prev)
+
+
+class RejectionInversionZipf:
+    """O(1)-memory Zipf(α) sampler for huge universes (α > 0).
+
+    Implements Hörmann-Derflinger rejection-inversion: invert the integral
+    of the continuous majorizing function ``h(x) = x^(-α)`` and accept or
+    reject against the discrete probabilities.  Expected acceptance
+    probability is bounded below by a constant for all α > 0.
+    """
+
+    def __init__(self, universe: int, alpha: float, rng: Xoroshiro128PlusPlus) -> None:
+        if universe <= 0:
+            raise InvalidParameterError(f"universe must be positive, got {universe}")
+        if alpha <= 0:
+            raise InvalidParameterError(
+                f"rejection-inversion requires alpha > 0, got {alpha}"
+            )
+        self.universe = universe
+        self.alpha = alpha
+        self._rng = rng
+        self._h_integral_x1 = self._h_integral(1.5) - 1.0
+        self._h_integral_n = self._h_integral(universe + 0.5)
+        self._s = 2.0 - self._h_integral_inverse(self._h_integral(2.5) - self._h(2.0))
+
+    # -- the H transform and helpers (notation follows the paper) ------------
+
+    def _h(self, x: float) -> float:
+        return math.exp(-self.alpha * math.log(x))
+
+    def _h_integral(self, x: float) -> float:
+        log_x = math.log(x)
+        return _helper2((1.0 - self.alpha) * log_x) * log_x
+
+    def _h_integral_inverse(self, x: float) -> float:
+        t = x * (1.0 - self.alpha)
+        if t < -1.0:
+            # Numerical stability near the lower boundary of the domain.
+            t = -1.0
+        return math.exp(_helper1(t) * x)
+
+    def sample_one(self) -> int:
+        """Return one rank in ``[1, universe]``."""
+        rng = self._rng
+        while True:
+            u = self._h_integral_n + rng.random() * (
+                self._h_integral_x1 - self._h_integral_n
+            )
+            x = self._h_integral_inverse(u)
+            k = int(x + 0.5)
+            if k < 1:
+                k = 1
+            elif k > self.universe:
+                k = self.universe
+            if k - x <= self._s or u >= self._h_integral(k + 0.5) - self._h(k):
+                return k
+
+    def sample(self, count: int) -> list[int]:
+        """Return ``count`` ranks."""
+        return [self.sample_one() for _ in range(count)]
+
+
+def _helper1(t: float) -> float:
+    """Stable ``log(1+t)/t``."""
+    if abs(t) > 1e-8:
+        return math.log1p(t) / t
+    return 1.0 - t / 2.0 + t * t / 3.0
+
+
+def _helper2(t: float) -> float:
+    """Stable ``(exp(t)-1)/t``."""
+    if abs(t) > 1e-8:
+        return math.expm1(t) / t
+    return 1.0 + t / 2.0 * (1.0 + t / 3.0)
+
+
+class ZipfianStream:
+    """A finite stream of weighted updates with Zipfian item popularity.
+
+    Parameters
+    ----------
+    num_updates:
+        Stream length ``n``.
+    universe:
+        Number of distinct ranks the distribution ranges over.
+    alpha:
+        Zipf skew.  The paper's merge experiment uses 1.05 (Section 4.5).
+    seed:
+        Seed controlling both item draws and weights.
+    weight_low, weight_high:
+        When both given, weights are uniform integers on the inclusive
+        range (the paper's [1, 10000]); when omitted, weights are 1.0.
+    scramble_ids:
+        When True (default), rank ``r`` is mapped through a bijective
+        64-bit mix so item identifiers are not sequential integers —
+        matching real data and defeating accidental correlation with the
+        table hash.  Ground-truth code works with whatever ids are
+        emitted, so analyses are unaffected.
+    """
+
+    def __init__(
+        self,
+        num_updates: int,
+        universe: int,
+        alpha: float,
+        seed: int = 0,
+        weight_low: Optional[float] = None,
+        weight_high: Optional[float] = None,
+        scramble_ids: bool = True,
+        batch_size: int = 65536,
+    ) -> None:
+        if num_updates < 0:
+            raise InvalidParameterError(f"num_updates must be >= 0, got {num_updates}")
+        if (weight_low is None) != (weight_high is None):
+            raise InvalidParameterError(
+                "weight_low and weight_high must be given together"
+            )
+        if weight_low is not None and not 0 < weight_low <= weight_high:
+            raise InvalidParameterError(
+                f"need 0 < weight_low <= weight_high, got [{weight_low}, {weight_high}]"
+            )
+        self.num_updates = num_updates
+        self.universe = universe
+        self.alpha = alpha
+        self.seed = seed
+        self.weight_low = weight_low
+        self.weight_high = weight_high
+        self.scramble_ids = scramble_ids
+        self.batch_size = batch_size
+
+    def __len__(self) -> int:
+        return self.num_updates
+
+    def _rank_to_id(self, ranks: np.ndarray) -> np.ndarray:
+        if not self.scramble_ids:
+            return ranks.astype(np.uint64)
+        # Vectorized splitmix-style mix of (rank ^ seed-derived constant).
+        x = ranks.astype(np.uint64)
+        with np.errstate(over="ignore"):
+            x = x ^ np.uint64(hash_u64(self.seed, 0x5EED))
+            x = (x ^ (x >> np.uint64(33))) * np.uint64(0xFF51AFD7ED558CCD)
+            x = (x ^ (x >> np.uint64(33))) * np.uint64(0xC4CEB9FE1A85EC53)
+            x = x ^ (x >> np.uint64(33))
+        return x
+
+    def batches(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(item_ids, weights)`` numpy array pairs."""
+        sampler = ZipfTableSampler(
+            min(self.universe, TABLE_SAMPLER_LIMIT), self.alpha, seed=self.seed
+        )
+        if self.universe > TABLE_SAMPLER_LIMIT:
+            # Fall back to the O(1)-memory sampler, one draw at a time.
+            rng = Xoroshiro128PlusPlus(self.seed)
+            big = RejectionInversionZipf(self.universe, self.alpha, rng)
+        else:
+            big = None
+        weight_rng = np.random.Generator(np.random.PCG64(self.seed ^ 0xBEEF))
+        remaining = self.num_updates
+        while remaining > 0:
+            count = min(self.batch_size, remaining)
+            if big is None:
+                ranks = sampler.sample(count)
+            else:
+                ranks = np.asarray(big.sample(count), dtype=np.int64)
+            items = self._rank_to_id(ranks)
+            if self.weight_low is None:
+                weights = np.ones(count, dtype=np.float64)
+            else:
+                weights = weight_rng.integers(
+                    int(self.weight_low), int(self.weight_high), size=count,
+                    endpoint=True,
+                ).astype(np.float64)
+            yield items, weights
+            remaining -= count
+
+    def __iter__(self) -> Iterator[StreamUpdate]:
+        for items, weights in self.batches():
+            for item, weight in zip(items.tolist(), weights.tolist()):
+                yield StreamUpdate(int(item), float(weight))

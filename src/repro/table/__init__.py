@@ -1,0 +1,43 @@
+"""Counter storage substrates.
+
+The paper's implementation (Section 2.3.3) keeps counters in a
+linear-probing hash table laid out as parallel key/value arrays of length
+``L = next_pow2(4k/3)`` plus a compact state array recording each key's
+probe distance, with in-place backward-shift deletion during decrement
+purges.  :class:`LinearProbingTable` reproduces that structure.
+
+:class:`DictCounterStore` offers the same interface on a plain Python
+``dict`` — in CPython the built-in dict is the pragmatic fast path, and an
+ablation benchmark compares the two backends.
+"""
+
+from repro.table.accounting import probing_table_bytes, table_length
+from repro.table.base import CounterStore
+from repro.table.dictstore import DictCounterStore
+from repro.table.probing import LinearProbingTable
+from repro.table.robinhood import RobinHoodTable
+
+__all__ = [
+    "CounterStore",
+    "LinearProbingTable",
+    "RobinHoodTable",
+    "DictCounterStore",
+    "table_length",
+    "probing_table_bytes",
+]
+
+
+def make_store(backend: str, capacity: int, seed: int = 0) -> CounterStore:
+    """Construct a counter store by backend name.
+
+    Backends: ``"probing"`` (the paper's Section 2.3.3 layout),
+    ``"robinhood"`` (the displacement variant, for the backend ablation),
+    and ``"dict"`` (CPython's builtin table).
+    """
+    if backend == "probing":
+        return LinearProbingTable(capacity, hash_seed=seed)
+    if backend == "robinhood":
+        return RobinHoodTable(capacity, hash_seed=seed)
+    if backend == "dict":
+        return DictCounterStore(capacity)
+    raise ValueError(f"unknown counter-store backend: {backend!r}")

@@ -1,0 +1,46 @@
+"""Byte-level space accounting for the probing table (paper Section 2.3.3).
+
+The paper's model: keys and values are 8 bytes each, state variables 2
+bytes, arrays have length ``L = 4k/3`` rounded up to a power of two, so a
+sketch with ``k`` counters occupies ``18 * (4/3) * k = 24k`` bytes plus a
+small constant.  These helpers compute the exact figures so space-vs-error
+comparisons (Figures 1 and 2, "equal space" panels) can be made in bytes
+rather than counter counts.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidParameterError
+
+#: Bytes per slot: 8 (key) + 8 (value) + 2 (state).
+BYTES_PER_SLOT = 18
+
+#: Fixed overhead we charge every table for scalar fields (size, mask, seed...).
+HEADER_BYTES = 64
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two >= ``n`` (and >= 1)."""
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()
+
+
+def table_length(capacity: int, load_factor: float = 0.75) -> int:
+    """Array length for a table holding up to ``capacity`` counters.
+
+    With the paper's load factor of 3/4 this is ``next_pow2(ceil(4k/3))``.
+    """
+    if capacity <= 0:
+        raise InvalidParameterError(f"capacity must be positive, got {capacity}")
+    if not 0.0 < load_factor < 1.0:
+        raise InvalidParameterError(f"load_factor must be in (0,1), got {load_factor}")
+    needed = -(-capacity // load_factor) if isinstance(load_factor, int) else capacity / load_factor
+    import math
+
+    return next_power_of_two(max(4, math.ceil(needed)))
+
+
+def probing_table_bytes(capacity: int, load_factor: float = 0.75) -> int:
+    """Modeled bytes for a probing table with ``capacity`` counters."""
+    return BYTES_PER_SLOT * table_length(capacity, load_factor) + HEADER_BYTES

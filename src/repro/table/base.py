@@ -1,0 +1,88 @@
+"""The interface every counter store implements.
+
+A *counter store* is a bounded map from 64-bit item identifiers to
+positive real counts supporting exactly the operations the paper's
+algorithms need: point lookup/increment, insert, a bulk
+"decrement everything and drop the non-positive" pass, iteration, and
+random sampling of live counter values.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, Optional
+
+from repro.prng import Xoroshiro128PlusPlus
+from repro.types import ItemId
+
+
+class CounterStore(ABC):
+    """Abstract bounded item -> count map used by all counter algorithms."""
+
+    @property
+    @abstractmethod
+    def capacity(self) -> int:
+        """Maximum number of counters (the paper's ``k``)."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of counters currently assigned."""
+
+    @abstractmethod
+    def get(self, key: ItemId) -> Optional[float]:
+        """Return the count for ``key``, or ``None`` if unassigned."""
+
+    @abstractmethod
+    def add_to(self, key: ItemId, delta: float) -> bool:
+        """Add ``delta`` to ``key``'s counter if assigned; report success.
+
+        Never inserts — returns ``False`` when ``key`` has no counter.
+        """
+
+    @abstractmethod
+    def insert(self, key: ItemId, value: float) -> None:
+        """Assign a fresh counter to ``key`` with initial ``value``.
+
+        ``key`` must not already be assigned; raises
+        :class:`repro.errors.TableFullError` at capacity.
+        """
+
+    @abstractmethod
+    def adjust_all(self, delta: float) -> None:
+        """Add ``delta`` (typically negative) to every assigned counter."""
+
+    @abstractmethod
+    def purge_nonpositive(self) -> int:
+        """Unassign every counter whose value is <= 0; return how many."""
+
+    @abstractmethod
+    def items(self) -> Iterator[tuple[ItemId, float]]:
+        """Iterate over ``(key, count)`` pairs in storage order."""
+
+    @abstractmethod
+    def values_list(self) -> list[float]:
+        """Return a fresh list of all live counter values."""
+
+    @abstractmethod
+    def sample_values(self, count: int, rng: Xoroshiro128PlusPlus) -> list[float]:
+        """Sample ``count`` live counter values uniformly with replacement."""
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Unassign every counter."""
+
+    @abstractmethod
+    def space_bytes(self) -> int:
+        """Modeled memory footprint in bytes (cf. paper Section 2.3.3)."""
+
+    def __contains__(self, key: ItemId) -> bool:
+        return self.get(key) is not None
+
+    def decrement_and_purge(self, amount: float) -> int:
+        """Subtract ``amount`` from every counter, dropping non-positive ones.
+
+        This is the storage half of ``DecrementCounters()``; returns the
+        number of counters freed.
+        """
+        self.adjust_all(-amount)
+        return self.purge_nonpositive()

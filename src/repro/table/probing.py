@@ -1,0 +1,297 @@
+"""The paper's linear-probing counter table (Section 2.3.3).
+
+Layout
+------
+Three parallel arrays of length ``L = next_pow2(4k/3)``:
+
+* ``keys[s]``   — the 64-bit item identifier stored in slot ``s``;
+* ``values[s]`` — its approximate count (a float);
+* ``states[s]`` — 0 when the slot is empty, otherwise the probe distance
+  of the stored key from its preferred slot ``h(key)``, plus one.
+
+Insertion and lookup are standard linear probing.  The operation the
+paper adds is the decrement pass: subtract ``c*`` from every value and
+delete every counter that becomes non-positive, *in place*, by walking
+runs of occupied cells and shifting keys backward so that all future
+probes still work (the "start at the end of a run ... shifting keys and
+values forward as necessary" paragraph of Section 2.3.3).  No scratch
+memory is allocated — that is precisely the property that lets the final
+algorithm halve the footprint of the initial proposal.
+
+The table also counts probe steps (``probe_count``) so benchmarks can
+report hardware-independent access costs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import InvalidParameterError, TableFullError
+from repro.hashing.mixers import hash_u64
+from repro.prng import Xoroshiro128PlusPlus
+from repro.table.accounting import BYTES_PER_SLOT, HEADER_BYTES, table_length
+from repro.table.base import CounterStore
+from repro.types import ItemId
+
+_MASK64 = (1 << 64) - 1
+
+
+class LinearProbingTable(CounterStore):
+    """Bounded open-addressing counter map with backward-shift deletion.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of assigned counters (the paper's ``k``).
+    hash_seed:
+        Seed for the slot hash.  Sketches that may be merged should use
+        distinct seeds (Section 3.2's note on hash-function reuse).
+    load_factor:
+        Maximum fill fraction; the array length is the smallest power of
+        two with ``capacity / length <= load_factor`` (default 3/4, the
+        paper's ``L ~ 4k/3``).
+    """
+
+    __slots__ = (
+        "_capacity",
+        "_mask",
+        "_keys",
+        "_values",
+        "_states",
+        "_size",
+        "_seed",
+        "probe_count",
+    )
+
+    def __init__(
+        self,
+        capacity: int,
+        hash_seed: int = 0,
+        load_factor: float = 0.75,
+    ) -> None:
+        if capacity <= 0:
+            raise InvalidParameterError(f"capacity must be positive, got {capacity}")
+        length = table_length(capacity, load_factor)
+        self._capacity = capacity
+        self._mask = length - 1
+        self._keys = [0] * length
+        self._values = [0.0] * length
+        self._states = [0] * length
+        self._size = 0
+        self._seed = hash_seed
+        #: Total linear-probing steps taken by lookups and inserts.
+        self.probe_count = 0
+
+    # -- basic introspection -------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def length(self) -> int:
+        """Physical array length ``L`` (a power of two)."""
+        return self._mask + 1
+
+    def __len__(self) -> int:
+        return self._size
+
+    def load(self) -> float:
+        """Current fill fraction of the physical arrays."""
+        return self._size / self.length
+
+    # -- hashing -------------------------------------------------------------
+
+    def _home_slot(self, key: ItemId) -> int:
+        return hash_u64(key, self._seed) & self._mask
+
+    # -- lookup / update -----------------------------------------------------
+
+    def get(self, key: ItemId) -> Optional[float]:
+        states = self._states
+        keys = self._keys
+        mask = self._mask
+        slot = self._home_slot(key)
+        probes = 0
+        while states[slot] != 0:
+            probes += 1
+            if keys[slot] == key:
+                self.probe_count += probes
+                return self._values[slot]
+            slot = (slot + 1) & mask
+        self.probe_count += probes + 1
+        return None
+
+    def add_to(self, key: ItemId, delta: float) -> bool:
+        states = self._states
+        keys = self._keys
+        mask = self._mask
+        slot = self._home_slot(key)
+        probes = 0
+        while states[slot] != 0:
+            probes += 1
+            if keys[slot] == key:
+                self._values[slot] += delta
+                self.probe_count += probes
+                return True
+            slot = (slot + 1) & mask
+        self.probe_count += probes + 1
+        return False
+
+    def insert(self, key: ItemId, value: float) -> None:
+        if self._size >= self._capacity:
+            raise TableFullError(
+                f"table holds {self._size} counters, capacity {self._capacity}"
+            )
+        states = self._states
+        keys = self._keys
+        mask = self._mask
+        home = self._home_slot(key)
+        slot = home
+        probes = 0
+        while states[slot] != 0:
+            if keys[slot] == key:
+                raise InvalidParameterError(f"key {key} is already assigned a counter")
+            probes += 1
+            slot = (slot + 1) & mask
+        keys[slot] = key
+        self._values[slot] = value
+        states[slot] = ((slot - home) & mask) + 1
+        self._size += 1
+        self.probe_count += probes + 1
+
+    def put(self, key: ItemId, value: float) -> None:
+        """Set ``key`` to ``value``, inserting if absent."""
+        states = self._states
+        keys = self._keys
+        mask = self._mask
+        home = self._home_slot(key)
+        slot = home
+        while states[slot] != 0:
+            if keys[slot] == key:
+                self._values[slot] = value
+                return
+            slot = (slot + 1) & mask
+        if self._size >= self._capacity:
+            raise TableFullError(
+                f"table holds {self._size} counters, capacity {self._capacity}"
+            )
+        keys[slot] = key
+        self._values[slot] = value
+        states[slot] = ((slot - home) & mask) + 1
+        self._size += 1
+
+    # -- bulk decrement ------------------------------------------------------
+
+    def adjust_all(self, delta: float) -> None:
+        states = self._states
+        values = self._values
+        for slot in range(len(states)):
+            if states[slot] != 0:
+                values[slot] += delta
+
+    def purge_nonpositive(self) -> int:
+        states = self._states
+        values = self._values
+        removed = 0
+        slot = 0
+        length = len(states)
+        while slot < length:
+            if states[slot] != 0 and values[slot] <= 0.0:
+                self._remove_at(slot)
+                removed += 1
+                # Backward shifting may have moved another counter into
+                # this slot; re-examine it before advancing.
+            else:
+                slot += 1
+        return removed
+
+    def _remove_at(self, slot: int) -> None:
+        """Empty ``slot`` and backward-shift the rest of its probe run.
+
+        Walks forward from the freed cell; any later element of the run
+        whose preferred slot lies at or before the free cell is moved back
+        into it (shrinking its probe distance), and the walk continues
+        from the element's old position.  Elements already in (or after)
+        their preferred slot relative to the gap are left in place.  The
+        walk ends at the first empty cell.
+        """
+        states = self._states
+        keys = self._keys
+        values = self._values
+        mask = self._mask
+        states[slot] = 0
+        self._size -= 1
+        free = slot
+        scan = (slot + 1) & mask
+        while states[scan] != 0:
+            distance = states[scan] - 1
+            home = (scan - distance) & mask
+            free_distance = (free - home) & mask
+            if free_distance < distance:
+                keys[free] = keys[scan]
+                values[free] = values[scan]
+                states[free] = free_distance + 1
+                states[scan] = 0
+                free = scan
+            scan = (scan + 1) & mask
+
+    # -- iteration / sampling ------------------------------------------------
+
+    def items(self) -> Iterator[tuple[ItemId, float]]:
+        states = self._states
+        keys = self._keys
+        values = self._values
+        for slot in range(len(states)):
+            if states[slot] != 0:
+                yield keys[slot], values[slot]
+
+    def values_list(self) -> list[float]:
+        states = self._states
+        values = self._values
+        return [values[s] for s in range(len(states)) if states[s] != 0]
+
+    def sample_values(self, count: int, rng: Xoroshiro128PlusPlus) -> list[float]:
+        """Uniform with-replacement sample of live counter values.
+
+        Rejection-samples physical slots; with the table at its working
+        load (>= 3/8 even right after a purge-triggering insert sequence)
+        the expected number of probes per draw is a small constant.
+        """
+        if self._size == 0:
+            raise InvalidParameterError("cannot sample from an empty table")
+        states = self._states
+        values = self._values
+        length = len(states)
+        out = []
+        while len(out) < count:
+            slot = rng.randrange(length)
+            if states[slot] != 0:
+                out.append(values[slot])
+        return out
+
+    def clear(self) -> None:
+        length = self._mask + 1
+        self._keys = [0] * length
+        self._values = [0.0] * length
+        self._states = [0] * length
+        self._size = 0
+
+    # -- accounting ----------------------------------------------------------
+
+    def space_bytes(self) -> int:
+        return BYTES_PER_SLOT * self.length + HEADER_BYTES
+
+    def max_state(self) -> int:
+        """Largest probe-distance state currently stored (diagnostics).
+
+        Section 2.3.3 argues 2-byte states suffice because distances stay
+        tiny at load 3/4; tests use this to confirm the claim empirically.
+        """
+        return max(self._states)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LinearProbingTable(size={self._size}, capacity={self._capacity}, "
+            f"length={self.length})"
+        )

@@ -1,0 +1,53 @@
+"""Shared fixtures: canned streams and ground truths, built once."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streams.caida import SyntheticPacketTrace
+from repro.streams.exact import ExactCounter
+from repro.streams.zipf import ZipfianStream
+
+
+@pytest.fixture(scope="session")
+def zipf_unit_stream():
+    """20k unit-weight updates, Zipf(1.2) over 5k items."""
+    return list(ZipfianStream(20_000, universe=5_000, alpha=1.2, seed=101))
+
+
+@pytest.fixture(scope="session")
+def zipf_weighted_stream():
+    """20k weighted updates (U[1,1000] weights), Zipf(1.1) over 5k items."""
+    return list(
+        ZipfianStream(
+            20_000, universe=5_000, alpha=1.1, seed=202,
+            weight_low=1, weight_high=1_000,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def packet_stream():
+    """A small synthetic packet trace (items = IPs, weights = bits)."""
+    return list(SyntheticPacketTrace(15_000, unique_sources=3_000, seed=303))
+
+
+@pytest.fixture(scope="session")
+def zipf_unit_exact(zipf_unit_stream):
+    exact = ExactCounter()
+    exact.update_all(zipf_unit_stream)
+    return exact
+
+
+@pytest.fixture(scope="session")
+def zipf_weighted_exact(zipf_weighted_stream):
+    exact = ExactCounter()
+    exact.update_all(zipf_weighted_stream)
+    return exact
+
+
+@pytest.fixture(scope="session")
+def packet_exact(packet_stream):
+    exact = ExactCounter()
+    exact.update_all(packet_stream)
+    return exact

@@ -1,0 +1,109 @@
+"""CountMin and CountSketch: one-sided / unbiased error behaviour."""
+
+import pytest
+
+from repro.baselines import CountMinSketch, CountSketch
+from repro.errors import InvalidParameterError, InvalidUpdateError
+
+
+def test_cms_validation():
+    with pytest.raises(InvalidParameterError):
+        CountMinSketch(0, 16)
+    with pytest.raises(InvalidParameterError):
+        CountMinSketch(4, 100)  # width not a power of two
+    cms = CountMinSketch(4, 16)
+    with pytest.raises(InvalidUpdateError):
+        cms.update(1, -1.0)
+
+
+def test_cms_never_underestimates(zipf_weighted_stream, zipf_weighted_exact):
+    cms = CountMinSketch(4, 2048, seed=1)
+    for item, weight in zipf_weighted_stream:
+        cms.update(item, weight)
+    for item, frequency in zipf_weighted_exact.top_k(50):
+        assert cms.estimate(item) >= frequency - 1e-6
+        assert cms.upper_bound(item) == cms.estimate(item)
+        assert cms.lower_bound(item) <= frequency + 1e-6
+
+
+def test_cms_error_scales_with_width(zipf_weighted_stream, zipf_weighted_exact):
+    narrow = CountMinSketch(4, 256, seed=2)
+    wide = CountMinSketch(4, 4096, seed=2)
+    for item, weight in zipf_weighted_stream:
+        narrow.update(item, weight)
+        wide.update(item, weight)
+
+    def mean_overestimate(sketch):
+        rows = zipf_weighted_exact.top_k(100)
+        return sum(sketch.estimate(i) - f for i, f in rows) / len(rows)
+
+    assert mean_overestimate(wide) <= mean_overestimate(narrow)
+
+
+def test_cms_conservative_update_tighter(zipf_weighted_stream, zipf_weighted_exact):
+    plain = CountMinSketch(4, 512, seed=3)
+    conservative = CountMinSketch(4, 512, seed=3, conservative=True)
+    for item, weight in zipf_weighted_stream:
+        plain.update(item, weight)
+        conservative.update(item, weight)
+    for item, frequency in zipf_weighted_exact.top_k(20):
+        assert conservative.estimate(item) <= plain.estimate(item) + 1e-6
+        assert conservative.estimate(item) >= frequency - 1e-6
+
+
+def test_cms_candidate_tracking(zipf_weighted_stream, zipf_weighted_exact):
+    cms = CountMinSketch(4, 2048, seed=4, track_top=32)
+    for item, weight in zipf_weighted_stream:
+        cms.update(item, weight)
+    phi = 0.02
+    candidates = cms.heavy_hitter_candidates(phi)
+    for item in zipf_weighted_exact.heavy_hitters(phi):
+        assert item in candidates
+
+
+def test_cms_merge():
+    a = CountMinSketch(3, 256, seed=5)
+    b = CountMinSketch(3, 256, seed=5)
+    a.update(1, 10.0)
+    b.update(1, 5.0)
+    b.update(2, 7.0)
+    a.merge(b)
+    assert a.estimate(1) >= 15.0
+    assert a.stream_weight == 22.0
+    with pytest.raises(InvalidParameterError):
+        a.merge(CountMinSketch(3, 512, seed=5))
+
+
+def test_countsketch_validation():
+    with pytest.raises(InvalidParameterError):
+        CountSketch(0, 16)
+    with pytest.raises(InvalidParameterError):
+        CountSketch(4, 77)
+    cs = CountSketch(3, 64)
+    with pytest.raises(InvalidUpdateError):
+        cs.update(1, 0.0)
+
+
+def test_countsketch_roughly_unbiased(zipf_weighted_stream, zipf_weighted_exact):
+    cs = CountSketch(5, 2048, seed=6)
+    for item, weight in zipf_weighted_stream:
+        cs.update(item, weight)
+    n = zipf_weighted_exact.total_weight
+    for item, frequency in zipf_weighted_exact.top_k(10):
+        assert abs(cs.estimate(item) - frequency) <= 0.05 * n
+
+
+def test_countsketch_merge():
+    a = CountSketch(3, 128, seed=7)
+    b = CountSketch(3, 128, seed=7)
+    a.update(1, 100.0)
+    b.update(1, 50.0)
+    a.merge(b)
+    assert a.estimate(1) == pytest.approx(150.0)
+    with pytest.raises(InvalidParameterError):
+        a.merge(CountSketch(4, 128, seed=7))
+
+
+def test_space_accounting():
+    assert CountMinSketch(4, 1024).space_bytes() == 8 * 4 * 1024 + 16 * 4
+    assert CountSketch(4, 1024).space_bytes() == 8 * 4 * 1024 + 32 * 4

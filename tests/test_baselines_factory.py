@@ -1,0 +1,51 @@
+"""The by-name algorithm factory used by the benchmark harness."""
+
+import pytest
+
+from repro.baselines import ReduceByMinCounter, SpaceSavingHeap, make_algorithm
+from repro.baselines.factory import make_med, make_quantile_variant, make_smed, make_smin
+from repro.core.frequent_items import FrequentItemsSketch
+from repro.core.policies import ExactKthLargestPolicy, SampleQuantilePolicy
+from repro.errors import InvalidParameterError
+
+
+def test_named_constructions():
+    assert isinstance(make_algorithm("SMED", 16), FrequentItemsSketch)
+    assert isinstance(make_algorithm("smin", 16), FrequentItemsSketch)
+    assert isinstance(make_algorithm("MED", 16), FrequentItemsSketch)
+    assert isinstance(make_algorithm("RBMC", 16), ReduceByMinCounter)
+    assert isinstance(make_algorithm("MHE", 16), SpaceSavingHeap)
+
+
+def test_policies_wired_correctly():
+    smed = make_smed(16)
+    assert isinstance(smed.policy, SampleQuantilePolicy)
+    assert smed.policy.quantile == 0.5
+    smin = make_smin(16)
+    assert smin.policy.quantile == 0.0
+    med = make_med(16)
+    assert isinstance(med.policy, ExactKthLargestPolicy)
+    sq70 = make_algorithm("SQ70", 16)
+    assert sq70.policy.quantile == pytest.approx(0.70)
+
+
+def test_quantile_variant_range_checked():
+    assert make_quantile_variant(8, 0.3).policy.quantile == pytest.approx(0.3)
+    with pytest.raises(InvalidParameterError):
+        make_algorithm("SQ101", 8)
+    with pytest.raises(InvalidParameterError):
+        make_algorithm("SQxx", 8)
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(InvalidParameterError):
+        make_algorithm("FANCY", 8)
+
+
+def test_all_factory_algorithms_share_update_interface(packet_stream):
+    for name in ("SMED", "SMIN", "MED", "RBMC", "MHE", "SQ25"):
+        algorithm = make_algorithm(name, 32, seed=1)
+        for item, weight in packet_stream[:2_000]:
+            algorithm.update(item, weight)
+        assert algorithm.estimate(packet_stream[0][0]) >= 0.0
+        assert algorithm.stats.updates == 2_000

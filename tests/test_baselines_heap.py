@@ -1,0 +1,125 @@
+"""IndexedMinHeap: invariants under all operation mixes."""
+
+import random
+
+import pytest
+
+from repro.baselines.heap import IndexedMinHeap
+from repro.errors import InvalidParameterError
+
+
+def test_push_and_min():
+    heap = IndexedMinHeap()
+    heap.push(1, 5.0)
+    heap.push(2, 3.0)
+    heap.push(3, 8.0)
+    assert heap.min_item() == 2
+    assert heap.min_value() == 3.0
+    assert len(heap) == 3
+    assert 2 in heap
+    assert 9 not in heap
+    assert heap.value_of(3) == 8.0
+    assert heap.value_of(9) is None
+
+
+def test_empty_heap_errors():
+    heap = IndexedMinHeap()
+    with pytest.raises(InvalidParameterError):
+        heap.min_value()
+    with pytest.raises(InvalidParameterError):
+        heap.min_item()
+    with pytest.raises(InvalidParameterError):
+        heap.pop_min()
+    with pytest.raises(InvalidParameterError):
+        heap.replace_min(1, 1.0)
+
+
+def test_duplicate_push_rejected():
+    heap = IndexedMinHeap()
+    heap.push(1, 1.0)
+    with pytest.raises(InvalidParameterError):
+        heap.push(1, 2.0)
+
+
+def test_increase_key_moves_item_down():
+    heap = IndexedMinHeap()
+    for item, value in [(1, 1.0), (2, 2.0), (3, 3.0)]:
+        heap.push(item, value)
+    heap.increase_key(1, 10.0)
+    assert heap.min_item() == 2
+    assert heap.value_of(1) == 10.0
+    assert heap.check_invariant()
+
+
+def test_increase_key_validation():
+    heap = IndexedMinHeap()
+    heap.push(1, 5.0)
+    with pytest.raises(InvalidParameterError):
+        heap.increase_key(2, 1.0)  # absent
+    with pytest.raises(InvalidParameterError):
+        heap.increase_key(1, 4.0)  # lowering
+
+
+def test_replace_min_evicts_root():
+    heap = IndexedMinHeap()
+    for item, value in [(1, 1.0), (2, 2.0), (3, 3.0)]:
+        heap.push(item, value)
+    evicted = heap.replace_min(99, 2.5)
+    assert evicted == 1
+    assert 1 not in heap
+    assert heap.value_of(99) == 2.5
+    assert heap.min_item() == 2
+    assert heap.check_invariant()
+    with pytest.raises(InvalidParameterError):
+        heap.replace_min(2, 7.0)  # already present
+
+
+def test_pop_min_drains_in_order():
+    heap = IndexedMinHeap()
+    values = [9.0, 1.0, 7.0, 3.0, 5.0, 2.0]
+    for item, value in enumerate(values):
+        heap.push(item, value)
+    drained = [heap.pop_min()[1] for _ in range(len(values))]
+    assert drained == sorted(values)
+    assert len(heap) == 0
+
+
+def test_sift_steps_counted():
+    heap = IndexedMinHeap()
+    for item in range(64):
+        heap.push(item, float(64 - item))
+    assert heap.sift_steps > 0
+
+
+def test_random_operation_fuzz():
+    random.seed(12)
+    heap = IndexedMinHeap()
+    model: dict[int, float] = {}
+    for step in range(3000):
+        action = random.random()
+        if action < 0.45 or not model:
+            item = random.randrange(200)
+            if item not in model:
+                value = random.uniform(0, 100)
+                heap.push(item, value)
+                model[item] = value
+        elif action < 0.75:
+            item = random.choice(list(model))
+            bump = random.uniform(0, 50)
+            heap.increase_key(item, model[item] + bump)
+            model[item] += bump
+        elif action < 0.9:
+            item, value = heap.pop_min()
+            assert value == pytest.approx(min(model.values()))
+            del model[item]
+        else:
+            new_item = 1000 + step
+            old_min = min(model.values())
+            victim = heap.replace_min(new_item, old_min + 1.0)
+            assert model[victim] == pytest.approx(old_min)
+            del model[victim]
+            model[new_item] = old_min + 1.0
+        if step % 250 == 0:
+            assert heap.check_invariant()
+            assert len(heap) == len(model)
+    assert heap.check_invariant()

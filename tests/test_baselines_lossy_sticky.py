@@ -1,0 +1,98 @@
+"""Lossy Counting and Sticky Sampling: Manku-Motwani guarantees."""
+
+import pytest
+
+from repro.baselines import LossyCounting, StickySampling
+from repro.errors import InvalidParameterError, InvalidUpdateError
+
+
+def test_lossy_validation():
+    with pytest.raises(InvalidParameterError):
+        LossyCounting(0.0)
+    with pytest.raises(InvalidParameterError):
+        LossyCounting(1.0)
+    lc = LossyCounting(0.01)
+    with pytest.raises(InvalidUpdateError):
+        lc.update(1, -1.0)
+
+
+def test_lossy_underestimates_by_at_most_epsilon_n(
+    zipf_weighted_stream, zipf_weighted_exact
+):
+    epsilon = 0.001
+    lc = LossyCounting(epsilon)
+    for item, weight in zipf_weighted_stream:
+        lc.update(item, weight)
+    budget = epsilon * zipf_weighted_exact.total_weight
+    for item, frequency in zipf_weighted_exact.items():
+        estimate = lc.estimate(item)
+        assert estimate <= frequency + 1e-6  # never overestimates
+        assert frequency - estimate <= budget + 1e-6
+        assert lc.upper_bound(item) >= frequency - 1e-6
+
+
+def test_lossy_no_false_negative_heavy_hitters(
+    zipf_weighted_stream, zipf_weighted_exact
+):
+    epsilon = 0.002
+    phi = 0.02
+    lc = LossyCounting(epsilon)
+    for item, weight in zipf_weighted_stream:
+        lc.update(item, weight)
+    reported = set(lc.heavy_hitters(phi))
+    for item in zipf_weighted_exact.heavy_hitters(phi):
+        assert item in reported
+
+
+def test_lossy_space_grows_with_inverse_epsilon(zipf_weighted_stream):
+    small = LossyCounting(0.01)
+    large = LossyCounting(0.0005)
+    for item, weight in zipf_weighted_stream:
+        small.update(item, weight)
+        large.update(item, weight)
+    assert small.num_active < large.num_active
+
+
+def test_lossy_prunes():
+    lc = LossyCounting(0.1)
+    for item in range(200):
+        lc.update(item, 1.0)  # all distinct: everything prunable
+    assert lc.num_active < 200
+    assert lc.stats.decrements > 0
+
+
+def test_sticky_validation():
+    with pytest.raises(InvalidParameterError):
+        StickySampling(phi=0.01, epsilon=0.02)  # epsilon >= phi
+    with pytest.raises(InvalidParameterError):
+        StickySampling(phi=0.5, epsilon=0.1, delta=0.0)
+    sticky = StickySampling(phi=0.1, epsilon=0.01)
+    with pytest.raises(InvalidUpdateError):
+        sticky.update(1, 2.0)
+
+
+def test_sticky_finds_the_heavy_item():
+    sticky = StickySampling(phi=0.3, epsilon=0.05, seed=8)
+    for index in range(20_000):
+        sticky.update(0 if index % 2 == 0 else index)
+    hitters = sticky.heavy_hitters()
+    assert 0 in hitters
+    # Count is exact up to pre-admission misses and diminishing losses,
+    # both bounded by epsilon * n w.h.p.
+    assert hitters[0] == pytest.approx(10_000, abs=0.05 * 20_000)
+
+
+def test_sticky_rate_doubles():
+    sticky = StickySampling(phi=0.2, epsilon=0.1, delta=0.1, seed=3)
+    assert sticky.sampling_rate == 1
+    for index in range(50_000):
+        sticky.update(index % 10)
+    assert sticky.sampling_rate > 1
+    assert sticky.stats.decrements > 0  # diminish passes happened
+
+
+def test_sticky_always_present_item_is_nearly_exact():
+    sticky = StickySampling(phi=0.2, epsilon=0.02, delta=0.01, seed=5)
+    for _ in range(30_000):
+        sticky.update(7)
+    assert sticky.estimate(7) == pytest.approx(30_000, rel=0.05)

@@ -1,0 +1,102 @@
+"""The prior merge procedures (ACH+13 sort / Hoa61 quickselect)."""
+
+import pytest
+
+from repro.baselines import ach13_merge, hoa61_merge
+from repro.baselines.factory import make_smed
+from repro.errors import IncompatibleSketchError
+from repro.streams.exact import ExactCounter
+from repro.streams.zipf import ZipfianStream
+
+
+def _pair(seed_a=1, seed_b=2, k=32, n=3_000):
+    exact = ExactCounter()
+    sketches = []
+    for seed in (seed_a, seed_b):
+        sketch = make_smed(k, seed=seed)
+        for item, weight in ZipfianStream(
+            n, universe=1_000, alpha=1.05, seed=seed, weight_low=1, weight_high=10_000
+        ):
+            sketch.update(item, weight)
+            exact.update(item, weight)
+        sketches.append(sketch)
+    return sketches[0], sketches[1], exact
+
+
+def test_procedures_produce_identical_summaries():
+    a, b, _exact = _pair()
+    sort_based = ach13_merge(a, b)
+    select_based = hoa61_merge(a, b)
+    assert sorted(sort_based.to_rows()) == pytest.approx(sorted(select_based.to_rows()))
+    assert sort_based.maximum_error == pytest.approx(select_based.maximum_error)
+
+
+def test_inputs_unchanged():
+    a, b, _ = _pair()
+    rows_a = sorted(a.to_rows())
+    rows_b = sorted(b.to_rows())
+    ach13_merge(a, b)
+    hoa61_merge(a, b)
+    assert sorted(a.to_rows()) == rows_a
+    assert sorted(b.to_rows()) == rows_b
+
+
+def test_output_capped_at_k():
+    a, b, _ = _pair()
+    merged = ach13_merge(a, b)
+    assert merged.num_active <= merged.max_counters
+
+
+def test_bounds_bracket_union_truth():
+    a, b, exact = _pair(seed_a=5, seed_b=6)
+    for merged in (ach13_merge(a, b), hoa61_merge(a, b)):
+        assert merged.stream_weight == pytest.approx(exact.total_weight)
+        for item, frequency in exact.items():
+            assert merged.lower_bound(item) <= frequency + 1e-6
+            assert merged.upper_bound(item) >= frequency - 1e-6
+
+
+def test_error_close_to_our_merge():
+    """Section 4.5: our merge's error within a few percent of prior art."""
+    a, b, exact = _pair(seed_a=7, seed_b=8)
+    ours = a.copy().merge(b)
+    prior = ach13_merge(a, b)
+
+    def worst(sketch):
+        return max(
+            abs(frequency - sketch.estimate(item))
+            for item, frequency in exact.items()
+        )
+
+    ours_error = worst(ours)
+    prior_error = worst(prior)
+    assert ours_error <= prior_error * 1.6 + 1e-6  # same ballpark
+
+
+def test_below_capacity_merge_is_lossless():
+    k = 64
+    a = make_smed(k, seed=9)
+    b = make_smed(k, seed=10)
+    for item in range(20):
+        a.update(item, float(item + 1))
+    for item in range(20, 40):
+        b.update(item, 3.0)
+    merged = ach13_merge(a, b)
+    assert merged.maximum_error == 0.0
+    assert merged.estimate(5) == 6.0
+    assert merged.estimate(25) == 3.0
+
+
+def test_mismatched_k_rejected():
+    a = make_smed(16, seed=1)
+    b = make_smed(32, seed=2)
+    with pytest.raises(IncompatibleSketchError):
+        ach13_merge(a, b)
+    with pytest.raises(IncompatibleSketchError):
+        hoa61_merge(a, b)
+
+
+def test_scratch_words_recorded():
+    a, b, _ = _pair()
+    merged = ach13_merge(a, b)
+    assert merged.stats.scratch_words > 0  # the allocation prior work pays

@@ -1,0 +1,94 @@
+"""Misra-Gries (Algorithm 1): Lemma 1/2 guarantees and mechanics."""
+
+import pytest
+
+from repro.baselines import MisraGries
+from repro.errors import InvalidParameterError, InvalidUpdateError
+from repro.streams.exact import ExactCounter
+
+
+def test_unit_updates_only():
+    mg = MisraGries(4)
+    with pytest.raises(InvalidUpdateError):
+        mg.update(1, 2.0)
+    with pytest.raises(InvalidUpdateError):
+        mg.update(1, 0.5)
+
+
+def test_rejects_bad_k():
+    with pytest.raises(InvalidParameterError):
+        MisraGries(0)
+
+
+def test_exact_when_under_capacity():
+    mg = MisraGries(8)
+    for item in [1, 2, 1, 3, 1, 2]:
+        mg.update(item)
+    assert mg.estimate(1) == 3.0
+    assert mg.estimate(2) == 2.0
+    assert mg.estimate(3) == 1.0
+    assert mg.estimate(4) == 0.0
+    assert mg.num_active == 3
+
+
+def test_decrement_on_overflow():
+    mg = MisraGries(2)
+    mg.update(1)
+    mg.update(2)
+    mg.update(3)  # full table miss: everyone decremented, 3 dropped
+    assert mg.num_active == 0
+    assert mg.estimate(1) == 0.0
+    assert mg.stats.decrements == 1
+
+
+def test_lemma1_bound(zipf_unit_stream, zipf_unit_exact):
+    k = 48
+    mg = MisraGries(k)
+    for item, _weight in zipf_unit_stream:
+        mg.update(item)
+    n = zipf_unit_exact.total_weight
+    for item, frequency in zipf_unit_exact.items():
+        error = frequency - mg.estimate(item)
+        assert -1e-9 <= error <= n / (k + 1) + 1e-9
+
+
+def test_lemma2_tail_bound(zipf_unit_stream, zipf_unit_exact):
+    k = 48
+    mg = MisraGries(k)
+    for item, _weight in zipf_unit_stream:
+        mg.update(item)
+    for j in (4, 16, 32):
+        bound = zipf_unit_exact.residual_weight(j) / (k + 1 - j)
+        for item, frequency in zipf_unit_exact.items():
+            assert frequency - mg.estimate(item) <= bound + 1e-9
+
+
+def test_never_overestimates(zipf_unit_stream, zipf_unit_exact):
+    mg = MisraGries(32)
+    for item, _weight in zipf_unit_stream:
+        mg.update(item)
+    for item, counter in mg.items():
+        assert counter <= zipf_unit_exact.frequency(item) + 1e-9
+        assert mg.lower_bound(item) == mg.estimate(item)
+        assert mg.upper_bound(item) >= zipf_unit_exact.frequency(item) - 1e-9
+
+
+def test_decrement_cadence_amortized():
+    """Decrement passes need k insertions between them (amortized O(1))."""
+    k = 32
+    mg = MisraGries(k)
+    for item in range(10_000):
+        mg.update(item % 500)
+    assert mg.stats.decrements <= mg.stats.updates / k + 1
+
+
+def test_space_model():
+    assert MisraGries(1024).space_bytes() > 0
+
+
+def test_len_and_items():
+    mg = MisraGries(4)
+    for item in [5, 5, 6]:
+        mg.update(item)
+    assert len(mg) == 2
+    assert dict(mg.items()) == {5: 2.0, 6: 1.0}

@@ -1,0 +1,81 @@
+"""RBMC specifics beyond the isomorphism: rules, bounds, stats."""
+
+import pytest
+
+from repro.baselines import ReduceByMinCounter
+from repro.errors import InvalidParameterError, InvalidUpdateError
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(InvalidParameterError):
+        ReduceByMinCounter(0)
+    rbmc = ReduceByMinCounter(4)
+    with pytest.raises(InvalidUpdateError):
+        rbmc.update(1, 0.0)
+
+
+def test_small_delta_rule():
+    """delta <= c_min: all counters shrink by delta, item not inserted."""
+    rbmc = ReduceByMinCounter(2)
+    rbmc.update(1, 10.0)
+    rbmc.update(2, 4.0)
+    rbmc.update(3, 3.0)  # 3 <= c_min=4: both shrink by 3
+    assert rbmc.estimate(1) == 7.0
+    assert rbmc.estimate(2) == 1.0
+    assert rbmc.estimate(3) == 0.0
+    assert 3 not in dict(rbmc.items())
+
+
+def test_large_delta_rule():
+    """delta > c_min: shrink by c_min, item enters with delta - c_min."""
+    rbmc = ReduceByMinCounter(2)
+    rbmc.update(1, 10.0)
+    rbmc.update(2, 4.0)
+    rbmc.update(3, 9.0)  # c_min=4: 1 -> 6, 2 freed, 3 -> 5
+    assert rbmc.estimate(1) == 6.0
+    assert rbmc.estimate(2) == 0.0
+    assert rbmc.estimate(3) == 5.0
+
+
+def test_exact_equality_at_cmin_frees_counter():
+    rbmc = ReduceByMinCounter(2)
+    rbmc.update(1, 5.0)
+    rbmc.update(2, 5.0)
+    rbmc.update(3, 5.0)  # delta == c_min: everything hits zero
+    assert rbmc.num_active == 0
+
+
+def test_real_valued_weights():
+    rbmc = ReduceByMinCounter(3)
+    rbmc.update(1, 0.75)
+    rbmc.update(2, 1.5)
+    rbmc.update(1, 0.25)
+    assert rbmc.estimate(1) == pytest.approx(1.0)
+    assert rbmc.stream_weight == pytest.approx(2.5)
+
+
+def test_lemma1_weighted(zipf_weighted_stream, zipf_weighted_exact):
+    k = 48
+    rbmc = ReduceByMinCounter(k)
+    for item, weight in zipf_weighted_stream:
+        rbmc.update(item, weight)
+    n = zipf_weighted_exact.total_weight
+    for item, frequency in zipf_weighted_exact.items():
+        error = frequency - rbmc.estimate(item)
+        assert -1e-6 <= error <= n / (k + 1) + 1e-6
+        assert rbmc.upper_bound(item) >= frequency - 1e-6
+        assert rbmc.lower_bound(item) <= frequency + 1e-6
+
+
+def test_counters_scanned_tracks_passes():
+    rbmc = ReduceByMinCounter(8)
+    for item in range(200):
+        rbmc.update(item, 1.0)
+    assert rbmc.stats.decrements > 0
+    assert rbmc.stats.counters_scanned >= rbmc.stats.decrements * 8
+
+
+def test_space_matches_our_sketch():
+    from repro.metrics.space import space_model_bytes
+
+    assert ReduceByMinCounter(512).space_bytes() == space_model_bytes("smed", 512)

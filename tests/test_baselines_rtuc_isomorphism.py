@@ -1,0 +1,123 @@
+"""The isomorphism oracles (Sections 1.3.4, 1.4).
+
+RBMC produces estimates *identical* to RTUC-MG, and MHE to RTUC-SS, on
+any integer-weight stream.  Because the RTUC wrappers are nothing but
+the trusted unit-update algorithms applied Δ times, these equalities are
+whole-algorithm correctness proofs for the weighted implementations.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    ReduceByMinCounter,
+    RTUCMisraGries,
+    RTUCSpaceSaving,
+    SpaceSavingHeap,
+)
+from repro.errors import InvalidUpdateError
+
+WEIGHTED_STREAM = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=1, max_value=12),
+    ),
+    max_size=120,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(WEIGHTED_STREAM, st.integers(min_value=1, max_value=8))
+def test_rbmc_equals_rtuc_mg(stream, k):
+    rbmc = ReduceByMinCounter(k)
+    rtuc = RTUCMisraGries(k)
+    for item, weight in stream:
+        rbmc.update(item, float(weight))
+        rtuc.update(item, weight)
+    for item in range(16):
+        assert rbmc.estimate(item) == pytest.approx(rtuc.estimate(item)), (
+            item,
+            dict(rbmc.items()),
+            dict(rtuc.items()),
+        )
+
+
+@settings(max_examples=120, deadline=None)
+@given(WEIGHTED_STREAM, st.integers(min_value=1, max_value=8))
+def test_mhe_equals_rtuc_ss(stream, k):
+    mhe = SpaceSavingHeap(k)
+    rtuc = RTUCSpaceSaving(k)
+    for item, weight in stream:
+        mhe.update(item, float(weight))
+        rtuc.update(item, weight)
+    for item in range(16):
+        assert mhe.estimate(item) == pytest.approx(rtuc.estimate(item))
+
+
+def test_rbmc_paper_worst_case_decrement_counts():
+    """On the Section 1.3.4 adversarial stream RBMC decrements on every
+    unit update, while the decrement count of SMED stays O(n/k)."""
+    from repro.baselines.factory import make_smed
+    from repro.streams.adversarial import rbmc_killer_stream
+
+    k = 32
+    tail = 2_000
+    stream = list(rbmc_killer_stream(k, heavy_weight=10_000.0, num_unit_updates=tail))
+
+    rbmc = ReduceByMinCounter(k)
+    for item, weight in stream:
+        rbmc.update(item, weight)
+    assert rbmc.stats.decrements == tail  # one Θ(k) pass per unit update
+
+    smed = make_smed(k, seed=1)
+    for item, weight in stream:
+        smed.update(item, weight)
+    assert smed.stats.decrements <= tail / (k / 3) + 2
+
+
+def test_rtuc_rejects_fractional_weights():
+    for algorithm in (RTUCMisraGries(4), RTUCSpaceSaving(4)):
+        with pytest.raises(InvalidUpdateError):
+            algorithm.update(1, 2.5)
+        with pytest.raises(InvalidUpdateError):
+            algorithm.update(1, 0)
+
+
+def test_rtuc_expansion_counted():
+    rtuc = RTUCMisraGries(4)
+    rtuc.update(1, 7)
+    rtuc.update(2, 3)
+    assert rtuc.stats.rtuc_expansions == 10
+    assert rtuc.stats.updates == 10
+
+
+def test_agarwal_isomorphism_mg_vs_ss():
+    """Agarwal et al.: SS with k+1 counters derives from MG with k.
+
+    Concretely, for any unit stream: SS_{k+1}'s estimate of item i equals
+    MG_k's estimate plus SS's minimum counter... the testable core is the
+    relation between the summaries' guarantees: both bracket the truth
+    and SS_{k+1} estimate >= truth >= MG_k estimate.
+    """
+    from repro.baselines import MisraGries
+    from repro.streams.exact import ExactCounter
+
+    random.seed(9)
+    stream = [random.randrange(50) for _ in range(4_000)]
+    k = 10
+    mg = MisraGries(k)
+    ss = SpaceSavingHeap(k + 1)
+    exact = ExactCounter()
+    for item in stream:
+        mg.update(item)
+        ss.update(item, 1.0)
+        exact.update(item)
+    for item in range(50):
+        truth = exact.frequency(item)
+        assert mg.estimate(item) <= truth + 1e-9
+        assert ss.estimate(item) >= truth - 1e-9
+        # The isomorphism's quantitative face: the two estimates differ
+        # by at most the SS minimum counter (= MG's total decrement).
+        assert ss.estimate(item) - mg.estimate(item) <= ss.maximum_error + 1e-9

@@ -1,0 +1,84 @@
+"""Space Saving on a heap (SSH/MHE): Algorithm 2 semantics."""
+
+import pytest
+
+from repro.baselines import SpaceSavingHeap
+from repro.errors import InvalidParameterError, InvalidUpdateError
+from repro.streams.exact import ExactCounter
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(InvalidParameterError):
+        SpaceSavingHeap(0)
+    ss = SpaceSavingHeap(4)
+    with pytest.raises(InvalidUpdateError):
+        ss.update(1, 0.0)
+    with pytest.raises(InvalidUpdateError):
+        ss.update(1, -1.0)
+
+
+def test_exact_under_capacity():
+    ss = SpaceSavingHeap(8)
+    for item, weight in [(1, 5.0), (2, 3.0), (1, 2.0)]:
+        ss.update(item, weight)
+    assert ss.estimate(1) == 7.0
+    assert ss.estimate(2) == 3.0
+    assert ss.estimate(3) == 0.0
+    assert ss.maximum_error == 0.0
+
+
+def test_takeover_semantics():
+    ss = SpaceSavingHeap(2)
+    ss.update(1, 5.0)
+    ss.update(2, 3.0)
+    ss.update(3, 1.0)  # takes over the min counter (2, 3.0) -> (3, 4.0)
+    assert 2 not in dict(ss.items())
+    assert ss.estimate(3) == 4.0
+    assert ss.estimate(1) == 5.0
+    # Untracked item estimate = min counter (Algorithm 2's Estimate()).
+    assert ss.estimate(2) == 4.0
+
+
+def test_counter_sum_equals_stream_weight():
+    """SS invariant: sum of counters == N exactly (no weight is lost)."""
+    ss = SpaceSavingHeap(16)
+    total = 0.0
+    for index in range(3_000):
+        weight = float(index % 9 + 1)
+        ss.update(index % 300, weight)
+        total += weight
+    assert sum(value for _item, value in ss.items()) == pytest.approx(total)
+
+
+def test_never_underestimates(zipf_weighted_stream, zipf_weighted_exact):
+    ss = SpaceSavingHeap(64)
+    for item, weight in zipf_weighted_stream:
+        ss.update(item, weight)
+    for item, frequency in zipf_weighted_exact.items():
+        assert ss.estimate(item) >= frequency - 1e-6
+        assert ss.upper_bound(item) >= frequency - 1e-6
+        assert ss.lower_bound(item) <= frequency + 1e-6
+
+
+def test_overestimate_bounded_by_min_counter(zipf_weighted_stream, zipf_weighted_exact):
+    ss = SpaceSavingHeap(64)
+    for item, weight in zipf_weighted_stream:
+        ss.update(item, weight)
+    cap = ss.maximum_error
+    for item, frequency in zipf_weighted_exact.items():
+        assert ss.estimate(item) - frequency <= cap + 1e-6
+
+
+def test_heap_work_counted():
+    ss = SpaceSavingHeap(64)
+    for item in range(5_000):
+        ss.update(item % 500, float(item % 7 + 1))
+    assert ss.stats.heap_sifts > 0
+    assert ss.stats.updates == 5_000
+
+
+def test_space_exceeds_plain_table():
+    """MHE pays for the heap on top of the hash index (Section 4.3)."""
+    from repro.metrics.space import space_model_bytes
+
+    assert SpaceSavingHeap(1024).space_bytes() > space_model_bytes("smed", 1024)

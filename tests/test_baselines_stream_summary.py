@@ -1,0 +1,108 @@
+"""Stream Summary (SSL): O(1) bucket-list Space Saving, unit updates."""
+
+import random
+
+import pytest
+
+from repro.baselines import SpaceSavingHeap, StreamSummary
+from repro.errors import InvalidParameterError, InvalidUpdateError
+
+
+def test_unit_updates_only():
+    ssl = StreamSummary(4)
+    with pytest.raises(InvalidUpdateError):
+        ssl.update(1, 2.0)
+
+
+def test_rejects_bad_k():
+    with pytest.raises(InvalidParameterError):
+        StreamSummary(0)
+
+
+def test_exact_under_capacity():
+    ssl = StreamSummary(8)
+    for item in [1, 1, 1, 2, 2, 3]:
+        ssl.update(item)
+    assert ssl.estimate(1) == 3.0
+    assert ssl.estimate(2) == 2.0
+    assert ssl.estimate(3) == 1.0
+    assert ssl.estimate(4) == 0.0
+    assert ssl.lower_bound(1) == 3.0  # no takeover: error 0
+
+
+def test_takeover_inherits_min_plus_one():
+    ssl = StreamSummary(2)
+    ssl.update(1)
+    ssl.update(1)
+    ssl.update(2)
+    ssl.update(3)  # takes over (2, 1) -> (3, 2)
+    assert ssl.estimate(3) == 2.0
+    assert ssl.lower_bound(3) == 1.0  # inherited error of 1
+    assert ssl.estimate(2) == 2.0  # min bucket value for missing items
+
+
+def test_counter_sum_equals_n():
+    ssl = StreamSummary(16)
+    n = 4_000
+    random.seed(3)
+    for _ in range(n):
+        ssl.update(random.randrange(400))
+    assert sum(value for _item, value in ssl.items()) == pytest.approx(n)
+
+
+def test_matches_heap_space_saving_counter_multiset():
+    """SSH and SSL may pick different victims, but the multiset of
+    counter values is identical for any stream (both are Space Saving)."""
+    random.seed(17)
+    stream = [random.randrange(60) for _ in range(5_000)]
+    ssh = SpaceSavingHeap(12)
+    ssl = StreamSummary(12)
+    for item in stream:
+        ssh.update(item, 1.0)
+        ssl.update(item)
+    ssh_values = sorted(value for _item, value in ssh.items())
+    ssl_values = sorted(value for _item, value in ssl.items())
+    assert ssh_values == pytest.approx(ssl_values)
+
+
+def test_never_underestimates_tracked_items():
+    random.seed(23)
+    stream = [random.randrange(100) for _ in range(3_000)]
+    from repro.streams.exact import ExactCounter
+
+    exact = ExactCounter()
+    ssl = StreamSummary(24)
+    for item in stream:
+        ssl.update(item)
+        exact.update(item)
+    for item, frequency in exact.items():
+        assert ssl.estimate(item) >= frequency - 1e-9
+
+
+def test_num_updates_and_len():
+    ssl = StreamSummary(4)
+    for item in [7, 8, 7]:
+        ssl.update(item)
+    assert ssl.num_updates == 3
+    assert len(ssl) == 2
+    assert ssl.num_active == 2
+
+
+def test_bucket_list_stays_consistent_under_churn():
+    ssl = StreamSummary(6)
+    random.seed(31)
+    for _ in range(10_000):
+        ssl.update(random.randrange(30))
+    # Walk the bucket list: values strictly ascending, nodes consistent.
+    bucket = ssl._min_bucket
+    previous = 0.0
+    nodes_seen = 0
+    while bucket is not None:
+        assert bucket.value > previous
+        assert bucket.nodes
+        for node in bucket.nodes:
+            assert node.bucket is bucket
+        previous = bucket.value
+        nodes_seen += len(bucket.nodes)
+        bucket = bucket.next
+    assert nodes_seen == len(ssl)

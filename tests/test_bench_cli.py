@@ -1,0 +1,60 @@
+"""The bench CLI end to end, on a monkeypatched tiny scale."""
+
+import pytest
+
+from repro.bench import cli
+from repro.bench.harness import SCALES, BenchConfig
+
+TINY = BenchConfig(
+    num_updates=1_500,
+    unique_sources=300,
+    k_values=(8, 16),
+    merge_pairs=2,
+    merge_updates_per_sketch_factor=3,
+    quantiles=(0, 50),
+    seed=21,
+)
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setitem(SCALES, "tiny", TINY)
+
+
+@pytest.mark.parametrize(
+    "experiment, landmark",
+    [
+        ("fig1", "Figure 1"),
+        ("fig2", "Figure 2"),
+        ("fig3", "Figure 3"),
+        ("fig4", "Figure 4"),
+        ("claims", "Section 4.3 claims"),
+        ("context", "Context"),
+        ("adversarial", "adversarial stream"),
+        ("bounds", "Theorem 4 check"),
+    ],
+)
+def test_each_experiment_runs(experiment, landmark, capsys):
+    assert cli.main([experiment, "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert landmark in out
+
+
+def test_ablations_run(capsys):
+    assert cli.main(["ablations", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "decrement policy" in out
+    assert "sample size" in out
+    assert "merge iteration order" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        cli.main(["figure9"])
+
+
+def test_experiments_registry_matches_readme_surface():
+    assert set(cli.EXPERIMENTS) == {
+        "fig1", "fig2", "fig3", "fig4", "claims", "space",
+        "context", "bounds", "adversarial", "ablations",
+    }

@@ -1,0 +1,74 @@
+"""Benchmark plumbing: scales, stream caching, timed feeding."""
+
+import pytest
+
+from repro.bench.harness import (
+    SCALES,
+    BenchConfig,
+    feed_stream,
+    packet_exact,
+    packet_stream,
+    time_call,
+    time_feed,
+    zipf_weighted_stream,
+)
+from repro.core.frequent_items import FrequentItemsSketch
+
+TINY = BenchConfig(
+    num_updates=2_000,
+    unique_sources=400,
+    k_values=(16, 32),
+    merge_pairs=2,
+    merge_updates_per_sketch_factor=4,
+    quantiles=(0, 50),
+    seed=7,
+)
+
+
+def test_scales_defined():
+    assert {"quick", "medium", "paper"} <= set(SCALES)
+    for config in SCALES.values():
+        assert config.num_updates > 0
+        assert len(config.k_values) >= 2
+        assert all(0 <= quantile <= 100 for quantile in config.quantiles)
+
+
+def test_packet_stream_cached_and_sized():
+    first = packet_stream(TINY)
+    second = packet_stream(TINY)
+    assert first is second  # cache hit
+    assert len(first) == TINY.num_updates
+
+
+def test_packet_exact_consistent():
+    exact = packet_exact(TINY)
+    assert exact.num_updates == TINY.num_updates
+    assert exact.total_weight == pytest.approx(
+        sum(weight for _item, weight in packet_stream(TINY))
+    )
+
+
+def test_zipf_weighted_stream_cached():
+    a = zipf_weighted_stream(500, 100, 1.05, seed=1)
+    b = zipf_weighted_stream(500, 100, 1.05, seed=1)
+    c = zipf_weighted_stream(500, 100, 1.05, seed=2)
+    assert a is b
+    assert a != c
+    assert all(1.0 <= weight <= 10_000.0 for _item, weight in a)
+
+
+def test_feed_and_time_feed():
+    sketch = FrequentItemsSketch(32, backend="dict", seed=1)
+    stream = packet_stream(TINY)
+    seconds = time_feed(sketch, stream)
+    assert seconds > 0
+    assert sketch.stats.updates == len(stream)
+    sketch2 = FrequentItemsSketch(32, backend="dict", seed=1)
+    feed_stream(sketch2, stream)
+    assert sketch2.stats.updates == len(stream)
+
+
+def test_time_call():
+    seconds, result = time_call(lambda: sum(range(1000)))
+    assert seconds >= 0
+    assert result == 499_500

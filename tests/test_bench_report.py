@@ -1,0 +1,52 @@
+"""ResultTable rendering and access."""
+
+import pytest
+
+from repro.bench.report import ResultTable
+
+
+def _table():
+    table = ResultTable("demo", ["name", "k", "value"])
+    table.add_row(name="a", k=1, value=0.5)
+    table.add_row(name="b", k=2, value=1_000_000.0)
+    return table
+
+
+def test_columns_and_rows():
+    table = _table()
+    assert table.column("name") == ["a", "b"]
+    assert table.column("k") == [1, 2]
+
+
+def test_cell_lookup():
+    table = _table()
+    assert table.cell({"name": "a"}, "value") == 0.5
+    assert table.cell({"name": "b", "k": 2}, "value") == 1_000_000.0
+    with pytest.raises(KeyError):
+        table.cell({"name": "zzz"}, "value")
+
+
+def test_unknown_column_rejected():
+    table = _table()
+    with pytest.raises(KeyError):
+        table.add_row(name="c", bogus=1)
+
+
+def test_text_rendering():
+    text = _table().to_text()
+    lines = text.splitlines()
+    assert "demo" in lines[1]
+    assert any("name" in line and "value" in line for line in lines)
+    assert "1.000e+06" in text  # big floats in scientific notation
+    assert str(_table()) == text
+
+
+def test_missing_cells_render_blank():
+    table = ResultTable("sparse", ["a", "b"])
+    table.add_row(a=1)
+    assert "1" in table.to_text()
+
+
+def test_empty_table_renders():
+    table = ResultTable("empty", ["x"])
+    assert "empty" in table.to_text()

@@ -1,0 +1,104 @@
+"""Heavy-hitter queries: the two error directions and the (φ, ε) contract."""
+
+import pytest
+
+from repro import ErrorType, FrequentItemsSketch, InvalidParameterError
+from repro.metrics.heavy_hitters import check_phi_epsilon, hh_precision_recall
+from repro.streams.exact import ExactCounter
+from repro.streams.zipf import ZipfianStream
+
+
+@pytest.fixture(scope="module")
+def sketch_and_exact():
+    sketch = FrequentItemsSketch(128, backend="dict", seed=3)
+    exact = ExactCounter()
+    for item, weight in ZipfianStream(
+        30_000, universe=8_000, alpha=1.3, seed=4, weight_low=1, weight_high=50
+    ):
+        sketch.update(item, weight)
+        exact.update(item, weight)
+    return sketch, exact
+
+
+def test_nfp_reports_only_true_heavy_hitters(sketch_and_exact):
+    sketch, exact = sketch_and_exact
+    phi = 0.01
+    threshold = phi * exact.total_weight
+    for row in sketch.heavy_hitters(phi, ErrorType.NO_FALSE_POSITIVES):
+        assert exact.frequency(row.item) >= threshold - 1e-6
+
+
+def test_nfn_reports_all_true_heavy_hitters(sketch_and_exact):
+    sketch, exact = sketch_and_exact
+    phi = 0.01
+    reported = {
+        row.item for row in sketch.heavy_hitters(phi, ErrorType.NO_FALSE_NEGATIVES)
+    }
+    for item, frequency in exact.heavy_hitters(phi).items():
+        assert item in reported, (item, frequency)
+
+
+def test_nfn_false_positives_are_borderline(sketch_and_exact):
+    """False positives may only come from the epsilon band below phi*N."""
+    sketch, exact = sketch_and_exact
+    phi = 0.01
+    floor = phi * exact.total_weight - sketch.maximum_error
+    for row in sketch.heavy_hitters(phi, ErrorType.NO_FALSE_NEGATIVES):
+        assert exact.frequency(row.item) >= floor - 1e-6
+
+
+def test_phi_epsilon_contract(sketch_and_exact):
+    sketch, exact = sketch_and_exact
+    phi = 0.01
+    epsilon = sketch.maximum_error / exact.total_weight
+    reported = [
+        row.item for row in sketch.heavy_hitters(phi, ErrorType.NO_FALSE_NEGATIVES)
+    ]
+    assert check_phi_epsilon(reported, exact, phi, min(epsilon, phi))
+
+
+def test_precision_recall_directions(sketch_and_exact):
+    sketch, exact = sketch_and_exact
+    phi = 0.01
+    nfp = hh_precision_recall(
+        (r.item for r in sketch.heavy_hitters(phi, ErrorType.NO_FALSE_POSITIVES)),
+        exact,
+        phi,
+    )
+    nfn = hh_precision_recall(
+        (r.item for r in sketch.heavy_hitters(phi, ErrorType.NO_FALSE_NEGATIVES)),
+        exact,
+        phi,
+    )
+    assert nfp.precision == 1.0
+    assert nfn.recall == 1.0
+    assert 0.0 <= nfp.f1 <= 1.0
+
+
+def test_frequent_items_default_threshold_is_offset(sketch_and_exact):
+    sketch, _ = sketch_and_exact
+    rows = sketch.frequent_items()
+    assert all(row.lower_bound >= sketch.maximum_error for row in rows)
+
+
+def test_rows_sorted_by_estimate(sketch_and_exact):
+    sketch, _ = sketch_and_exact
+    rows = sketch.frequent_items(ErrorType.NO_FALSE_NEGATIVES, 0.0)
+    estimates = [row.estimate for row in rows]
+    assert estimates == sorted(estimates, reverse=True)
+
+
+def test_parameter_validation(sketch_and_exact):
+    sketch, _ = sketch_and_exact
+    with pytest.raises(InvalidParameterError):
+        sketch.heavy_hitters(0.0)
+    with pytest.raises(InvalidParameterError):
+        sketch.heavy_hitters(1.5)
+    with pytest.raises(InvalidParameterError):
+        sketch.frequent_items(threshold=-1.0)
+
+
+def test_empty_sketch_reports_nothing():
+    sketch = FrequentItemsSketch(8)
+    assert sketch.frequent_items() == []
+    assert sketch.heavy_hitters(0.5) == []

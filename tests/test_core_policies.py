@@ -1,0 +1,96 @@
+"""Decrement policies: values chosen, labels, parameter validation."""
+
+import pytest
+
+from repro.core.policies import (
+    ExactKthLargestPolicy,
+    GlobalMinPolicy,
+    SampleQuantilePolicy,
+    smed_policy,
+    smin_policy,
+)
+from repro.errors import InvalidParameterError
+from repro.prng import Xoroshiro128PlusPlus
+from repro.table import DictCounterStore
+
+
+def _store_with(values):
+    store = DictCounterStore(len(values))
+    for index, value in enumerate(values):
+        store.insert(index, value)
+    return store
+
+
+def test_sample_quantile_median_exact_when_small():
+    store = _store_with([1.0, 2.0, 3.0, 4.0, 5.0])
+    policy = SampleQuantilePolicy(0.5, sample_size=1024)
+    assert policy.decrement_value(store, Xoroshiro128PlusPlus(1)) == 3.0
+
+
+def test_sample_quantile_min_is_global_min_when_small():
+    store = _store_with([4.0, 2.0, 9.0])
+    policy = SampleQuantilePolicy(0.0, sample_size=1024)
+    assert policy.decrement_value(store, Xoroshiro128PlusPlus(1)) == 2.0
+
+
+def test_sampled_path_returns_live_value():
+    values = [float(x + 1) for x in range(500)]
+    store = _store_with(values)
+    policy = SampleQuantilePolicy(0.5, sample_size=64)
+    result = policy.decrement_value(store, Xoroshiro128PlusPlus(3))
+    assert result in values
+    # The sampled median should land near the true median w.h.p.
+    assert 100 <= result <= 400
+
+
+def test_exact_kth_largest_policy():
+    store = _store_with([10.0, 20.0, 30.0, 40.0])
+    assert ExactKthLargestPolicy(0.5).decrement_value(
+        store, Xoroshiro128PlusPlus(1)
+    ) == 30.0  # 2nd largest of 4
+    assert ExactKthLargestPolicy(1.0).decrement_value(
+        store, Xoroshiro128PlusPlus(1)
+    ) == 10.0  # 4th largest
+
+
+def test_global_min_policy():
+    store = _store_with([7.0, 3.0, 11.0])
+    assert GlobalMinPolicy().decrement_value(store, Xoroshiro128PlusPlus(1)) == 3.0
+
+
+def test_describe_labels():
+    assert SampleQuantilePolicy(0.5).describe().startswith("SMED")
+    assert SampleQuantilePolicy(0.0).describe().startswith("SMIN")
+    assert SampleQuantilePolicy(0.7).describe().startswith("SQ70")
+    assert ExactKthLargestPolicy().describe().startswith("MED")
+    assert GlobalMinPolicy().describe() == "GMIN"
+
+
+def test_factories():
+    assert smed_policy().quantile == 0.5
+    assert smin_policy().quantile == 0.0
+    assert smed_policy(128).sample_size == 128
+
+
+def test_parameter_validation():
+    with pytest.raises(InvalidParameterError):
+        SampleQuantilePolicy(-0.1)
+    with pytest.raises(InvalidParameterError):
+        SampleQuantilePolicy(1.1)
+    with pytest.raises(InvalidParameterError):
+        SampleQuantilePolicy(0.5, sample_size=0)
+    with pytest.raises(InvalidParameterError):
+        SampleQuantilePolicy(0.5, selector="nope")
+    with pytest.raises(InvalidParameterError):
+        ExactKthLargestPolicy(0.0)
+    with pytest.raises(InvalidParameterError):
+        ExactKthLargestPolicy(1.5)
+
+
+def test_quickselect_selector_agrees_with_auto():
+    values = [float(x) for x in range(101)]
+    store = _store_with(values)
+    auto = SampleQuantilePolicy(0.5, 1024, selector="auto")
+    quick = SampleQuantilePolicy(0.5, 1024, selector="quickselect")
+    assert auto.decrement_value(store, Xoroshiro128PlusPlus(1)) == \
+        quick.decrement_value(store, Xoroshiro128PlusPlus(1))

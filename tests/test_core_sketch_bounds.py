@@ -1,0 +1,147 @@
+"""Error-guarantee properties of the sketch (Lemma 4 / Theorems 2 and 4).
+
+These are the paper's central accuracy statements, tested mechanically:
+for every item, ``lower <= f <= upper``; the offset bounds the maximum
+underestimate; and the tail bound ``N^res(j)/(k* - j)`` holds with the
+conservative k* = k/3 of Theorem 3's analysis.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import FrequentItemsSketch, SampleQuantilePolicy
+from repro.metrics.accuracy import check_tail_bound, max_underestimate
+from repro.streams.exact import ExactCounter
+
+UPDATES = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=80),
+        st.floats(min_value=0.01, max_value=1000.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=400,
+)
+
+
+def _run(updates, k=8, quantile=0.5, seed=0):
+    sketch = FrequentItemsSketch(
+        k, policy=SampleQuantilePolicy(quantile), backend="dict", seed=seed
+    )
+    exact = ExactCounter()
+    for item, weight in updates:
+        sketch.update(item, weight)
+        exact.update(item, weight)
+    return sketch, exact
+
+
+@settings(max_examples=80, deadline=None)
+@given(UPDATES)
+def test_bounds_always_bracket_truth(updates):
+    sketch, exact = _run(updates)
+    for item, frequency in exact.items():
+        assert sketch.lower_bound(item) <= frequency + 1e-6
+        assert sketch.upper_bound(item) >= frequency - 1e-6
+
+
+@settings(max_examples=80, deadline=None)
+@given(UPDATES)
+def test_offset_bounds_max_underestimate(updates):
+    """Lemma 4's practical face: f_i - lower_bound(i) <= offset."""
+    sketch, exact = _run(updates)
+    for item, frequency in exact.items():
+        assert frequency - sketch.lower_bound(item) <= sketch.maximum_error + 1e-6
+
+
+@settings(max_examples=80, deadline=None)
+@given(UPDATES)
+def test_estimates_never_exceed_upper_bound_nor_negative(updates):
+    sketch, exact = _run(updates)
+    for item in range(81):
+        estimate = sketch.estimate(item)
+        assert estimate >= 0.0
+        assert estimate <= sketch.upper_bound(item) + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(UPDATES, st.sampled_from([0.0, 0.25, 0.5, 0.75]))
+def test_tail_bound_for_all_quantiles(updates, quantile):
+    """Theorem 4 with k* = k/3 (valid for the median; conservative below)."""
+    sketch, exact = _run(updates, k=12, quantile=quantile)
+    k_star = sketch.max_counters / 3.0
+    if quantile > 0.5:
+        # Higher quantiles decrement more per pass; the guarantee scales
+        # with the fraction of counters at or above the decrement value.
+        k_star = sketch.max_counters * (1.0 - quantile) / 1.5
+    check = check_tail_bound(sketch, exact, 0, k_star)
+    assert check.holds, (check.observed, check.bound)
+
+
+def test_tail_bound_with_j_on_skewed_stream(zipf_weighted_stream, zipf_weighted_exact):
+    sketch = FrequentItemsSketch(64, backend="dict", seed=5)
+    for item, weight in zipf_weighted_stream:
+        sketch.update(item, weight)
+    k_star = 64 / 3.0
+    for j in (0, 4, 12):
+        check = check_tail_bound(sketch, zipf_weighted_exact, j, k_star)
+        assert check.holds, (j, check.observed, check.bound)
+
+
+def test_untracked_items_estimate_zero_mg_property(zipf_unit_stream):
+    """The MG half of the hybrid estimator: absent items report 0."""
+    sketch = FrequentItemsSketch(32, backend="dict", seed=6)
+    for item, weight in zipf_unit_stream:
+        sketch.update(item, weight)
+    never_seen = 10**15
+    assert sketch.estimate(never_seen) == 0.0
+    assert sketch.lower_bound(never_seen) == 0.0
+    assert sketch.upper_bound(never_seen) == sketch.maximum_error
+
+
+def test_ss_property_heavy_items_often_exact(zipf_unit_exact, zipf_unit_stream):
+    """The SS half: the top item's estimate should be exactly correct
+    (its counter was never evicted, so estimate = counter + offset >= f,
+    and the upper bound is tight for items inserted before any purge)."""
+    sketch = FrequentItemsSketch(64, backend="dict", seed=7)
+    for item, weight in zipf_unit_stream:
+        sketch.update(item, weight)
+    top_item, top_frequency = zipf_unit_exact.top_k(1)[0]
+    assert sketch.upper_bound(top_item) >= top_frequency
+    assert sketch.estimate(top_item) >= top_frequency * 0.99
+
+
+def test_smin_more_accurate_than_smed(packet_stream, packet_exact):
+    """Figure 2's ordering at equal k: SMIN error <= SMED error."""
+    smed = FrequentItemsSketch(
+        64, policy=SampleQuantilePolicy(0.5), backend="dict", seed=8
+    )
+    smin = FrequentItemsSketch(
+        64, policy=SampleQuantilePolicy(0.0), backend="dict", seed=8
+    )
+    for item, weight in packet_stream:
+        smed.update(item, weight)
+        smin.update(item, weight)
+    assert max_underestimate(smin, packet_exact) <= max_underestimate(
+        smed, packet_exact
+    )
+
+
+def test_error_shrinks_with_k(packet_stream, packet_exact):
+    """Section 4.2: algorithms converge to exact as k grows."""
+    errors = []
+    for k in (16, 64, 256):
+        sketch = FrequentItemsSketch(k, backend="dict", seed=9)
+        for item, weight in packet_stream:
+            sketch.update(item, weight)
+        errors.append(max_underestimate(sketch, packet_exact))
+    assert errors[0] > errors[1] > errors[2]
+
+
+def test_decrement_cadence_theorem3(packet_stream):
+    """Decrement passes must be at least ~k/3 updates apart on average."""
+    k = 128
+    sketch = FrequentItemsSketch(k, backend="dict", seed=10)
+    for item, weight in packet_stream:
+        sketch.update(item, weight)
+    if sketch.stats.decrements:
+        cadence = sketch.stats.updates / sketch.stats.decrements
+        assert cadence >= k / 3.0

@@ -1,0 +1,122 @@
+"""Further property tests: extreme weights, update/merge interleaving,
+serialization mid-stream, and cross-policy invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import FrequentItemsSketch, SampleQuantilePolicy
+from repro.streams.exact import ExactCounter
+
+EXTREME_UPDATES = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=30),
+        st.floats(min_value=1e-9, max_value=1e15, allow_nan=False,
+                  allow_infinity=False),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(EXTREME_UPDATES)
+def test_extreme_weights_keep_brackets(updates):
+    sketch = FrequentItemsSketch(8, backend="dict", seed=1)
+    exact = ExactCounter()
+    for item, weight in updates:
+        sketch.update(item, weight)
+        exact.update(item, weight)
+    for item, frequency in exact.items():
+        # Relative tolerance: float summation order differs between the
+        # sketch (decrements) and the exact counter.
+        slack = 1e-9 * max(1.0, abs(frequency)) + 1e-6
+        assert sketch.lower_bound(item) <= frequency + slack
+        assert sketch.upper_bound(item) >= frequency - slack
+
+
+@settings(max_examples=50, deadline=None)
+@given(EXTREME_UPDATES, EXTREME_UPDATES)
+def test_merge_equals_concatenation_bounds(first, second):
+    """Merging summaries of two halves brackets the concatenated truth."""
+    exact = ExactCounter()
+    a = FrequentItemsSketch(8, backend="dict", seed=2)
+    b = FrequentItemsSketch(8, backend="dict", seed=3)
+    for item, weight in first:
+        a.update(item, weight)
+        exact.update(item, weight)
+    for item, weight in second:
+        b.update(item, weight)
+        exact.update(item, weight)
+    a.merge(b)
+    assert a.stream_weight == pytest.approx(exact.total_weight, rel=1e-9)
+    for item, frequency in exact.items():
+        slack = 1e-9 * max(1.0, abs(frequency)) + 1e-6
+        assert a.lower_bound(item) <= frequency + slack
+        assert a.upper_bound(item) >= frequency - slack
+
+
+@settings(max_examples=50, deadline=None)
+@given(EXTREME_UPDATES, st.integers(min_value=0, max_value=199))
+def test_serialize_mid_stream_then_continue(updates, cut_point):
+    """A sketch serialized mid-stream and resumed keeps all guarantees."""
+    cut = min(cut_point, len(updates))
+    exact = ExactCounter()
+    sketch = FrequentItemsSketch(8, backend="dict", seed=4)
+    for item, weight in updates[:cut]:
+        sketch.update(item, weight)
+        exact.update(item, weight)
+    resumed = FrequentItemsSketch.from_bytes(sketch.to_bytes())
+    for item, weight in updates[cut:]:
+        resumed.update(item, weight)
+        exact.update(item, weight)
+    assert resumed.stream_weight == pytest.approx(exact.total_weight, rel=1e-9)
+    for item, frequency in exact.items():
+        slack = 1e-9 * max(1.0, abs(frequency)) + 1e-6
+        assert resumed.lower_bound(item) <= frequency + slack
+        assert resumed.upper_bound(item) >= frequency - slack
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=40),
+            st.integers(min_value=1, max_value=100),
+        ),
+        min_size=1,
+        max_size=150,
+    ),
+    st.sampled_from([0.0, 0.3, 0.5, 0.8, 1.0]),
+)
+def test_counter_mass_never_exceeds_stream_weight(updates, quantile):
+    """Invariant: sum of raw counters <= N for every policy and prefix."""
+    sketch = FrequentItemsSketch(
+        6, policy=SampleQuantilePolicy(quantile), backend="dict", seed=5
+    )
+    total = 0.0
+    for item, weight in updates:
+        sketch.update(item, float(weight))
+        total += weight
+        mass = sum(row.lower_bound for row in sketch.to_rows())
+        assert mass <= total + 1e-6
+        assert all(row.lower_bound > 0 for row in sketch.to_rows())
+
+
+@settings(max_examples=40, deadline=None)
+@given(EXTREME_UPDATES)
+def test_offset_monotone_nondecreasing(updates):
+    sketch = FrequentItemsSketch(6, backend="dict", seed=6)
+    previous = 0.0
+    for item, weight in updates:
+        sketch.update(item, weight)
+        assert sketch.maximum_error >= previous
+        previous = sketch.maximum_error
+
+
+def test_weight_accumulation_precision():
+    """Billions of tiny updates next to huge ones: N stays coherent."""
+    sketch = FrequentItemsSketch(4, backend="dict", seed=7)
+    sketch.update(1, 1e15)
+    for _ in range(1_000):
+        sketch.update(2, 1e-3)
+    assert sketch.stream_weight == pytest.approx(1e15 + 1.0, rel=1e-9)

@@ -1,0 +1,102 @@
+"""Cross-cutting edge cases not covered by the per-module suites."""
+
+import pytest
+
+from repro import ErrorType, FrequentItemsSketch, HeavyHitterRow
+from repro.baselines import CountMinSketch, LossyCounting
+from repro.bench.report import _format_value
+from repro.errors import InvalidParameterError
+
+
+def test_error_type_values_stable():
+    """The enum values are part of the serialized/reporting surface."""
+    assert ErrorType.NO_FALSE_POSITIVES.value == "no_false_positives"
+    assert ErrorType.NO_FALSE_NEGATIVES.value == "no_false_negatives"
+
+
+def test_heavy_hitter_row_is_ordered_tuple():
+    row = HeavyHitterRow(7, 10.0, 8.0, 12.0)
+    assert row.item == 7
+    assert row.estimate == 10.0
+    assert tuple(row) == (7, 10.0, 8.0, 12.0)
+    assert row < HeavyHitterRow(8, 1.0, 1.0, 1.0)  # tuple ordering
+
+
+def test_report_value_formatting():
+    assert _format_value(0.0) == "0"
+    assert _format_value(5) == "5"
+    assert _format_value("abc") == "abc"
+    assert _format_value(True) == "True"
+    assert "e" in _format_value(1.5e7)  # big -> scientific
+    assert "e" in _format_value(1.5e-7)  # tiny -> scientific
+    assert _format_value(123.456) == "123.5"
+    assert _format_value(1.2345) == "1.234"
+
+
+def test_cms_candidate_pruning_branch():
+    """Push the tracked-candidate dict past 2x track_top to force pruning."""
+    cms = CountMinSketch(3, 256, seed=1, track_top=4)
+    for item in range(50):
+        cms.update(item, float(item + 1))
+    assert len(cms._candidates) <= 8
+    # The heaviest items must have survived the pruning.
+    assert 49 in cms._candidates
+    with pytest.raises(InvalidParameterError):
+        cms.heavy_hitter_candidates(0.0)
+
+
+def test_lossy_counting_phi_validation():
+    lc = LossyCounting(0.01)
+    lc.update(1, 5.0)
+    with pytest.raises(InvalidParameterError):
+        lc.heavy_hitters(0.0)
+    with pytest.raises(InvalidParameterError):
+        lc.heavy_hitters(1.5)
+
+
+def test_sketch_min_k():
+    """k=2, the smallest legal sketch, on a two-item alternation."""
+    sketch = FrequentItemsSketch(2, backend="dict", seed=1)
+    for index in range(100):
+        sketch.update(index % 2, 1.0)
+    assert sketch.estimate(0) + sketch.estimate(1) >= 90.0
+    assert sketch.maximum_error == 0.0  # never overflowed
+
+
+def test_sketch_repeated_single_item():
+    sketch = FrequentItemsSketch(4, backend="probing", seed=2)
+    for _ in range(10_000):
+        sketch.update(42, 0.5)
+    assert sketch.estimate(42) == pytest.approx(5_000.0)
+    assert sketch.stats.decrements == 0
+
+
+def test_float_weights_smaller_than_epsilon():
+    """Denormal-adjacent weights must still respect positivity checks."""
+    sketch = FrequentItemsSketch(4, backend="dict", seed=3)
+    sketch.update(1, 1e-300)
+    assert sketch.estimate(1) == 1e-300
+    assert sketch.stream_weight == 1e-300
+
+
+def test_update_all_empty_iterable():
+    sketch = FrequentItemsSketch(4)
+    sketch.update_all([])
+    assert sketch.is_empty()
+
+
+def test_heavy_hitters_threshold_zero_reports_all_tracked():
+    sketch = FrequentItemsSketch(8, backend="dict", seed=4)
+    for item in range(5):
+        sketch.update(item, float(item + 1))
+    rows = sketch.frequent_items(ErrorType.NO_FALSE_NEGATIVES, 0.0)
+    assert len(rows) == 5
+
+
+def test_merge_chain_of_empties():
+    from repro import merge_linear
+
+    sketches = [FrequentItemsSketch(4, seed=i) for i in range(4)]
+    merged = merge_linear(sketches)
+    assert merged.is_empty()
+    assert merged.maximum_error == 0.0

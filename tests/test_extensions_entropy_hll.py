@@ -1,0 +1,124 @@
+"""StreamingEntropy and HyperLogLog."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError, InvalidUpdateError
+from repro.extensions import HyperLogLog, StreamingEntropy
+from repro.streams.exact import ExactCounter
+from repro.streams.zipf import ZipfianStream
+
+
+def test_hll_validation():
+    with pytest.raises(InvalidParameterError):
+        HyperLogLog(3)
+    with pytest.raises(InvalidParameterError):
+        HyperLogLog(19)
+
+
+def test_hll_empty_is_zero():
+    assert HyperLogLog(10).estimate() == 0.0
+
+
+def test_hll_small_range_linear_counting():
+    hll = HyperLogLog(12, seed=1)
+    for item in range(100):
+        hll.add(item)
+    assert hll.estimate() == pytest.approx(100, rel=0.1)
+
+
+def test_hll_large_range():
+    hll = HyperLogLog(12, seed=2)
+    for item in range(200_000):
+        hll.add(item)
+    assert hll.estimate() == pytest.approx(200_000, rel=0.05)
+
+
+def test_hll_duplicates_do_not_inflate():
+    hll = HyperLogLog(10, seed=3)
+    for _ in range(50):
+        for item in range(500):
+            hll.add(item)
+    assert hll.estimate() == pytest.approx(500, rel=0.15)
+
+
+def test_hll_accepts_strings():
+    hll = HyperLogLog(10, seed=4)
+    for index in range(1_000):
+        hll.add(f"user-{index}")
+    assert hll.estimate() == pytest.approx(1_000, rel=0.15)
+
+
+def test_hll_merge():
+    a = HyperLogLog(11, seed=5)
+    b = HyperLogLog(11, seed=5)
+    for item in range(0, 10_000):
+        a.add(item)
+    for item in range(5_000, 15_000):
+        b.add(item)
+    a.merge(b)
+    assert a.estimate() == pytest.approx(15_000, rel=0.1)
+    with pytest.raises(InvalidParameterError):
+        a.merge(HyperLogLog(12, seed=5))
+    with pytest.raises(InvalidParameterError):
+        a.merge(HyperLogLog(11, seed=6))
+
+
+def test_hll_space():
+    assert HyperLogLog(12).space_bytes() == 4096
+
+
+def test_entropy_empty_stream():
+    assert StreamingEntropy(16).estimate() == 0.0
+
+
+def test_entropy_rejects_bad_weight():
+    monitor = StreamingEntropy(16)
+    with pytest.raises(InvalidUpdateError):
+        monitor.update(1, 0.0)
+
+
+def test_entropy_single_item_is_zero():
+    monitor = StreamingEntropy(16, seed=1)
+    for _ in range(1_000):
+        monitor.update(42, 3.0)
+    assert monitor.estimate() == pytest.approx(0.0, abs=0.01)
+
+
+def test_entropy_uniform_matches_log2():
+    universe = 256
+    monitor = StreamingEntropy(512, seed=2)
+    for index in range(20_000):
+        monitor.update(index % universe, 1.0)
+    assert monitor.estimate() == pytest.approx(math.log2(universe), rel=0.05)
+
+
+def test_entropy_skewed_stream_close_to_exact():
+    monitor = StreamingEntropy(256, seed=3)
+    exact = ExactCounter()
+    for item, weight in ZipfianStream(30_000, universe=3_000, alpha=1.4, seed=4):
+        monitor.update(item, weight)
+        exact.update(item, weight)
+    assert monitor.estimate() == pytest.approx(exact.entropy(), rel=0.15)
+
+
+def test_entropy_detects_collapse():
+    """A flood from one source must slash the estimated entropy."""
+    normal = StreamingEntropy(128, seed=5)
+    flooded = StreamingEntropy(128, seed=5)
+    for item, weight in ZipfianStream(10_000, universe=5_000, alpha=1.05, seed=6):
+        normal.update(item, weight)
+        flooded.update(item, weight)
+    for _ in range(40_000):
+        flooded.update(7, 1.0)
+    assert flooded.estimate() < 0.6 * normal.estimate()
+
+
+def test_entropy_distinct_estimate_exposed():
+    monitor = StreamingEntropy(64, seed=7)
+    for index in range(5_000):
+        monitor.update(index % 750, 1.0)
+    assert monitor.distinct_estimate() == pytest.approx(750, rel=0.15)
+    assert monitor.space_bytes() > 0
+    assert monitor.stream_weight == 5_000

@@ -1,0 +1,111 @@
+"""Hierarchical heavy hitters over IP prefixes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError, InvalidUpdateError
+from repro.extensions import HierarchicalHeavyHitters
+from repro.extensions.hierarchical import HHHNode
+
+
+def _ip(a, b, c, d):
+    return (a << 24) | (b << 16) | (c << 8) | d
+
+
+def test_validation():
+    with pytest.raises(InvalidParameterError):
+        HierarchicalHeavyHitters(16, levels=())
+    with pytest.raises(InvalidParameterError):
+        HierarchicalHeavyHitters(16, levels=(16, 8))  # not increasing
+    with pytest.raises(InvalidParameterError):
+        HierarchicalHeavyHitters(16, levels=(8, 40))  # beyond address bits
+    hhh = HierarchicalHeavyHitters(16)
+    with pytest.raises(InvalidUpdateError):
+        hhh.update(_ip(1, 2, 3, 4), 0.0)
+    with pytest.raises(InvalidUpdateError):
+        hhh.update(1 << 33, 1.0)
+    with pytest.raises(InvalidParameterError):
+        hhh.query(0.0)
+
+
+def test_cidr_rendering():
+    node = HHHNode(level=24, prefix=_ip(10, 1, 2, 0) >> 8, estimate=1.0, discounted=1.0)
+    assert node.cidr() == "10.1.2.0/24"
+    host = HHHNode(level=32, prefix=_ip(192, 168, 0, 1), estimate=1.0, discounted=1.0)
+    assert host.cidr() == "192.168.0.1/32"
+
+
+def test_single_heavy_host_reported_at_every_relevant_level():
+    hhh = HierarchicalHeavyHitters(64, seed=1)
+    attacker = _ip(10, 0, 0, 1)
+    rng = np.random.Generator(np.random.PCG64(7))
+    for _ in range(5_000):
+        hhh.update(attacker if rng.random() < 0.5 else int(rng.integers(0, 1 << 32)), 1.0)
+    nodes = hhh.query(0.2)
+    cidrs = {node.cidr() for node in nodes}
+    assert "10.0.0.1/32" in cidrs
+    # The /24 and up contain only the host's (discounted) traffic, so they
+    # must NOT be reported as additional HHHs.
+    assert "10.0.0.0/24" not in cidrs
+
+
+def test_distributed_subnet_detected_only_at_aggregate_level():
+    """Many lightweight hosts in one /24: no host qualifies, the subnet does."""
+    hhh = HierarchicalHeavyHitters(128, seed=2)
+    rng = np.random.Generator(np.random.PCG64(8))
+    for _ in range(20_000):
+        if rng.random() < 0.3:
+            address = _ip(172, 16, 5, int(rng.integers(0, 256)))
+        else:
+            address = int(rng.integers(0, 1 << 32))
+        hhh.update(address, 1.0)
+    nodes = hhh.query(0.05)
+    cidrs = {node.cidr() for node in nodes}
+    assert "172.16.5.0/24" in cidrs
+    assert not any(cidr.endswith("/32") and cidr.startswith("172.16.5.") for cidr in cidrs)
+
+
+def test_discount_propagates_to_ancestors():
+    """A heavy host inside a subnet with little other traffic: the subnet's
+    discounted weight falls below threshold and is not reported."""
+    hhh = HierarchicalHeavyHitters(64, seed=3)
+    host = _ip(10, 1, 1, 1)
+    sibling = _ip(10, 1, 1, 2)
+    for _ in range(1_000):
+        hhh.update(host, 1.0)
+    for _ in range(50):
+        hhh.update(sibling, 1.0)
+    for index in range(1_000):
+        hhh.update(_ip(100 + index % 100, 1, 1, 1), 1.0)
+    nodes = hhh.query(0.25)
+    cidrs = {node.cidr() for node in nodes}
+    assert "10.1.1.1/32" in cidrs
+    assert "10.1.1.0/24" not in cidrs  # only ~50 unexplained updates
+
+
+def test_weighted_updates():
+    hhh = HierarchicalHeavyHitters(32, seed=4)
+    hhh.update(_ip(1, 2, 3, 4), 1_000.0)
+    hhh.update(_ip(9, 9, 9, 9), 1.0)
+    nodes = hhh.query(0.5)
+    assert any(node.cidr() == "1.2.3.4/32" for node in nodes)
+    assert hhh.stream_weight == pytest.approx(1_001.0)
+
+
+def test_custom_levels_and_sketch_access():
+    hhh = HierarchicalHeavyHitters(16, levels=(16, 32), seed=5)
+    assert hhh.levels == (16, 32)
+    hhh.update(_ip(10, 2, 0, 1), 5.0)
+    assert hhh.sketch_at(16).stream_weight == 5.0
+    assert hhh.sketch_at(32).stream_weight == 5.0
+    assert hhh.space_bytes() > 0
+
+
+def test_results_sorted_most_specific_first():
+    hhh = HierarchicalHeavyHitters(32, seed=6)
+    for _ in range(100):
+        hhh.update(_ip(1, 1, 1, 1), 1.0)
+        hhh.update(_ip(2, 2, 2, 2), 1.0)
+    nodes = hhh.query(0.3)
+    levels = [node.level for node in nodes]
+    assert levels == sorted(levels, reverse=True)

@@ -1,0 +1,92 @@
+"""RandomAdmissionSpaceSaving: the Section 5 Sivaraman et al. variant."""
+
+import pytest
+
+from repro.errors import InvalidParameterError, InvalidUpdateError
+from repro.extensions import RandomAdmissionSpaceSaving
+from repro.streams.exact import ExactCounter
+from repro.streams.zipf import ZipfianStream
+
+
+def test_validation():
+    with pytest.raises(InvalidParameterError):
+        RandomAdmissionSpaceSaving(0)
+    with pytest.raises(InvalidParameterError):
+        RandomAdmissionSpaceSaving(8, sample_size=0)
+    rap = RandomAdmissionSpaceSaving(8)
+    with pytest.raises(InvalidUpdateError):
+        rap.update(1, -1.0)
+
+
+def test_exact_under_capacity():
+    rap = RandomAdmissionSpaceSaving(8, seed=1)
+    for item, weight in [(1, 5.0), (2, 3.0), (1, 1.0)]:
+        rap.update(item, weight)
+    assert rap.estimate(1) == 6.0
+    assert rap.estimate(2) == 3.0
+    assert rap.estimate(9) == 0.0
+    assert rap.num_active == 2
+
+
+def test_takeover_inherits_sampled_counter():
+    rap = RandomAdmissionSpaceSaving(2, sample_size=2, seed=2)
+    rap.update(1, 10.0)
+    rap.update(2, 20.0)
+    rap.update(3, 5.0)
+    # Item 3 took over one of the two counters; its value is the victim's
+    # plus 5, and exactly one of items 1/2 survived.
+    assert rap.num_active == 2
+    assert rap.estimate(3) in (15.0, 25.0)
+    assert (rap.estimate(1) == 0.0) != (rap.estimate(2) == 0.0)
+
+
+def test_counter_sum_equals_stream_weight():
+    """Takeovers only ever move weight — the SS mass invariant holds."""
+    rap = RandomAdmissionSpaceSaving(16, sample_size=4, seed=3)
+    total = 0.0
+    for index in range(5_000):
+        weight = float(index % 11 + 1)
+        rap.update(index % 300, weight)
+        total += weight
+    assert sum(value for _item, value in rap.items()) == pytest.approx(total)
+
+
+def test_larger_sample_closer_to_exact_ss(zipf_weighted_stream, zipf_weighted_exact):
+    """With ell -> k the sampled min approaches the true min, and the
+    top-item estimate approaches the exact SS overestimate-bounded one."""
+    def worst_top_error(sample_size):
+        rap = RandomAdmissionSpaceSaving(64, sample_size=sample_size, seed=4)
+        for item, weight in zipf_weighted_stream:
+            rap.update(item, weight)
+        return max(
+            abs(rap.estimate(item) - frequency)
+            for item, frequency in zipf_weighted_exact.top_k(5)
+        )
+
+    assert worst_top_error(32) <= worst_top_error(1) * 1.5 + 1e-6
+
+
+def test_constant_memory_accesses():
+    rap = RandomAdmissionSpaceSaving(256, sample_size=2, seed=5)
+    for index in range(10_000):
+        rap.update(index, 1.0)  # all misses after fill: every update samples
+    # Each takeover touches exactly ell counters.
+    assert rap.stats.counters_scanned <= 2 * rap.stats.updates
+
+
+def test_heavy_item_survives(zipf_weighted_stream, zipf_weighted_exact):
+    rap = RandomAdmissionSpaceSaving(128, sample_size=2, seed=6)
+    for item, weight in zipf_weighted_stream:
+        rap.update(item, weight)
+    top_item, top_frequency = zipf_weighted_exact.top_k(1)[0]
+    assert rap.estimate(top_item) >= top_frequency * 0.5
+
+
+def test_deterministic_per_seed(zipf_weighted_stream):
+    def build():
+        rap = RandomAdmissionSpaceSaving(32, sample_size=2, seed=9)
+        for item, weight in zipf_weighted_stream[:5_000]:
+            rap.update(item, weight)
+        return dict(rap.items())
+
+    assert build() == build()

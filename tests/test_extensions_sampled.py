@@ -1,0 +1,109 @@
+"""SampledFrequentItems: the Section 5 weighted-sampling adaptation."""
+
+import pytest
+
+from repro.errors import InvalidParameterError, InvalidUpdateError
+from repro.extensions import SampledFrequentItems
+from repro.extensions.sampled_mg import recommended_probability
+from repro.streams.exact import ExactCounter
+from repro.streams.zipf import ZipfianStream
+
+
+def test_probability_validation():
+    with pytest.raises(InvalidParameterError):
+        SampledFrequentItems(16, 0.0)
+    with pytest.raises(InvalidParameterError):
+        SampledFrequentItems(16, 1.5)
+    sampled = SampledFrequentItems(16, 0.5)
+    with pytest.raises(InvalidUpdateError):
+        sampled.update(1, 0.0)
+
+
+def test_recommended_probability():
+    p = recommended_probability(1e9, epsilon=0.01)
+    assert 0 < p <= 1.0
+    assert recommended_probability(10.0, epsilon=0.5) == 1.0  # clamped
+    with pytest.raises(InvalidParameterError):
+        recommended_probability(0.0, 0.1)
+    with pytest.raises(InvalidParameterError):
+        recommended_probability(100.0, 1.5)
+    with pytest.raises(InvalidParameterError):
+        recommended_probability(100.0, 0.1, delta=2.0)
+
+
+def test_probability_one_is_exact_passthrough():
+    sampled = SampledFrequentItems(32, 1.0, seed=1)
+    for item, weight in [(1, 5.0), (2, 3.0), (1, 2.0)]:
+        sampled.update(item, weight)
+    assert sampled.estimate(1) == 7.0
+    assert sampled.sampled_count == 10
+
+
+def test_sample_count_concentrates():
+    """The thinning keeps ~p fraction of total weight."""
+    p = 0.1
+    sampled = SampledFrequentItems(64, p, seed=2)
+    total = 0.0
+    for index in range(5_000):
+        weight = float(index % 50 + 1)
+        sampled.update(index % 100, weight)
+        total += weight
+    expected = p * total
+    assert sampled.sampled_count == pytest.approx(expected, rel=0.1)
+    assert sampled.stream_weight == pytest.approx(total)
+
+
+def test_estimates_concentrate_on_heavy_items():
+    stream = list(
+        ZipfianStream(30_000, universe=4_000, alpha=1.3, seed=3,
+                      weight_low=1, weight_high=100)
+    )
+    exact = ExactCounter()
+    exact.update_all(stream)
+    p = recommended_probability(exact.total_weight, epsilon=0.02)
+    sampled = SampledFrequentItems(256, p, seed=4)
+    for item, weight in stream:
+        sampled.update(item, weight)
+    n = exact.total_weight
+    for item, frequency in exact.top_k(10):
+        assert abs(sampled.estimate(item) - frequency) <= 0.03 * n
+
+
+def test_bounds_scale_with_inverse_p():
+    sampled = SampledFrequentItems(16, 0.25, seed=5)
+    for index in range(2_000):
+        sampled.update(index % 10, 4.0)
+    item = 3
+    assert sampled.lower_bound(item) <= sampled.estimate(item) <= \
+        sampled.upper_bound(item)
+
+
+def test_heavy_hitters_scaled():
+    sampled = SampledFrequentItems(32, 0.2, seed=6)
+    for index in range(10_000):
+        sampled.update(0 if index % 3 == 0 else index, 1.0)
+    rows = sampled.heavy_hitters(0.2)
+    assert any(row.item == 0 for row in rows)
+    top = next(row for row in rows if row.item == 0)
+    assert top.estimate == pytest.approx(10_000 / 3, rel=0.25)
+
+
+def test_large_weight_skip_efficiency():
+    """A huge weight must be processed without Theta(weight) work."""
+    sampled = SampledFrequentItems(16, 1e-6, seed=7)
+    sampled.update(1, 1e9)  # would explode if reduced to unit case
+    assert sampled.stream_weight == 1e9
+    # ~1000 expected samples at p=1e-6
+    assert sampled.sampled_count < 10_000
+
+
+def test_deterministic_per_seed():
+    def build():
+        sampled = SampledFrequentItems(32, 0.1, seed=11)
+        for index in range(3_000):
+            sampled.update(index % 40, float(index % 5 + 1))
+        return sampled
+
+    a, b = build(), build()
+    assert a.sampled_count == b.sampled_count
+    assert a.estimate(7) == b.estimate(7)

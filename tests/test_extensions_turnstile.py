@@ -1,0 +1,102 @@
+"""TwoSidedSketch: the Section 1.3 deletion construction."""
+
+import pytest
+
+from repro.errors import InvalidParameterError, InvalidUpdateError
+from repro.extensions import TwoSidedSketch
+from repro.prng import Xoroshiro128PlusPlus
+
+
+def test_zero_weight_rejected():
+    sketch = TwoSidedSketch(16)
+    with pytest.raises(InvalidUpdateError):
+        sketch.update(1, 0.0)
+
+
+def test_insert_then_delete_exact_when_small():
+    sketch = TwoSidedSketch(32, seed=1)
+    sketch.update(1, 10.0)
+    sketch.update(1, -4.0)
+    sketch.update(2, 7.0)
+    assert sketch.estimate(1) == 6.0
+    assert sketch.estimate(2) == 7.0
+    assert sketch.net_weight == 13.0
+    assert sketch.gross_weight == 21.0
+
+
+def test_estimate_clamped_at_zero():
+    sketch = TwoSidedSketch(32, seed=2)
+    sketch.update(1, 3.0)
+    sketch.update(1, -3.0)
+    sketch.update(2, 5.0)
+    assert sketch.estimate(1) == 0.0
+    assert sketch.lower_bound(1) == 0.0
+
+
+def test_bounds_bracket_truth_under_churn():
+    rng = Xoroshiro128PlusPlus(3)
+    sketch = TwoSidedSketch(64, seed=3)
+    truth: dict[int, float] = {}
+    inserted: dict[int, float] = {}
+    for _ in range(20_000):
+        item = rng.randrange(200)
+        if rng.random() < 0.75 or inserted.get(item, 0.0) < 1.0:
+            weight = float(rng.randint(1, 20))
+            sketch.update(item, weight)
+            truth[item] = truth.get(item, 0.0) + weight
+            inserted[item] = inserted.get(item, 0.0) + weight
+        else:
+            # Strict turnstile: never delete below zero.
+            available = truth.get(item, 0.0)
+            if available >= 1.0:
+                weight = min(available, float(rng.randint(1, 5)))
+                sketch.update(item, -weight)
+                truth[item] = truth.get(item, 0.0) - weight
+    for item, frequency in truth.items():
+        assert sketch.lower_bound(item) <= frequency + 1e-6
+        assert sketch.upper_bound(item) >= frequency - 1e-6
+
+
+def test_heavy_hitters_no_false_negatives():
+    sketch = TwoSidedSketch(64, seed=4)
+    truth: dict[int, float] = {}
+    for index in range(5_000):
+        item = index % 50
+        weight = 50.0 if item == 0 else 1.0
+        sketch.update(item, weight)
+        truth[item] = truth.get(item, 0.0) + weight
+    for index in range(500):
+        sketch.update(1 + index % 10, -1.0)
+        truth[1 + index % 10] -= 1.0
+    phi = 0.2
+    reported = {row.item for row in sketch.heavy_hitters(phi)}
+    net = sum(truth.values())
+    for item, frequency in truth.items():
+        if frequency >= phi * net:
+            assert item in reported
+    with pytest.raises(InvalidParameterError):
+        sketch.heavy_hitters(0.0)
+
+
+def test_merge_sides_independently():
+    a = TwoSidedSketch(32, seed=5)
+    b = TwoSidedSketch(32, seed=6)
+    a.update(1, 10.0)
+    a.update(1, -2.0)
+    b.update(1, 5.0)
+    b.update(2, -0.5)
+    b.update(2, 3.0)
+    a.merge(b)
+    assert a.estimate(1) == pytest.approx(13.0)
+    assert a.estimate(2) == pytest.approx(2.5)
+    assert a.net_weight == pytest.approx(15.5)
+
+
+def test_exposes_sides_and_space():
+    sketch = TwoSidedSketch(16, seed=7)
+    sketch.update(1, 2.0)
+    sketch.update(1, -1.0)
+    assert sketch.positive.stream_weight == 2.0
+    assert sketch.negative.stream_weight == 1.0
+    assert sketch.space_bytes() == \
+        sketch.positive.space_bytes() + sketch.negative.space_bytes()

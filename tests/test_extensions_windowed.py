@@ -1,0 +1,103 @@
+"""SlidingWindowHeavyHitters: expiry, merging, bracket correctness."""
+
+import pytest
+
+from repro.core.row import ErrorType
+from repro.errors import InvalidParameterError
+from repro.extensions import SlidingWindowHeavyHitters
+from repro.streams.exact import ExactCounter
+from repro.streams.zipf import ZipfianStream
+
+
+def test_validation():
+    with pytest.raises(InvalidParameterError):
+        SlidingWindowHeavyHitters(16, 0)
+
+
+def test_single_bucket_matches_plain_sketch():
+    window = SlidingWindowHeavyHitters(32, 1, seed=1)
+    for item in range(20):
+        window.update(item, float(item + 1))
+    assert window.estimate(19) == 20.0
+    assert window.window_weight == sum(range(1, 21))
+
+
+def test_expiry_drops_old_slices():
+    window = SlidingWindowHeavyHitters(32, 2, seed=2)
+    window.update(1, 100.0)
+    window.advance()
+    window.update(2, 50.0)
+    # Both slices still live.
+    assert window.estimate(1) == 100.0
+    assert window.estimate(2) == 50.0
+    window.advance()
+    window.update(3, 10.0)
+    # Slice containing item 1 has rotated out.
+    assert window.estimate(1) == 0.0
+    assert window.estimate(2) == 50.0
+    assert window.estimate(3) == 10.0
+    assert window.window_weight == 60.0
+    assert window.epoch == 2
+
+
+def test_window_weight_tracks_live_buckets_only():
+    window = SlidingWindowHeavyHitters(16, 3, seed=3)
+    for epoch in range(6):
+        for _ in range(10):
+            window.update(epoch, 1.0)
+        if epoch < 5:
+            window.advance()
+    assert window.window_weight == 30.0  # last 3 slices of 10 each
+
+
+def test_query_does_not_perturb_buckets():
+    window = SlidingWindowHeavyHitters(16, 2, seed=4)
+    window.update(1, 5.0)
+    before = window.estimate(1)
+    for _ in range(5):
+        window.window_sketch()
+    assert window.estimate(1) == before
+
+
+def test_brackets_hold_vs_exact_per_window():
+    window = SlidingWindowHeavyHitters(64, 4, seed=5)
+    slices = []
+    stream = list(
+        ZipfianStream(12_000, universe=2_000, alpha=1.2, seed=6,
+                      weight_low=1, weight_high=50)
+    )
+    slice_size = 2_000
+    for start in range(0, len(stream), slice_size):
+        chunk = stream[start : start + slice_size]
+        exact = ExactCounter()
+        for item, weight in chunk:
+            window.update(item, weight)
+            exact.update(item, weight)
+        slices.append(exact)
+        merged = window.window_sketch()
+        truth = ExactCounter()
+        for live in slices[-4:]:
+            truth.merge(ExactCounter().merge(live))
+        assert merged.stream_weight == pytest.approx(truth.total_weight)
+        for item, frequency in truth.top_k(10):
+            assert merged.lower_bound(item) <= frequency + 1e-6
+            assert merged.upper_bound(item) >= frequency - 1e-6
+        if start + slice_size < len(stream):
+            window.advance()
+
+
+def test_heavy_hitters_no_false_negatives_within_window():
+    window = SlidingWindowHeavyHitters(64, 2, seed=7)
+    for index in range(4_000):
+        window.update(0 if index % 4 == 0 else index, 1.0)
+    rows = window.heavy_hitters(0.2, ErrorType.NO_FALSE_NEGATIVES)
+    assert any(row.item == 0 for row in rows)
+
+
+def test_space_scales_with_live_buckets():
+    window = SlidingWindowHeavyHitters(32, 4, seed=8)
+    one = window.space_bytes()
+    window.advance()
+    window.advance()
+    assert window.space_bytes() == 3 * one
+    assert window.window_buckets == 4

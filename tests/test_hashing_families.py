@@ -1,0 +1,77 @@
+"""Multiply-shift and sign hash families for the sketch baselines."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.hashing.families import MultiplyShiftFamily, SignHashFamily
+
+
+def test_family_shape():
+    family = MultiplyShiftFamily(rows=5, width=256, seed=1)
+    assert family.rows == 5
+    assert family.width == 256
+
+
+def test_hash_in_range():
+    family = MultiplyShiftFamily(rows=4, width=128, seed=2)
+    for key in range(2000):
+        for row in range(4):
+            assert 0 <= family.hash(row, key) < 128
+
+
+def test_hash_all_matches_hash():
+    family = MultiplyShiftFamily(rows=3, width=64, seed=3)
+    for key in (0, 1, 999, 2**63):
+        assert family.hash_all(key) == [family.hash(r, key) for r in range(3)]
+
+
+def test_rows_behave_differently():
+    family = MultiplyShiftFamily(rows=2, width=1024, seed=4)
+    agreements = sum(
+        1 for key in range(2000) if family.hash(0, key) == family.hash(1, key)
+    )
+    assert agreements < 20  # ~2 expected by chance
+
+
+def test_distribution_roughly_uniform():
+    family = MultiplyShiftFamily(rows=1, width=16, seed=5)
+    counts = [0] * 16
+    n = 8000
+    for key in range(n):
+        counts[family.hash(0, key)] += 1
+    for count in counts:
+        assert 0.6 * n / 16 < count < 1.4 * n / 16
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(InvalidParameterError):
+        MultiplyShiftFamily(rows=0, width=16)
+    with pytest.raises(InvalidParameterError):
+        MultiplyShiftFamily(rows=1, width=100)  # not a power of two
+    with pytest.raises(InvalidParameterError):
+        MultiplyShiftFamily(rows=1, width=0)
+    with pytest.raises(InvalidParameterError):
+        SignHashFamily(rows=0)
+
+
+def test_signs_are_plus_minus_one_and_balanced():
+    signs = SignHashFamily(rows=3, seed=6)
+    n = 4000
+    for row in range(3):
+        total = 0
+        for key in range(n):
+            sign = signs.sign(row, key)
+            assert sign in (-1, 1)
+            total += sign
+        assert abs(total) < 0.1 * n
+
+
+def test_sign_deterministic_per_seed():
+    a = SignHashFamily(rows=1, seed=7)
+    b = SignHashFamily(rows=1, seed=7)
+    c = SignHashFamily(rows=1, seed=8)
+    series_a = [a.sign(0, key) for key in range(100)]
+    series_b = [b.sign(0, key) for key in range(100)]
+    series_c = [c.sign(0, key) for key in range(100)]
+    assert series_a == series_b
+    assert series_a != series_c

@@ -1,0 +1,88 @@
+"""fmix64 / hash_u64 / item_to_u64: bijectivity, seeds, item mapping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hashing.mixers import fmix64, hash_u64, item_to_u64
+
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+@given(U64)
+def test_fmix64_in_range(x):
+    assert 0 <= fmix64(x) < 1 << 64
+
+
+def test_fmix64_known_fixed_point():
+    # fmix64(0) == 0 is the mixer's one well-known fixed point.
+    assert fmix64(0) == 0
+
+
+def test_fmix64_injective_on_sample():
+    values = [fmix64(x) for x in range(20_000)]
+    assert len(set(values)) == 20_000
+
+
+def test_fmix64_avalanche():
+    """Flipping one input bit should flip roughly half the output bits."""
+    base = fmix64(0x123456789ABCDEF0)
+    for bit in range(0, 64, 7):
+        flipped = fmix64(0x123456789ABCDEF0 ^ (1 << bit))
+        distance = bin(base ^ flipped).count("1")
+        assert 16 <= distance <= 48, f"bit {bit}: distance {distance}"
+
+
+@given(U64)
+def test_hash_u64_seed_zero_differs_from_identity(x):
+    # Not a strict requirement for any single x, but collisions with the
+    # identity map should be essentially impossible on random inputs.
+    assert 0 <= hash_u64(x, 0) < 1 << 64
+
+
+def test_hash_u64_seeds_are_independent():
+    keys = list(range(1000))
+    h0 = [hash_u64(k, 0) for k in keys]
+    h1 = [hash_u64(k, 1) for k in keys]
+    agreements = sum(1 for a, b in zip(h0, h1) if (a & 1023) == (b & 1023))
+    assert agreements < 30  # ~ 1000/1024 expected by chance
+
+
+def test_hash_u64_injective_per_seed():
+    values = {hash_u64(x, 7) for x in range(10_000)}
+    assert len(values) == 10_000
+
+
+def test_item_to_u64_small_ints_passthrough():
+    for x in (0, 1, 42, (1 << 64) - 1):
+        assert item_to_u64(x) == x
+
+
+def test_item_to_u64_negative_and_huge_ints_fold():
+    assert 0 <= item_to_u64(-5) < 1 << 64
+    assert 0 <= item_to_u64(1 << 100) < 1 << 64
+    assert item_to_u64(-5) != item_to_u64(5)
+    assert item_to_u64(1 << 100) != item_to_u64(1 << 101)
+
+
+def test_item_to_u64_bool():
+    assert item_to_u64(True) == 1
+    assert item_to_u64(False) == 0
+
+
+def test_item_to_u64_strings_and_bytes():
+    assert item_to_u64("alpha") == item_to_u64("alpha")
+    assert item_to_u64("alpha") != item_to_u64("beta")
+    assert item_to_u64(b"alpha") == item_to_u64(bytearray(b"alpha"))
+    assert 0 <= item_to_u64("alpha") < 1 << 64
+
+
+def test_item_to_u64_rejects_unknown_types():
+    with pytest.raises(TypeError):
+        item_to_u64(3.14)
+    with pytest.raises(TypeError):
+        item_to_u64(["list"])
+
+
+@given(st.text(max_size=50))
+def test_item_to_u64_text_deterministic(text):
+    assert item_to_u64(text) == item_to_u64(text)

@@ -1,0 +1,122 @@
+"""End-to-end pipelines: the workflows the examples demonstrate."""
+
+import pytest
+
+from repro import ErrorType, FrequentItemsSketch, merge_pairwise_tree
+from repro.extensions import HierarchicalHeavyHitters, StreamingEntropy
+from repro.metrics.heavy_hitters import hh_precision_recall
+from repro.streams import (
+    ExactCounter,
+    SyntheticPacketTrace,
+    partition_hash,
+    partition_round_robin,
+)
+from repro.streams.io import read_binary_trace, write_binary_trace
+
+
+def test_telemetry_pipeline(tmp_path):
+    """Generate -> persist -> reload -> sketch -> query, vs ground truth."""
+    trace_path = tmp_path / "trace.bin"
+    trace = SyntheticPacketTrace(20_000, unique_sources=2_500, seed=42)
+    write_binary_trace(trace_path, trace)
+
+    sketch = FrequentItemsSketch(256, backend="dict", seed=1)
+    exact = ExactCounter()
+    for item, weight in read_binary_trace(trace_path):
+        sketch.update(item, weight)
+        exact.update(item, weight)
+
+    assert sketch.stream_weight == pytest.approx(exact.total_weight)
+    phi = 0.01
+    quality = hh_precision_recall(
+        (row.item for row in sketch.heavy_hitters(phi, ErrorType.NO_FALSE_NEGATIVES)),
+        exact,
+        phi,
+    )
+    assert quality.recall == 1.0
+    quality_nfp = hh_precision_recall(
+        (row.item for row in sketch.heavy_hitters(phi, ErrorType.NO_FALSE_POSITIVES)),
+        exact,
+        phi,
+    )
+    assert quality_nfp.precision == 1.0
+
+
+@pytest.mark.parametrize("partitioner", [partition_round_robin, partition_hash])
+def test_distributed_pipeline(partitioner):
+    """Shard -> sketch per shard -> serialize -> tree merge -> query."""
+    stream = list(SyntheticPacketTrace(16_000, unique_sources=2_000, seed=7))
+    exact = ExactCounter()
+    exact.update_all(stream)
+
+    shards = partitioner(stream, 8)
+    blobs = []
+    for index, shard in enumerate(shards):
+        sketch = FrequentItemsSketch(128, backend="dict", seed=index)
+        for item, weight in shard:
+            sketch.update(item, weight)
+        blobs.append(sketch.to_bytes())
+
+    merged = merge_pairwise_tree(
+        [FrequentItemsSketch.from_bytes(blob) for blob in blobs]
+    )
+    assert merged.stream_weight == pytest.approx(exact.total_weight)
+    for item, frequency in exact.top_k(10):
+        assert merged.lower_bound(item) - 1e-6 <= frequency <= \
+            merged.upper_bound(item) + 1e-6
+    # Merged error stays bounded: Theorem 5 with k* = k/3.
+    counter_sum = sum(row.lower_bound for row in merged.to_rows())
+    bound = (exact.total_weight - counter_sum) / (merged.max_counters / 3)
+    worst = max(
+        frequency - merged.lower_bound(item) for item, frequency in exact.items()
+    )
+    assert worst <= bound + 1e-6
+
+
+def test_anomaly_pipeline():
+    """Windowed entropy + HHH localization of an injected flood."""
+    window = 4_000
+    baseline = list(SyntheticPacketTrace(window, unique_sources=1_500, seed=3))
+    attacker = 0x0A0B0C0D
+    flood = [(attacker, 2048.0)] * (window // 2) + baseline[: window // 2]
+
+    def entropy_of(updates):
+        monitor = StreamingEntropy(128, seed=5)
+        for item, weight in updates:
+            monitor.update(item, weight)
+        return monitor.estimate()
+
+    assert entropy_of(flood) < 0.7 * entropy_of(baseline)
+
+    hhh = HierarchicalHeavyHitters(128, seed=6)
+    for item, weight in flood:
+        hhh.update(item, weight)
+    cidrs = {node.cidr() for node in hhh.query(0.2)}
+    assert "10.11.12.13/32" in cidrs
+
+
+def test_sketch_survives_pathological_weights():
+    """Mixing tiny and enormous weights must not break any invariant."""
+    sketch = FrequentItemsSketch(32, backend="dict", seed=8)
+    exact = ExactCounter()
+    weights = [1e-6, 1.0, 1e12, 3.5, 1e-3, 7e9]
+    for index in range(5_000):
+        item = index % 100
+        weight = weights[index % len(weights)]
+        sketch.update(item, weight)
+        exact.update(item, weight)
+    for item in range(100):
+        assert sketch.lower_bound(item) <= exact.frequency(item) * (1 + 1e-9) + 1e-6
+        assert sketch.upper_bound(item) >= exact.frequency(item) * (1 - 1e-9) - 1e-6
+
+
+def test_string_items_via_hashing():
+    """The item_to_u64 bridge lets applications use string keys."""
+    from repro.hashing import item_to_u64
+
+    sketch = FrequentItemsSketch(64, backend="dict", seed=9)
+    users = [f"user-{index % 20}" for index in range(2_000)]
+    for user in users:
+        sketch.update(item_to_u64(user), 1.0)
+    top = item_to_u64("user-0")
+    assert sketch.estimate(top) == pytest.approx(100.0)

@@ -1,0 +1,144 @@
+"""Metrics: error measures, bound checkers, space models, op stats."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.metrics import OpStats, space_model_bytes
+from repro.metrics.accuracy import (
+    BoundCheck,
+    check_merge_bound,
+    check_tail_bound,
+    max_error,
+    max_underestimate,
+    mean_absolute_error,
+)
+from repro.metrics.heavy_hitters import check_phi_epsilon, hh_precision_recall
+from repro.metrics.space import counters_for_equal_space, merge_scratch_bytes
+from repro.streams.exact import exact_counts
+
+
+class _FixedEstimator:
+    def __init__(self, mapping):
+        self._mapping = mapping
+
+    def estimate(self, item):
+        return self._mapping.get(item, 0.0)
+
+
+def test_error_measures():
+    exact = exact_counts([(1, 10.0), (2, 5.0), (3, 1.0)])
+    summary = _FixedEstimator({1: 8.0, 2: 6.0})
+    assert max_error(summary, exact) == pytest.approx(2.0)
+    assert max_underestimate(summary, exact) == pytest.approx(2.0)
+    assert mean_absolute_error(summary, exact) == pytest.approx((2 + 1 + 1) / 3)
+    # Callables work too.
+    assert max_error(lambda item: 0.0, exact) == 10.0
+
+
+def test_error_measures_empty_truth():
+    exact = exact_counts([])
+    assert max_error(lambda item: 0.0, exact) == 0.0
+    assert mean_absolute_error(lambda item: 0.0, exact) == 0.0
+
+
+def test_bound_check():
+    check = BoundCheck(observed=5.0, bound=10.0)
+    assert check.holds
+    assert not BoundCheck(11.0, 10.0).holds
+
+
+def test_check_tail_bound():
+    exact = exact_counts([(1, 100.0), (2, 10.0), (3, 10.0)])
+    summary = _FixedEstimator({1: 95.0, 2: 8.0, 3: 8.0})
+    check = check_tail_bound(summary, exact, j=1, k_star=3.0)
+    assert check.bound == pytest.approx(20.0 / 2.0)
+    assert check.holds
+    with pytest.raises(InvalidParameterError):
+        check_tail_bound(summary, exact, j=5, k_star=3.0)
+
+
+def test_check_merge_bound():
+    exact = exact_counts([(1, 100.0), (2, 50.0)])
+    summary = _FixedEstimator({1: 90.0, 2: 45.0})
+    check = check_merge_bound(summary, exact, counter_sum=135.0, k_star=1.0)
+    assert check.bound == pytest.approx(15.0)
+    assert check.holds
+    with pytest.raises(InvalidParameterError):
+        check_merge_bound(summary, exact, 10.0, 0.0)
+
+
+def test_hh_precision_recall():
+    exact = exact_counts([(1, 60.0), (2, 30.0), (3, 10.0)])
+    quality = hh_precision_recall([1, 3], exact, phi=0.25)
+    assert quality.true_positives == 1
+    assert quality.false_positives == 1
+    assert quality.false_negatives == 1
+    assert quality.precision == 0.5
+    assert quality.recall == 0.5
+    assert 0 < quality.f1 <= 1.0
+    perfect = hh_precision_recall([1, 2], exact, phi=0.25)
+    assert perfect.precision == perfect.recall == 1.0
+    empty = hh_precision_recall([], exact, phi=0.99)
+    assert empty.precision == 1.0 and empty.recall == 1.0
+
+
+def test_check_phi_epsilon():
+    exact = exact_counts([(1, 60.0), (2, 30.0), (3, 10.0)])
+    assert check_phi_epsilon([1, 2], exact, phi=0.25, epsilon=0.05)
+    assert not check_phi_epsilon([1], exact, phi=0.25, epsilon=0.05)  # misses 2
+    assert not check_phi_epsilon([1, 2, 3], exact, phi=0.25, epsilon=0.05)  # 3 too light
+    with pytest.raises(InvalidParameterError):
+        check_phi_epsilon([1], exact, phi=0.1, epsilon=0.2)
+
+
+def test_space_models_ordering():
+    k = 4096
+    ours = space_model_bytes("smed", k)
+    assert space_model_bytes("smin", k) == ours
+    assert space_model_bytes("rbmc", k) == ours
+    assert space_model_bytes("med", k) == ours + 8 * k
+    assert space_model_bytes("mhe", k) > ours
+    assert space_model_bytes("ssl", k) > ours
+    with pytest.raises(InvalidParameterError):
+        space_model_bytes("nope", k)
+    with pytest.raises(InvalidParameterError):
+        space_model_bytes("smed", 0)
+
+
+def test_paper_24k_accounting():
+    k = 24_576  # 4k/3 is a power of two
+    assert space_model_bytes("smed", k) == 24 * k + 64
+
+
+def test_counters_for_equal_space_inverts_model():
+    for algorithm in ("smed", "mhe", "med"):
+        for k in (64, 500, 4096):
+            budget = space_model_bytes(algorithm, k)
+            recovered = counters_for_equal_space(algorithm, budget)
+            assert space_model_bytes(algorithm, recovered) <= budget
+            assert space_model_bytes(algorithm, recovered + 1) > budget
+    with pytest.raises(InvalidParameterError):
+        counters_for_equal_space("smed", 0)
+
+
+def test_merge_scratch():
+    assert merge_scratch_bytes("ours", 1024) == 0
+    assert merge_scratch_bytes("ach13", 1024) > 0
+    assert merge_scratch_bytes("hoa61", 1024) == merge_scratch_bytes("ach13", 1024)
+    with pytest.raises(InvalidParameterError):
+        merge_scratch_bytes("nope", 1024)
+
+
+def test_op_stats_merge_and_rates():
+    a = OpStats(updates=10, hits=5, decrements=2, counters_scanned=20)
+    b = OpStats(updates=30, inserts=3, heap_sifts=7)
+    a.merge(b)
+    assert a.updates == 40
+    assert a.hits == 5
+    assert a.inserts == 3
+    assert a.heap_sifts == 7
+    assert a.decrements_per_update() == pytest.approx(2 / 40)
+    assert a.amortized_scan_cost() == pytest.approx(20 / 40)
+    assert OpStats().decrements_per_update() == 0.0
+    assert OpStats().amortized_scan_cost() == 0.0
+    assert "updates" in a.as_dict()

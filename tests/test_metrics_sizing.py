@@ -1,0 +1,93 @@
+"""Capacity planning helpers: k_for_error and friends."""
+
+import pytest
+
+from repro.baselines.factory import make_smed
+from repro.errors import InvalidParameterError
+from repro.metrics.accuracy import max_underestimate
+from repro.metrics.sizing import k_for_error, k_for_phi_epsilon, k_for_workload
+from repro.streams.exact import ExactCounter, exact_counts
+from repro.streams.zipf import ZipfianStream
+
+
+def test_k_for_error_formulas():
+    assert k_for_error(3_000.0, 10.0, "smed") == 900  # 3N/err
+    assert k_for_error(3_000.0, 10.0, "exact") == 299  # N/err - 1
+    assert k_for_error(10.0, 100.0) == 2  # floor at the minimum k
+
+
+def test_k_for_error_validation():
+    with pytest.raises(InvalidParameterError):
+        k_for_error(0.0, 1.0)
+    with pytest.raises(InvalidParameterError):
+        k_for_error(1.0, 0.0)
+    with pytest.raises(InvalidParameterError):
+        k_for_error(1.0, 1.0, family="bogus")
+
+
+def test_k_for_phi_epsilon():
+    # epsilon = 0.001 of the stream weight -> k = 3/0.001 for SMED.
+    assert k_for_phi_epsilon(0.01, 0.001, "smed") == 3_000
+    assert k_for_phi_epsilon(0.01, 0.001, "exact") == 999
+    with pytest.raises(InvalidParameterError):
+        k_for_phi_epsilon(0.01, 0.02)
+
+
+def test_recommended_k_actually_meets_target():
+    """End-to-end: size from the bound, run, verify the observed error."""
+    stream = list(
+        ZipfianStream(20_000, universe=3_000, alpha=1.2, seed=1,
+                      weight_low=1, weight_high=100)
+    )
+    exact = ExactCounter()
+    exact.update_all(stream)
+    target = exact.total_weight / 150.0
+    k = k_for_error(exact.total_weight, target, "smed")
+    sketch = make_smed(k, seed=2)
+    for item, weight in stream:
+        sketch.update(item, weight)
+    assert max_underestimate(sketch, exact) <= target + 1e-6
+    assert sketch.maximum_error <= target + 1e-6
+
+
+def test_workload_aware_k_is_smaller_on_skew():
+    skewed = ExactCounter()
+    skewed.update_all(
+        ZipfianStream(20_000, universe=3_000, alpha=1.6, seed=3,
+                      weight_low=1, weight_high=100)
+    )
+    target = skewed.total_weight / 300.0
+    distribution_free = k_for_error(skewed.total_weight, target, "smed")
+    workload_aware = k_for_workload(skewed, target, "smed")
+    assert workload_aware < distribution_free
+    # And it must actually certify: the tail bound at that k meets target.
+    k_star = workload_aware / 3.0
+    assert any(
+        skewed.residual_weight(j) / (k_star - j) <= target
+        for j in range(0, int(k_star))
+    )
+
+
+def test_workload_aware_k_meets_target_in_practice():
+    exact = ExactCounter()
+    stream = list(
+        ZipfianStream(15_000, universe=2_000, alpha=1.5, seed=4,
+                      weight_low=1, weight_high=50)
+    )
+    exact.update_all(stream)
+    target = exact.total_weight / 200.0
+    k = k_for_workload(exact, target, "smed")
+    sketch = make_smed(k, seed=5)
+    for item, weight in stream:
+        sketch.update(item, weight)
+    assert max_underestimate(sketch, exact) <= target + 1e-6
+
+
+def test_workload_validation():
+    with pytest.raises(InvalidParameterError):
+        k_for_workload(exact_counts([]), 1.0)
+    with pytest.raises(InvalidParameterError):
+        k_for_workload(exact_counts([(1, 10.0)]), 0.0)
+    with pytest.raises(InvalidParameterError):
+        # Impossible target under a tiny cap.
+        k_for_workload(exact_counts([(i, 1.0) for i in range(100)]), 1e-9, max_k=16)

@@ -1,0 +1,143 @@
+"""xoroshiro128++: determinism, ranges, and derived-draw correctness."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.prng import Xoroshiro128PlusPlus
+
+
+def test_deterministic_for_seed():
+    a = Xoroshiro128PlusPlus(7)
+    b = Xoroshiro128PlusPlus(7)
+    assert [a.next_u64() for _ in range(20)] == [b.next_u64() for _ in range(20)]
+
+
+def test_seeds_diverge():
+    a = Xoroshiro128PlusPlus(7)
+    b = Xoroshiro128PlusPlus(8)
+    assert [a.next_u64() for _ in range(8)] != [b.next_u64() for _ in range(8)]
+
+
+def test_random_in_unit_interval():
+    rng = Xoroshiro128PlusPlus(3)
+    values = [rng.random() for _ in range(5000)]
+    assert all(0.0 <= v < 1.0 for v in values)
+    assert abs(sum(values) / len(values) - 0.5) < 0.02
+
+
+@given(st.integers(min_value=1, max_value=10_000), st.integers(min_value=0, max_value=2**32))
+def test_randrange_in_bounds(n, seed):
+    rng = Xoroshiro128PlusPlus(seed)
+    for _ in range(5):
+        assert 0 <= rng.randrange(n) < n
+
+
+def test_randrange_rejects_nonpositive():
+    rng = Xoroshiro128PlusPlus(0)
+    with pytest.raises(InvalidParameterError):
+        rng.randrange(0)
+    with pytest.raises(InvalidParameterError):
+        rng.randrange(-3)
+
+
+def test_randrange_uniformity():
+    rng = Xoroshiro128PlusPlus(11)
+    n = 10
+    draws = 20_000
+    counts = [0] * n
+    for _ in range(draws):
+        counts[rng.randrange(n)] += 1
+    expected = draws / n
+    for count in counts:
+        assert abs(count - expected) < 5 * math.sqrt(expected)
+
+
+def test_randint_inclusive():
+    rng = Xoroshiro128PlusPlus(5)
+    values = {rng.randint(3, 5) for _ in range(200)}
+    assert values == {3, 4, 5}
+    with pytest.raises(InvalidParameterError):
+        rng.randint(5, 3)
+
+
+def test_uniform_range():
+    rng = Xoroshiro128PlusPlus(9)
+    for _ in range(100):
+        value = rng.uniform(10.0, 20.0)
+        assert 10.0 <= value < 20.0
+
+
+def test_geometric_mean_close_to_inverse_p():
+    rng = Xoroshiro128PlusPlus(13)
+    p = 0.05
+    draws = [rng.geometric(p) for _ in range(5000)]
+    assert all(d >= 1 for d in draws)
+    mean = sum(draws) / len(draws)
+    assert abs(mean - 1 / p) < 2.0
+
+
+def test_geometric_p_one():
+    rng = Xoroshiro128PlusPlus(1)
+    assert all(rng.geometric(1.0) == 1 for _ in range(10))
+
+
+def test_geometric_rejects_bad_p():
+    rng = Xoroshiro128PlusPlus(1)
+    for bad in (0.0, -0.1, 1.5):
+        with pytest.raises(InvalidParameterError):
+            rng.geometric(bad)
+
+
+def test_shuffle_is_permutation():
+    rng = Xoroshiro128PlusPlus(21)
+    items = list(range(100))
+    shuffled = rng.shuffled(items)
+    assert shuffled != items  # astronomically unlikely to match
+    assert sorted(shuffled) == items
+
+
+def test_sample_indices_distinct_and_in_range():
+    rng = Xoroshiro128PlusPlus(17)
+    for _ in range(50):
+        sample = rng.sample_indices(50, 20)
+        assert len(sample) == 20
+        assert len(set(sample)) == 20
+        assert all(0 <= index < 50 for index in sample)
+
+
+def test_sample_indices_full_population():
+    rng = Xoroshiro128PlusPlus(17)
+    assert sorted(rng.sample_indices(10, 10)) == list(range(10))
+
+
+def test_sample_indices_rejects_oversample():
+    rng = Xoroshiro128PlusPlus(17)
+    with pytest.raises(InvalidParameterError):
+        rng.sample_indices(5, 6)
+
+
+def test_choices_with_replacement():
+    rng = Xoroshiro128PlusPlus(23)
+    picked = rng.choices([1, 2, 3], 100)
+    assert len(picked) == 100
+    assert set(picked) <= {1, 2, 3}
+    with pytest.raises(InvalidParameterError):
+        rng.choices([], 1)
+
+
+def test_state_roundtrip():
+    rng = Xoroshiro128PlusPlus(31)
+    rng.next_u64()
+    state = rng.getstate()
+    expected = [rng.next_u64() for _ in range(5)]
+    rng.setstate(state)
+    assert [rng.next_u64() for _ in range(5)] == expected
+
+
+def test_setstate_rejects_zero_state():
+    rng = Xoroshiro128PlusPlus(31)
+    with pytest.raises(InvalidParameterError):
+        rng.setstate((0, 0))

@@ -1,0 +1,91 @@
+"""The public surface: imports, __all__, errors hierarchy, docstrings."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_docstring_example():
+    sketch = repro.FrequentItemsSketch(max_counters=64, seed=7)
+    for flow, packet_bytes in [(1, 1500), (2, 64), (1, 1500), (3, 576)]:
+        sketch.update(flow, packet_bytes)
+    assert sketch.estimate(1) == 3000.0
+    assert [row.item for row in sketch.heavy_hitters(phi=0.5)] == [1]
+
+
+def test_error_hierarchy():
+    assert issubclass(repro.InvalidParameterError, repro.ReproError)
+    assert issubclass(repro.InvalidParameterError, ValueError)
+    assert issubclass(repro.InvalidUpdateError, repro.ReproError)
+    assert issubclass(repro.TableFullError, RuntimeError)
+    assert issubclass(repro.SerializationError, repro.ReproError)
+    assert issubclass(repro.IncompatibleSketchError, repro.ReproError)
+
+
+SUBMODULES = [
+    "repro.core",
+    "repro.core.frequent_items",
+    "repro.core.policies",
+    "repro.core.merge",
+    "repro.core.serialize",
+    "repro.core.row",
+    "repro.baselines",
+    "repro.extensions",
+    "repro.streams",
+    "repro.table",
+    "repro.selection",
+    "repro.hashing",
+    "repro.prng",
+    "repro.metrics",
+    "repro.bench",
+    "repro.bench.cli",
+]
+
+
+@pytest.mark.parametrize("module_name", SUBMODULES)
+def test_submodules_import_and_are_documented(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+def test_public_classes_documented():
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if isinstance(obj, type):
+            assert obj.__doc__, f"{name} lacks a docstring"
+
+
+def test_cli_entrypoint_help():
+    from repro.bench.cli import main
+
+    with pytest.raises(SystemExit) as exc_info:
+        main(["--help"])
+    assert exc_info.value.code == 0
+
+
+def test_cli_space_runs(capsys):
+    from repro.bench.cli import main
+
+    assert main(["space", "--scale", "quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Space models" in out
+
+
+def test_cli_writes_report(tmp_path, capsys):
+    from repro.bench.cli import main
+
+    out_file = tmp_path / "report.txt"
+    assert main(["space", "--out", str(out_file)]) == 0
+    capsys.readouterr()
+    assert "Space models" in out_file.read_text()

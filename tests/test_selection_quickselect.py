@@ -1,0 +1,74 @@
+"""Quickselect against sorted() as the oracle, plus rank conventions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.prng import Xoroshiro128PlusPlus
+from repro.selection import kth_largest, kth_smallest, quickselect
+
+FLOATS = st.lists(
+    st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+@given(FLOATS, st.integers(min_value=0, max_value=2**31), st.randoms())
+def test_matches_sorted_oracle(values, seed, pyrandom):
+    rank = pyrandom.randrange(len(values))
+    rng = Xoroshiro128PlusPlus(seed)
+    assert quickselect(list(values), rank, rng) == sorted(values)[rank]
+
+
+@given(FLOATS)
+def test_deterministic_pivot_fallback(values):
+    """Without an rng the middle-element pivot must still be correct."""
+    rank = len(values) // 2
+    assert quickselect(list(values), rank) == sorted(values)[rank]
+
+
+def test_kth_smallest_and_largest_conventions():
+    values = [5.0, 1.0, 9.0, 3.0, 7.0]
+    assert kth_smallest(list(values), 1) == 1.0
+    assert kth_smallest(list(values), 5) == 9.0
+    assert kth_largest(list(values), 1) == 9.0
+    assert kth_largest(list(values), 5) == 1.0
+
+
+def test_heavy_ties():
+    values = [2.0] * 50 + [1.0] * 50 + [3.0] * 50
+    for rank in (0, 49, 50, 99, 100, 149):
+        assert quickselect(list(values), rank) == sorted(values)[rank]
+
+
+def test_single_element():
+    assert quickselect([42.0], 0) == 42.0
+
+
+def test_two_elements():
+    assert quickselect([2.0, 1.0], 0) == 1.0
+    assert quickselect([2.0, 1.0], 1) == 2.0
+
+
+def test_rank_out_of_range():
+    with pytest.raises(InvalidParameterError):
+        quickselect([1.0], 1)
+    with pytest.raises(InvalidParameterError):
+        quickselect([1.0], -1)
+    with pytest.raises(InvalidParameterError):
+        quickselect([], 0)
+
+
+def test_partial_reordering_preserves_multiset():
+    values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+    work = list(values)
+    quickselect(work, 3, Xoroshiro128PlusPlus(1))
+    assert sorted(work) == sorted(values)
+
+
+def test_reproducible_with_seeded_rng():
+    values = [float(x) for x in range(1000, 0, -1)]
+    a = quickselect(list(values), 500, Xoroshiro128PlusPlus(9))
+    b = quickselect(list(values), 500, Xoroshiro128PlusPlus(9))
+    assert a == b == sorted(values)[500]

@@ -1,0 +1,83 @@
+"""Sampled quantiles: exactness, selector variants, sampling behaviour."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.prng import Xoroshiro128PlusPlus
+from repro.selection import sample_quantile, sampled_counter_quantile
+from repro.selection.sampling import DEFAULT_SAMPLE_SIZE
+
+FLOATS = st.lists(
+    st.floats(min_value=0.001, max_value=1e9, allow_nan=False),
+    min_size=1,
+    max_size=100,
+)
+
+
+def test_default_sample_size_is_papers_ell():
+    assert DEFAULT_SAMPLE_SIZE == 1024
+
+
+@given(FLOATS, st.floats(min_value=0.0, max_value=1.0))
+def test_quantile_matches_sorted_rank(values, quantile):
+    expected = sorted(values)[int(quantile * (len(values) - 1))]
+    assert sample_quantile(values, quantile) == expected
+
+
+@given(FLOATS, st.floats(min_value=0.0, max_value=1.0))
+def test_selectors_agree(values, quantile):
+    rng = Xoroshiro128PlusPlus(5)
+    auto = sample_quantile(values, quantile, selector="auto")
+    quick = sample_quantile(values, quantile, rng, selector="quickselect")
+    assert auto == quick
+
+
+def test_extreme_quantiles():
+    values = [5.0, 2.0, 8.0, 1.0]
+    assert sample_quantile(values, 0.0) == 1.0
+    assert sample_quantile(values, 1.0) == 8.0
+
+
+def test_rejections():
+    with pytest.raises(InvalidParameterError):
+        sample_quantile([], 0.5)
+    with pytest.raises(InvalidParameterError):
+        sample_quantile([1.0], 1.5)
+    with pytest.raises(InvalidParameterError):
+        sample_quantile([1.0], 0.5, selector="bogus")
+    rng = Xoroshiro128PlusPlus(1)
+    with pytest.raises(InvalidParameterError):
+        sampled_counter_quantile([1.0], 0.5, 0, rng)
+    with pytest.raises(InvalidParameterError):
+        sampled_counter_quantile([], 0.5, 8, rng)
+
+
+def test_small_multiset_is_exact():
+    """When the multiset fits in the sample, the quantile is exact."""
+    rng = Xoroshiro128PlusPlus(2)
+    values = [float(x) for x in range(10)]
+    assert sampled_counter_quantile(values, 0.5, 100, rng) == 4.0
+    assert sampled_counter_quantile(values, 0.0, 100, rng) == 0.0
+
+
+def test_large_multiset_sampled_median_is_near_true_median():
+    rng = Xoroshiro128PlusPlus(3)
+    values = [float(x) for x in range(10_000)]
+    estimate = sampled_counter_quantile(values, 0.5, 512, rng)
+    assert abs(estimate - 5_000) < 800  # within a few percentiles w.h.p.
+
+
+def test_sample_min_is_an_overestimate_of_true_min():
+    """A sampled minimum can only be >= the true minimum."""
+    rng = Xoroshiro128PlusPlus(4)
+    values = [float(x) for x in range(1_000)]
+    for _ in range(20):
+        assert sampled_counter_quantile(values, 0.0, 32, rng) >= 0.0
+
+
+def test_sampling_is_deterministic_per_seed():
+    values = [float(x) for x in range(5_000)]
+    a = sampled_counter_quantile(values, 0.5, 64, Xoroshiro128PlusPlus(9))
+    b = sampled_counter_quantile(values, 0.5, 64, Xoroshiro128PlusPlus(9))
+    assert a == b

@@ -1,0 +1,76 @@
+"""Adversarial streams: the constructions behave as specified."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.streams.adversarial import (
+    rbmc_killer_stream,
+    two_phase_stream,
+    uniform_random_stream,
+)
+from repro.streams.uniform import round_robin_stream, uniform_weighted_stream
+
+
+def test_rbmc_killer_structure():
+    k = 8
+    tail = 20
+    updates = list(rbmc_killer_stream(k, 1_000.0, tail))
+    assert len(updates) == k + tail
+    head, rest = updates[:k], updates[k:]
+    assert all(weight == 1_000.0 for _item, weight in head)
+    assert all(weight == 1.0 for _item, weight in rest)
+    items = [item for item, _weight in updates]
+    assert len(set(items)) == len(items)  # all distinct
+
+
+def test_rbmc_killer_validation():
+    with pytest.raises(InvalidParameterError):
+        list(rbmc_killer_stream(0, 100.0, 10))
+    with pytest.raises(InvalidParameterError):
+        list(rbmc_killer_stream(4, 1.0, 10))
+
+
+def test_rbmc_killer_id_offset():
+    a = {item for item, _weight in rbmc_killer_stream(4, 10.0, 4, id_offset=0)}
+    b = {item for item, _weight in rbmc_killer_stream(4, 10.0, 4, id_offset=100)}
+    assert a.isdisjoint(b)
+
+
+def test_uniform_random_stream():
+    updates = list(uniform_random_stream(1_000, universe=50, seed=1))
+    assert len(updates) == 1_000
+    assert all(0 <= item < 50 for item, _weight in updates)
+    assert all(weight == 1.0 for _item, weight in updates)
+    weighted = list(
+        uniform_random_stream(100, universe=50, seed=2, max_weight=9.0)
+    )
+    assert all(1.0 <= weight <= 9.0 for _item, weight in weighted)
+    with pytest.raises(InvalidParameterError):
+        list(uniform_random_stream(10, 0))
+    with pytest.raises(InvalidParameterError):
+        list(uniform_random_stream(10, 5, max_weight=0.5))
+
+
+def test_two_phase_stream():
+    updates = list(two_phase_stream(4, 500.0, 10, 2.0, seed=3))
+    assert len(updates) == 14
+    assert all(weight == 500.0 for _item, weight in updates[:4])
+    assert all(1.8 <= weight <= 2.2 for _item, weight in updates[4:])
+    with pytest.raises(InvalidParameterError):
+        list(two_phase_stream(0, 1.0, 1, 1.0))
+
+
+def test_uniform_weighted_stream():
+    updates = uniform_weighted_stream(500, universe=30, seed=4,
+                                      weight_low=2.0, weight_high=8.0)
+    assert len(updates) == 500
+    assert all(2.0 <= weight < 8.0 for _item, weight in updates)
+    with pytest.raises(InvalidParameterError):
+        uniform_weighted_stream(10, 5, weight_low=9.0, weight_high=5.0)
+
+
+def test_round_robin_stream():
+    updates = list(round_robin_stream(10, 3))
+    assert [item for item, _weight in updates] == [0, 1, 2, 0, 1, 2, 0, 1, 2, 0]
+    with pytest.raises(InvalidParameterError):
+        list(round_robin_stream(10, 0))

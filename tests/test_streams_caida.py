@@ -1,0 +1,100 @@
+"""The synthetic CAIDA-like packet trace: shape matches the paper's stats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.streams import ExactCounter, SyntheticPacketTrace
+
+
+def test_validation():
+    with pytest.raises(InvalidParameterError):
+        SyntheticPacketTrace(-1)
+    with pytest.raises(InvalidParameterError):
+        SyntheticPacketTrace(100, unique_sources=0)
+    with pytest.raises(InvalidParameterError):
+        SyntheticPacketTrace(100, segments=0)
+
+
+def test_length_exact():
+    trace = SyntheticPacketTrace(10_001, unique_sources=100, segments=4, seed=1)
+    assert len(list(trace)) == 10_001
+    assert len(trace) == 10_001
+
+
+def test_items_are_32_bit_addresses():
+    trace = SyntheticPacketTrace(5_000, unique_sources=500, seed=2)
+    for item, _weight in trace:
+        assert 0 <= item < 1 << 32
+
+
+def test_weights_are_packet_bits():
+    trace = SyntheticPacketTrace(5_000, unique_sources=500, seed=3)
+    sizes_bits = {40 * 8, 64 * 8, 576 * 8, 1500 * 8}
+    for _item, weight in trace:
+        assert weight in sizes_bits
+
+
+def test_mean_weight_near_papers_ratio():
+    """Paper: N/n ~ 572; the default mixture is calibrated near it."""
+    trace = SyntheticPacketTrace(30_000, unique_sources=2_000, seed=4)
+    exact = ExactCounter()
+    exact.update_all(trace)
+    mean = exact.total_weight / exact.num_updates
+    assert trace.expected_mean_weight() == pytest.approx(572, abs=60)
+    assert mean == pytest.approx(trace.expected_mean_weight(), rel=0.05)
+
+
+def test_unique_sources_in_expected_range():
+    trace = SyntheticPacketTrace(50_000, unique_sources=5_000, seed=5)
+    exact = ExactCounter()
+    exact.update_all(trace)
+    # The heavy tail means not every pool address need appear, but a
+    # large fraction should, and never more than the pool size.
+    assert 0.4 * 5_000 <= exact.num_items <= 5_000
+
+
+def test_default_unique_ratio():
+    """Default pool size mirrors the paper's ~72 updates per source."""
+    trace = SyntheticPacketTrace(144_000, seed=6)
+    assert trace.unique_sources == 2_000
+    tiny = SyntheticPacketTrace(100, seed=6)
+    assert tiny.unique_sources == 1024  # floor for tiny streams
+
+
+def test_skewed_popularity():
+    trace = SyntheticPacketTrace(40_000, unique_sources=4_000, seed=7)
+    exact = ExactCounter()
+    exact.update_all(trace)
+    top_share = sum(freq for _item, freq in exact.top_k(40)) / exact.total_weight
+    assert top_share > 0.25  # top 1% of sources carries >25% of bytes
+
+
+def test_deterministic():
+    a = list(SyntheticPacketTrace(2_000, unique_sources=300, seed=8))
+    b = list(SyntheticPacketTrace(2_000, unique_sources=300, seed=8))
+    c = list(SyntheticPacketTrace(2_000, unique_sources=300, seed=9))
+    assert a == b
+    assert a != c
+
+
+def test_segments_share_heavy_sources():
+    """Big talkers persist across the four emulated capture files."""
+    trace = SyntheticPacketTrace(40_000, unique_sources=2_000, segments=4, seed=10)
+    updates = list(trace)
+    quarter = len(updates) // 4
+    first = ExactCounter()
+    first.update_all(updates[:quarter])
+    last = ExactCounter()
+    last.update_all(updates[-quarter:])
+    top_first = {item for item, _freq in first.top_k(20)}
+    top_last = {item for item, _freq in last.top_k(20)}
+    assert len(top_first & top_last) >= 8
+
+
+def test_batches_match_iteration():
+    trace = SyntheticPacketTrace(3_000, unique_sources=300, seed=11, batch_size=256)
+    flat = []
+    for items, weights in trace.batches():
+        flat.extend((int(i), float(w)) for i, w in zip(items, weights))
+    assert flat == [(item, weight) for item, weight in trace]

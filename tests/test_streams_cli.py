@@ -1,0 +1,42 @@
+"""The trace-generation CLI."""
+
+import pytest
+
+from repro.streams.cli import main
+from repro.streams.io import read_binary_trace, read_csv_trace
+
+
+def test_caida_binary(tmp_path, capsys):
+    out = tmp_path / "trace.bin"
+    assert main(["caida", "--updates", "500", "--seed", "3", "--out", str(out)]) == 0
+    assert "500" in capsys.readouterr().out
+    updates = list(read_binary_trace(out))
+    assert len(updates) == 500
+    assert all(weight > 0 for _item, weight in updates)
+
+
+def test_zipf_csv_gz_weighted(tmp_path, capsys):
+    out = tmp_path / "trace.csv.gz"
+    assert main([
+        "zipf", "--updates", "300", "--alpha", "1.05", "--universe", "100",
+        "--weight-low", "1", "--weight-high", "10",
+        "--seed", "5", "--out", str(out),
+    ]) == 0
+    capsys.readouterr()
+    updates = list(read_csv_trace(out))
+    assert len(updates) == 300
+    assert all(1.0 <= weight <= 10.0 for _item, weight in updates)
+
+
+def test_deterministic_across_invocations(tmp_path, capsys):
+    a = tmp_path / "a.bin"
+    b = tmp_path / "b.bin"
+    main(["caida", "--updates", "200", "--seed", "9", "--out", str(a)])
+    main(["caida", "--updates", "200", "--seed", "9", "--out", str(b)])
+    capsys.readouterr()
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_bad_kind_rejected():
+    with pytest.raises(SystemExit):
+        main(["bogus", "--out", "x.bin"])

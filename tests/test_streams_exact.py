@@ -1,0 +1,99 @@
+"""ExactCounter: the ground-truth oracle itself needs to be right."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError, InvalidUpdateError
+from repro.streams.exact import ExactCounter, exact_counts
+
+
+def test_basic_counting():
+    exact = ExactCounter()
+    exact.update(1, 5.0)
+    exact.update(2)
+    exact.update(1, 3.0)
+    assert exact.frequency(1) == 8.0
+    assert exact.frequency(2) == 1.0
+    assert exact.frequency(3) == 0.0
+    assert exact.total_weight == 9.0
+    assert exact.num_updates == 3
+    assert exact.num_items == 2
+    assert len(exact) == 2
+    assert 1 in exact
+    assert 3 not in exact
+
+
+def test_rejects_nonpositive():
+    exact = ExactCounter()
+    with pytest.raises(InvalidUpdateError):
+        exact.update(1, 0.0)
+    with pytest.raises(InvalidUpdateError):
+        exact.update_all([(1, -2.0)])
+
+
+def test_update_all_and_helper():
+    exact = exact_counts([(1, 2.0), (2, 3.0), (1, 1.0)])
+    assert exact.frequency(1) == 3.0
+    assert exact.total_weight == 6.0
+
+
+def test_top_k_ordering_and_ties():
+    exact = exact_counts([(3, 5.0), (1, 5.0), (2, 9.0)])
+    assert exact.top_k(3) == [(2, 9.0), (1, 5.0), (3, 5.0)]  # ties by id
+    assert exact.top_k(1) == [(2, 9.0)]
+    assert exact.top_k(0) == []
+    with pytest.raises(InvalidParameterError):
+        exact.top_k(-1)
+
+
+def test_residual_weight():
+    exact = exact_counts([(1, 10.0), (2, 5.0), (3, 1.0)])
+    assert exact.residual_weight(0) == 16.0
+    assert exact.residual_weight(1) == 6.0
+    assert exact.residual_weight(2) == 1.0
+    assert exact.residual_weight(3) == 0.0
+    assert exact.residual_weight(10) == 0.0
+    with pytest.raises(InvalidParameterError):
+        exact.residual_weight(-1)
+
+
+def test_heavy_hitters():
+    exact = exact_counts([(1, 50.0), (2, 30.0), (3, 20.0)])
+    assert set(exact.heavy_hitters(0.3)) == {1, 2}
+    assert set(exact.heavy_hitters(0.5)) == {1}
+    assert exact.heavy_hitters(1.0) == {}
+    with pytest.raises(InvalidParameterError):
+        exact.heavy_hitters(0.0)
+
+
+def test_entropy_uniform_and_point_mass():
+    uniform = exact_counts([(item, 1.0) for item in range(64)])
+    assert uniform.entropy() == pytest.approx(6.0)
+    point = exact_counts([(1, 100.0)])
+    assert point.entropy() == 0.0
+    assert ExactCounter().entropy() == 0.0
+
+
+def test_entropy_two_point():
+    exact = exact_counts([(1, 3.0), (2, 1.0)])
+    expected = -(0.75 * math.log2(0.75) + 0.25 * math.log2(0.25))
+    assert exact.entropy() == pytest.approx(expected)
+
+
+def test_merge():
+    a = exact_counts([(1, 5.0), (2, 2.0)])
+    b = exact_counts([(2, 3.0), (3, 4.0)])
+    a.merge(b)
+    assert a.frequency(1) == 5.0
+    assert a.frequency(2) == 5.0
+    assert a.frequency(3) == 4.0
+    assert a.total_weight == 14.0
+    assert a.num_updates == 4
+
+
+def test_sorted_cache_invalidation():
+    exact = exact_counts([(1, 5.0), (2, 9.0)])
+    assert exact.top_k(1) == [(2, 9.0)]
+    exact.update(1, 10.0)
+    assert exact.top_k(1) == [(1, 15.0)]  # cache must refresh

@@ -1,0 +1,96 @@
+"""Trace IO: binary and CSV round trips, gzip, corruption handling."""
+
+import pytest
+
+from repro.errors import InvalidUpdateError
+from repro.streams.io import (
+    read_binary_trace,
+    read_csv_trace,
+    write_binary_trace,
+    write_csv_trace,
+)
+from repro.types import StreamUpdate
+
+SAMPLE = [
+    StreamUpdate(0, 1.0),
+    StreamUpdate(42, 3.75),
+    StreamUpdate((1 << 64) - 1, 1e12),
+    StreamUpdate(7, 0.001),
+]
+
+
+def test_binary_roundtrip(tmp_path):
+    path = tmp_path / "trace.bin"
+    assert write_binary_trace(path, SAMPLE) == len(SAMPLE)
+    assert list(read_binary_trace(path)) == SAMPLE
+
+
+def test_binary_gzip_roundtrip(tmp_path):
+    path = tmp_path / "trace.bin.gz"
+    write_binary_trace(path, SAMPLE)
+    assert list(read_binary_trace(path)) == SAMPLE
+    # gzip actually applied: file starts with the gzip magic.
+    assert path.read_bytes()[:2] == b"\x1f\x8b"
+
+
+def test_binary_truncation_detected(tmp_path):
+    path = tmp_path / "trace.bin"
+    write_binary_trace(path, SAMPLE)
+    blob = path.read_bytes()
+    path.write_bytes(blob[:-5])
+    with pytest.raises(InvalidUpdateError):
+        list(read_binary_trace(path))
+
+
+def test_binary_empty(tmp_path):
+    path = tmp_path / "empty.bin"
+    assert write_binary_trace(path, []) == 0
+    assert list(read_binary_trace(path)) == []
+
+
+def test_csv_roundtrip(tmp_path):
+    path = tmp_path / "trace.csv"
+    assert write_csv_trace(path, SAMPLE) == len(SAMPLE)
+    assert list(read_csv_trace(path)) == SAMPLE  # repr() floats round-trip
+
+
+def test_csv_gzip_roundtrip(tmp_path):
+    path = tmp_path / "trace.csv.gz"
+    write_csv_trace(path, SAMPLE)
+    assert list(read_csv_trace(path)) == SAMPLE
+
+
+def test_csv_missing_header(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("1,2.0\n")
+    with pytest.raises(InvalidUpdateError):
+        list(read_csv_trace(path))
+
+
+def test_csv_bad_record_reports_line(tmp_path):
+    path = tmp_path / "bad2.csv"
+    path.write_text("item,weight\n1,2.0\nnot-a-number,3.0\n")
+    with pytest.raises(InvalidUpdateError) as exc_info:
+        list(read_csv_trace(path))
+    assert ":3" in str(exc_info.value)
+
+
+def test_csv_skips_blank_lines(tmp_path):
+    path = tmp_path / "blanks.csv"
+    path.write_text("item,weight\n1,2.0\n\n2,3.0\n")
+    assert list(read_csv_trace(path)) == [StreamUpdate(1, 2.0), StreamUpdate(2, 3.0)]
+
+
+def test_large_roundtrip_through_both_formats(tmp_path):
+    from repro.streams.zipf import ZipfianStream
+
+    updates = list(
+        ZipfianStream(2_000, universe=100, alpha=1.2, seed=1,
+                      weight_low=1, weight_high=100)
+    )
+    binary = tmp_path / "big.bin"
+    csv = tmp_path / "big.csv"
+    write_binary_trace(binary, updates)
+    write_csv_trace(csv, updates)
+    assert list(read_binary_trace(binary)) == updates
+    assert list(read_csv_trace(csv)) == updates

@@ -1,0 +1,99 @@
+"""Stream combinators: slicing, partitioning, normalization."""
+
+import pytest
+
+from repro.errors import InvalidParameterError, InvalidUpdateError
+from repro.streams.model import as_updates
+from repro.streams.transforms import (
+    concat,
+    materialize,
+    partition_hash,
+    partition_round_robin,
+    split_chunks,
+    take,
+)
+from repro.types import StreamUpdate
+
+SAMPLE = [StreamUpdate(item, float(item + 1)) for item in range(10)]
+
+
+def test_take():
+    assert list(take(SAMPLE, 3)) == SAMPLE[:3]
+    assert list(take(SAMPLE, 100)) == SAMPLE
+    assert list(take(SAMPLE, 0)) == []
+    with pytest.raises(InvalidParameterError):
+        take(SAMPLE, -1)
+
+
+def test_concat():
+    assert list(concat(SAMPLE[:3], SAMPLE[3:6], SAMPLE[6:])) == SAMPLE
+    assert list(concat()) == []
+
+
+def test_materialize_copies():
+    materialized = materialize(update for update in SAMPLE)
+    assert materialized == SAMPLE
+    assert all(isinstance(update, StreamUpdate) for update in materialized)
+
+
+def test_round_robin_partition():
+    parts = partition_round_robin(SAMPLE, 3)
+    assert len(parts) == 3
+    assert [len(part) for part in parts] == [4, 3, 3]
+    interleaved = []
+    for index in range(4):
+        for part in parts:
+            if index < len(part):
+                interleaved.append(part[index])
+    assert interleaved == SAMPLE
+    with pytest.raises(InvalidParameterError):
+        partition_round_robin(SAMPLE, 0)
+
+
+def test_hash_partition_is_key_consistent():
+    updates = [StreamUpdate(item % 5, 1.0) for item in range(100)]
+    parts = partition_hash(updates, 4, seed=1)
+    assert sum(len(part) for part in parts) == 100
+    for key in range(5):
+        homes = {
+            index
+            for index, part in enumerate(parts)
+            if any(update.item == key for update in part)
+        }
+        assert len(homes) == 1  # every key lives in exactly one shard
+    with pytest.raises(InvalidParameterError):
+        partition_hash(updates, 0)
+
+
+def test_hash_partition_seed_changes_layout():
+    updates = [StreamUpdate(item, 1.0) for item in range(200)]
+    a = partition_hash(updates, 4, seed=1)
+    b = partition_hash(updates, 4, seed=2)
+    assert [len(part) for part in a] != [len(part) for part in b] or a != b
+
+
+def test_split_chunks():
+    chunks = split_chunks(SAMPLE, 3)
+    assert [len(chunk) for chunk in chunks] == [4, 3, 3]
+    assert [update for chunk in chunks for update in chunk] == SAMPLE
+    assert split_chunks(SAMPLE, 20)[0] == SAMPLE[:1]
+    with pytest.raises(InvalidParameterError):
+        split_chunks(SAMPLE, 0)
+
+
+def test_as_updates_normalization():
+    normalized = list(as_updates([5, (6, 2.0), StreamUpdate(7, 3.0)]))
+    assert normalized == [
+        StreamUpdate(5, 1.0),
+        StreamUpdate(6, 2.0),
+        StreamUpdate(7, 3.0),
+    ]
+
+
+def test_as_updates_rejects_bad_entries():
+    with pytest.raises(InvalidUpdateError):
+        list(as_updates([(1, 2.0, 3.0)]))
+    with pytest.raises(InvalidUpdateError):
+        list(as_updates([(1, -1.0)]))
+    with pytest.raises(InvalidUpdateError):
+        list(as_updates([(1, 0.0)]))

@@ -1,0 +1,140 @@
+"""Zipf samplers: distribution shape, determinism, both sampler classes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.prng import Xoroshiro128PlusPlus
+from repro.streams.zipf import (
+    RejectionInversionZipf,
+    ZipfTableSampler,
+    ZipfianStream,
+)
+
+
+def test_table_sampler_validation():
+    with pytest.raises(InvalidParameterError):
+        ZipfTableSampler(0, 1.0)
+    with pytest.raises(InvalidParameterError):
+        ZipfTableSampler(10, -1.0)
+
+
+def test_table_sampler_probabilities_sum_to_one():
+    sampler = ZipfTableSampler(100, 1.2, seed=1)
+    total = sum(sampler.probability(rank) for rank in range(1, 101))
+    assert total == pytest.approx(1.0)
+    assert sampler.probability(0) == 0.0
+    assert sampler.probability(101) == 0.0
+
+
+def test_table_sampler_rank_frequencies_match_law():
+    universe = 50
+    alpha = 1.0
+    sampler = ZipfTableSampler(universe, alpha, seed=2)
+    draws = sampler.sample(100_000)
+    counts = np.bincount(draws, minlength=universe + 1)
+    # Rank 1 should appear ~ 1/1 vs rank 10 ~ 1/10 (alpha=1).
+    assert counts[1] / counts[10] == pytest.approx(10.0, rel=0.25)
+    assert draws.min() >= 1
+    assert draws.max() <= universe
+
+
+def test_table_sampler_alpha_zero_is_uniform():
+    sampler = ZipfTableSampler(20, 0.0, seed=3)
+    draws = sampler.sample(40_000)
+    counts = np.bincount(draws, minlength=21)[1:]
+    assert counts.min() > 0.8 * 2_000
+    assert counts.max() < 1.2 * 2_000
+
+
+def test_rejection_inversion_validation():
+    rng = Xoroshiro128PlusPlus(1)
+    with pytest.raises(InvalidParameterError):
+        RejectionInversionZipf(0, 1.0, rng)
+    with pytest.raises(InvalidParameterError):
+        RejectionInversionZipf(10, 0.0, rng)
+
+
+def test_rejection_inversion_in_range_huge_universe():
+    rng = Xoroshiro128PlusPlus(4)
+    sampler = RejectionInversionZipf(1 << 40, 1.2, rng)
+    draws = sampler.sample(2_000)
+    assert all(1 <= draw <= 1 << 40 for draw in draws)
+    assert min(draws) == 1  # rank 1 dominates; certain to appear in 2000 draws
+
+
+def test_rejection_inversion_matches_table_sampler_distribution():
+    """Both samplers target the same law; compare rank-1 mass."""
+    universe = 1_000
+    alpha = 1.1
+    expected_p1 = ZipfTableSampler(universe, alpha).probability(1)
+    rng = Xoroshiro128PlusPlus(5)
+    sampler = RejectionInversionZipf(universe, alpha, rng)
+    draws = sampler.sample(30_000)
+    observed = sum(1 for draw in draws if draw == 1) / len(draws)
+    assert observed == pytest.approx(expected_p1, rel=0.1)
+
+
+def test_rejection_inversion_alpha_one_exactly():
+    rng = Xoroshiro128PlusPlus(6)
+    sampler = RejectionInversionZipf(100, 1.0, rng)
+    draws = sampler.sample(5_000)
+    assert all(1 <= draw <= 100 for draw in draws)
+
+
+def test_stream_length_and_weights():
+    stream = ZipfianStream(1_000, universe=100, alpha=1.2, seed=7)
+    updates = list(stream)
+    assert len(updates) == 1_000
+    assert len(stream) == 1_000
+    assert all(weight == 1.0 for _item, weight in updates)
+
+
+def test_stream_weight_range():
+    stream = ZipfianStream(
+        2_000, universe=100, alpha=1.2, seed=8, weight_low=1, weight_high=10_000
+    )
+    weights = [weight for _item, weight in stream]
+    assert min(weights) >= 1.0
+    assert max(weights) <= 10_000.0
+    assert len(set(weights)) > 100  # genuinely varied
+
+
+def test_stream_validation():
+    with pytest.raises(InvalidParameterError):
+        ZipfianStream(-1, 10, 1.0)
+    with pytest.raises(InvalidParameterError):
+        ZipfianStream(10, 10, 1.0, weight_low=5.0)  # high missing
+    with pytest.raises(InvalidParameterError):
+        ZipfianStream(10, 10, 1.0, weight_low=10.0, weight_high=5.0)
+
+
+def test_stream_deterministic():
+    a = list(ZipfianStream(500, universe=50, alpha=1.3, seed=9))
+    b = list(ZipfianStream(500, universe=50, alpha=1.3, seed=9))
+    c = list(ZipfianStream(500, universe=50, alpha=1.3, seed=10))
+    assert a == b
+    assert a != c
+
+
+def test_scrambled_ids_are_not_sequential():
+    scrambled = list(ZipfianStream(200, universe=50, alpha=1.0, seed=11))
+    plain = list(
+        ZipfianStream(200, universe=50, alpha=1.0, seed=11, scramble_ids=False)
+    )
+    assert {item for item, _weight in plain} <= set(range(51))
+    assert any(item > 1_000 for item, _weight in scrambled)
+    # Scrambling is a bijection: distinct counts match.
+    assert len({i for i, _w in scrambled}) == len({i for i, _w in plain})
+
+
+def test_batches_concatenate_to_iteration():
+    stream = ZipfianStream(1_000, universe=64, alpha=1.1, seed=12, batch_size=128)
+    from_batches = []
+    for items, weights in stream.batches():
+        from_batches.extend(
+            (int(item), float(weight)) for item, weight in zip(items, weights)
+        )
+    assert from_batches == [(item, weight) for item, weight in stream]

@@ -1,0 +1,99 @@
+"""DictCounterStore: interface parity with the probing table."""
+
+import pytest
+
+from repro.errors import InvalidParameterError, TableFullError
+from repro.prng import Xoroshiro128PlusPlus
+from repro.table import DictCounterStore, LinearProbingTable, make_store
+
+
+def test_make_store_dispatch():
+    assert isinstance(make_store("dict", 8), DictCounterStore)
+    assert isinstance(make_store("probing", 8), LinearProbingTable)
+    with pytest.raises(ValueError):
+        make_store("bogus", 8)
+
+
+def test_basic_operations():
+    store = DictCounterStore(4)
+    assert store.capacity == 4
+    store.insert(1, 2.0)
+    assert store.get(1) == 2.0
+    assert store.add_to(1, 3.0) is True
+    assert store.get(1) == 5.0
+    assert store.add_to(2, 1.0) is False
+    assert len(store) == 1
+    assert 1 in store
+    assert 2 not in store
+
+
+def test_capacity_enforced():
+    store = DictCounterStore(2)
+    store.insert(1, 1.0)
+    store.insert(2, 1.0)
+    with pytest.raises(TableFullError):
+        store.insert(3, 1.0)
+    with pytest.raises(InvalidParameterError):
+        store.insert(1, 1.0)  # duplicate
+
+
+def test_decrement_and_purge():
+    store = DictCounterStore(8)
+    for key, value in [(1, 5.0), (2, 2.0), (3, 1.0)]:
+        store.insert(key, value)
+    freed = store.decrement_and_purge(2.0)
+    assert freed == 2
+    assert dict(store.items()) == {1: 3.0}
+
+
+def test_values_and_sampling():
+    store = DictCounterStore(8)
+    for key in range(5):
+        store.insert(key, float(key))
+    assert sorted(store.values_list()) == [0.0, 1.0, 2.0, 3.0, 4.0]
+    sample = store.sample_values(100, Xoroshiro128PlusPlus(1))
+    assert len(sample) == 100
+    assert set(sample) <= {0.0, 1.0, 2.0, 3.0, 4.0}
+    store.clear()
+    assert len(store) == 0
+    with pytest.raises(InvalidParameterError):
+        store.sample_values(1, Xoroshiro128PlusPlus(1))
+
+
+def test_space_model_matches_probing_table_model():
+    """Equal-space sweeps must charge both backends identically."""
+    for capacity in (16, 100, 1024):
+        assert (
+            DictCounterStore(capacity).space_bytes()
+            == LinearProbingTable(capacity).space_bytes()
+        )
+
+
+def test_parity_on_random_workload():
+    """Both backends must expose identical logical contents."""
+    import random
+
+    random.seed(5)
+    dict_store = DictCounterStore(20)
+    probing = LinearProbingTable(20, hash_seed=44)
+    for _ in range(500):
+        action = random.random()
+        if action < 0.5:
+            key = random.randrange(40)
+            if dict_store.get(key) is not None:
+                dict_store.add_to(key, 1.0)
+                probing.add_to(key, 1.0)
+            elif len(dict_store) < 20:
+                dict_store.insert(key, 1.0)
+                probing.insert(key, 1.0)
+        elif action < 0.7:
+            amount = random.uniform(0.2, 1.5)
+            assert dict_store.decrement_and_purge(amount) == \
+                probing.decrement_and_purge(amount)
+        else:
+            key = random.randrange(40)
+            a, b = dict_store.get(key), probing.get(key)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert abs(a - b) < 1e-9
+    assert dict(dict_store.items()) == pytest.approx(dict(probing.items()))

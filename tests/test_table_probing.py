@@ -1,0 +1,240 @@
+"""LinearProbingTable: unit tests plus a hypothesis stateful model check.
+
+The stateful test drives the table and a plain dict through the same
+operation sequences — insert, add_to, get, decrement-and-purge — and
+asserts the contents match after every step.  This is the strongest
+guard on the backward-shift deletion logic of Section 2.3.3.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.errors import InvalidParameterError, TableFullError
+from repro.prng import Xoroshiro128PlusPlus
+from repro.table.accounting import (
+    next_power_of_two,
+    probing_table_bytes,
+    table_length,
+)
+from repro.table.probing import LinearProbingTable
+
+
+def test_length_is_power_of_two_and_load_bounded():
+    for capacity in (1, 2, 3, 5, 64, 100, 1000):
+        table = LinearProbingTable(capacity)
+        assert table.length & (table.length - 1) == 0
+        assert capacity / table.length <= 0.75
+
+
+def test_paper_length_formula():
+    # k = 3 * 2^m makes 4k/3 an exact power of two (paper Section 2.3.3).
+    assert table_length(3 * 1024) == 4096
+    assert table_length(24_576) == 32_768
+    assert next_power_of_two(1) == 1
+    assert next_power_of_two(5) == 8
+
+
+def test_space_model_24k_bytes():
+    # 18 bytes/slot * 4k/3 slots = 24k bytes (+ header), for aligned k.
+    k = 24_576
+    assert probing_table_bytes(k) == 24 * k + 64
+
+
+def test_insert_get_roundtrip():
+    table = LinearProbingTable(16, hash_seed=1)
+    table.insert(42, 7.0)
+    assert table.get(42) == 7.0
+    assert table.get(43) is None
+    assert 42 in table
+    assert 43 not in table
+    assert len(table) == 1
+
+
+def test_key_zero_is_a_valid_key():
+    table = LinearProbingTable(4)
+    table.insert(0, 3.0)
+    assert table.get(0) == 3.0
+    assert len(table) == 1
+
+
+def test_add_to_only_hits():
+    table = LinearProbingTable(8)
+    assert table.add_to(5, 1.0) is False
+    table.insert(5, 1.0)
+    assert table.add_to(5, 2.5) is True
+    assert table.get(5) == 3.5
+
+
+def test_insert_duplicate_rejected():
+    table = LinearProbingTable(8)
+    table.insert(5, 1.0)
+    with pytest.raises(InvalidParameterError):
+        table.insert(5, 2.0)
+
+
+def test_table_full_error():
+    table = LinearProbingTable(3)
+    for key in range(3):
+        table.insert(key, 1.0)
+    with pytest.raises(TableFullError):
+        table.insert(99, 1.0)
+
+
+def test_put_inserts_and_overwrites():
+    table = LinearProbingTable(4)
+    table.put(1, 5.0)
+    table.put(1, 9.0)
+    assert table.get(1) == 9.0
+    assert len(table) == 1
+
+
+def test_adjust_and_purge():
+    table = LinearProbingTable(8, hash_seed=3)
+    for key, value in [(1, 5.0), (2, 2.0), (3, 9.0), (4, 2.0)]:
+        table.insert(key, value)
+    freed = table.decrement_and_purge(2.0)
+    assert freed == 2
+    assert table.get(1) == 3.0
+    assert table.get(2) is None
+    assert table.get(3) == 7.0
+    assert table.get(4) is None
+    assert len(table) == 2
+
+
+def test_purge_everything():
+    table = LinearProbingTable(8)
+    for key in range(6):
+        table.insert(key, 1.0)
+    assert table.decrement_and_purge(1.0) == 6
+    assert len(table) == 0
+    assert all(table.get(key) is None for key in range(6))
+
+
+def test_values_list_and_items():
+    table = LinearProbingTable(8)
+    data = {10: 1.0, 20: 2.0, 30: 3.0}
+    for key, value in data.items():
+        table.insert(key, value)
+    assert sorted(table.values_list()) == [1.0, 2.0, 3.0]
+    assert dict(table.items()) == data
+
+
+def test_sample_values_from_live_counters():
+    table = LinearProbingTable(16, hash_seed=2)
+    for key in range(10):
+        table.insert(key, float(key + 1))
+    rng = Xoroshiro128PlusPlus(7)
+    sample = table.sample_values(200, rng)
+    assert len(sample) == 200
+    assert set(sample) <= set(float(x + 1) for x in range(10))
+    # With 200 draws over 10 values, each should appear at least once.
+    assert len(set(sample)) == 10
+
+
+def test_sample_from_empty_rejected():
+    table = LinearProbingTable(4)
+    with pytest.raises(InvalidParameterError):
+        table.sample_values(1, Xoroshiro128PlusPlus(0))
+
+
+def test_clear():
+    table = LinearProbingTable(8)
+    for key in range(5):
+        table.insert(key, 1.0)
+    table.clear()
+    assert len(table) == 0
+    assert table.get(0) is None
+    table.insert(0, 2.0)  # usable after clear
+    assert table.get(0) == 2.0
+
+
+def test_probe_count_increases():
+    table = LinearProbingTable(64, hash_seed=5)
+    before = table.probe_count
+    for key in range(48):
+        table.insert(key, 1.0)
+    for key in range(48):
+        table.get(key)
+    assert table.probe_count > before
+
+
+def test_max_state_small_at_working_load():
+    """Section 2.3.3: probe distances stay tiny at load 3/4."""
+    table = LinearProbingTable(768, hash_seed=11)
+    for key in range(768):
+        table.insert(key, 1.0)
+    assert table.max_state() < 64
+
+
+def test_wraparound_runs():
+    """Force collisions around the end of the array via tiny tables."""
+    for seed in range(20):
+        table = LinearProbingTable(3, hash_seed=seed)  # length 4
+        table.insert(1, 1.0)
+        table.insert(2, 2.0)
+        table.insert(3, 3.0)
+        assert (table.get(1), table.get(2), table.get(3)) == (1.0, 2.0, 3.0)
+        table.adjust_all(-1.5)
+        table.purge_nonpositive()
+        assert table.get(1) is None
+        assert table.get(2) == 0.5
+        assert table.get(3) == 1.5
+
+
+class TableVsDictMachine(RuleBasedStateMachine):
+    """Drive the probing table and a dict through identical operations."""
+
+    def __init__(self):
+        super().__init__()
+        self.capacity = 24
+        self.table = LinearProbingTable(self.capacity, hash_seed=99)
+        self.model: dict[int, float] = {}
+
+    keys = st.integers(min_value=0, max_value=60)
+    amounts = st.floats(min_value=0.1, max_value=50.0, allow_nan=False)
+
+    @rule(key=keys, value=amounts)
+    def insert_or_bump(self, key, value):
+        if key in self.model:
+            self.table.add_to(key, value)
+            self.model[key] += value
+        elif len(self.model) < self.capacity:
+            self.table.insert(key, value)
+            self.model[key] = value
+
+    @rule(key=keys)
+    def lookup(self, key):
+        got = self.table.get(key)
+        expected = self.model.get(key)
+        if expected is None:
+            assert got is None
+        else:
+            assert got is not None and abs(got - expected) < 1e-9
+
+    @rule(amount=amounts)
+    def decrement_and_purge(self, amount):
+        freed = self.table.decrement_and_purge(amount)
+        survivors = {}
+        dropped = 0
+        for key, value in self.model.items():
+            remaining = value - amount
+            if remaining > 0:
+                survivors[key] = remaining
+            else:
+                dropped += 1
+        self.model = survivors
+        assert freed == dropped
+
+    @invariant()
+    def contents_match(self):
+        assert len(self.table) == len(self.model)
+        got = dict(self.table.items())
+        assert set(got) == set(self.model)
+        for key, value in self.model.items():
+            assert abs(got[key] - value) < 1e-9
+
+
+TestTableVsDict = TableVsDictMachine.TestCase
+TestTableVsDict.settings = settings(max_examples=60, stateful_step_count=60, deadline=None)

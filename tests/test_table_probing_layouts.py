@@ -1,0 +1,175 @@
+"""White-box tests of backward-shift deletion under forced layouts.
+
+The hash function is overridden with a controllable map so collision
+chains, wraparound runs, and every branch of the shift logic can be laid
+out *exactly* and checked slot by slot — complementing the randomized
+model check in test_table_probing.py.
+"""
+
+import itertools
+
+from repro.table.probing import LinearProbingTable
+
+
+class RiggedTable(LinearProbingTable):
+    """Probing table whose home slots are dictated by the test."""
+
+    def __init__(self, capacity, homes):
+        super().__init__(capacity, hash_seed=0)
+        self._homes = homes
+
+    def _home_slot(self, key):
+        return self._homes[key] & self._mask
+
+
+def _slots(table):
+    """Physical layout as {slot: (key, value, state)}."""
+    layout = {}
+    for slot in range(table.length):
+        if table._states[slot]:
+            layout[slot] = (
+                table._keys[slot],
+                table._values[slot],
+                table._states[slot],
+            )
+    return layout
+
+
+def test_chain_all_same_home_shifts_compactly():
+    """Keys 0..3 all home at slot 2: a pure collision chain.
+
+    Deleting the head must slide every follower back one slot and
+    decrement its probe state.
+    """
+    table = RiggedTable(6, homes={0: 2, 1: 2, 2: 2, 3: 2})  # length 8
+    for key in range(4):
+        table.insert(key, float(key + 1))
+    assert _slots(table) == {
+        2: (0, 1.0, 1),
+        3: (1, 2.0, 2),
+        4: (2, 3.0, 3),
+        5: (3, 4.0, 4),
+    }
+    table._values[2] = 0.0  # doom the head of the chain
+    assert table.purge_nonpositive() == 1
+    assert _slots(table) == {
+        2: (1, 2.0, 1),
+        3: (2, 3.0, 2),
+        4: (3, 4.0, 3),
+    }
+    for key in (1, 2, 3):
+        assert table.get(key) == float(key + 1)
+
+
+def test_element_in_home_position_is_not_moved():
+    """A follower already at its own home must not slide backward."""
+    table = RiggedTable(6, homes={10: 2, 11: 3})
+    table.insert(10, 1.0)
+    table.insert(11, 2.0)  # in its home slot 3
+    table._values[2] = -1.0
+    table.purge_nonpositive()
+    # Key 11 must remain at slot 3 (moving to 2 would precede its home).
+    assert _slots(table) == {3: (11, 2.0, 1)}
+    assert table.get(11) == 2.0
+
+
+def test_gap_skips_blocked_element_but_moves_later_one():
+    """Mixed run: [A(h=1), B(h=2), C(h=1)] — delete A; B cannot move into
+    slot 1, C can (its home is 1)."""
+    table = RiggedTable(6, homes={0: 1, 1: 2, 2: 1})
+    table.insert(0, 1.0)  # slot 1
+    table.insert(1, 2.0)  # slot 2 (its home)
+    table.insert(2, 3.0)  # homes at 1 -> probes to slot 3
+    assert _slots(table) == {1: (0, 1.0, 1), 2: (1, 2.0, 1), 3: (2, 3.0, 3)}
+    table._values[1] = 0.0
+    table.purge_nonpositive()
+    # B stays at its home; C fills the gap left by A.
+    assert _slots(table) == {1: (2, 3.0, 1), 2: (1, 2.0, 1)}
+    assert table.get(1) == 2.0
+    assert table.get(2) == 3.0
+
+
+def test_wraparound_chain():
+    """A chain that crosses the end of the array (home = L-1)."""
+    table = RiggedTable(6, homes={0: 7, 1: 7, 2: 7})  # length 8
+    for key in range(3):
+        table.insert(key, float(key + 1))
+    assert _slots(table) == {7: (0, 1.0, 1), 0: (1, 2.0, 2), 1: (2, 3.0, 3)}
+    table._values[7] = -5.0
+    table.purge_nonpositive()
+    assert _slots(table) == {7: (1, 2.0, 1), 0: (2, 3.0, 2)}
+    assert table.get(1) == 2.0
+    assert table.get(2) == 3.0
+
+
+def test_cascading_nonpositive_chain():
+    """Several consecutive victims: the rescan-same-slot logic."""
+    table = RiggedTable(6, homes={key: 2 for key in range(5)})
+    for key in range(5):
+        table.insert(key, 1.0 if key % 2 == 0 else 10.0)
+    table.adjust_all(-1.0)  # keys 0, 2, 4 hit zero
+    assert table.purge_nonpositive() == 3
+    assert table.get(1) == 9.0
+    assert table.get(3) == 9.0
+    assert len(table) == 2
+    # Survivors compacted to the front of the run.
+    assert _slots(table) == {2: (1, 9.0, 1), 3: (3, 9.0, 2)}
+
+
+def test_purge_entire_wrapped_run():
+    table = RiggedTable(4, homes={key: 5 for key in range(4)})  # length 8
+    for key in range(4):
+        table.insert(key, 0.5)
+    assert table.purge_nonpositive() == 0  # all positive, nothing happens
+    table.adjust_all(-0.5)
+    assert table.purge_nonpositive() == 4
+    assert len(table) == 0
+    assert all(state == 0 for state in table._states)
+
+
+def test_interleaved_runs_are_independent():
+    """Two separate runs; purging one must not disturb the other."""
+    table = RiggedTable(8, homes={0: 0, 1: 0, 10: 4, 11: 4})
+    for key, value in [(0, 1.0), (1, 2.0), (10, 3.0), (11, 4.0)]:
+        table.insert(key, value)
+    table._values[0] = 0.0  # kill key 0 (run at slots 0-1)
+    table.purge_nonpositive()
+    assert table.get(1) == 2.0
+    assert _slots(table)[4] == (10, 3.0, 1)
+    assert _slots(table)[5] == (11, 4.0, 2)
+
+
+def test_lookup_after_every_possible_single_deletion():
+    """Exhaustive: for every victim in a 5-chain, all survivors findable."""
+    for victim in range(5):
+        table = RiggedTable(6, homes={key: 3 for key in range(5)})
+        for key in range(5):
+            table.insert(key, float(key + 1))
+        table._values[(3 + victim) & table._mask] = 0.0
+        table.purge_nonpositive()
+        for key in range(5):
+            if key == victim:
+                assert table.get(key) is None
+            else:
+                assert table.get(key) == float(key + 1), (victim, key)
+
+
+def test_all_home_permutations_small_exhaustive():
+    """Every home assignment of 4 keys over 4 slots, every victim subset:
+    after purge, lookups must match a dict model.  2,816 scenarios."""
+    for homes in itertools.product(range(4), repeat=4):
+        for victim_mask in range(1 << 4):
+            table = RiggedTable(4, homes=dict(enumerate(homes)))  # length 8
+            model = {}
+            for key in range(4):
+                value = -1.0 if victim_mask & (1 << key) else float(key + 2)
+                # Insert positive first, then doom chosen victims in place.
+                table.insert(key, abs(value))
+                model[key] = value
+            for slot in range(table.length):
+                if table._states[slot] and model[table._keys[slot]] < 0:
+                    table._values[slot] = -1.0
+            table.purge_nonpositive()
+            for key in range(4):
+                expected = None if model[key] < 0 else model[key]
+                assert table.get(key) == expected, (homes, victim_mask, key)

@@ -1,0 +1,151 @@
+"""RobinHoodTable: displacement invariant, parity with the other stores."""
+
+import random
+
+import pytest
+
+from repro.core.frequent_items import FrequentItemsSketch
+from repro.errors import InvalidParameterError, TableFullError
+from repro.prng import Xoroshiro128PlusPlus
+from repro.table import DictCounterStore, RobinHoodTable, make_store
+
+
+def test_make_store_dispatch():
+    assert isinstance(make_store("robinhood", 8), RobinHoodTable)
+
+
+def test_basic_roundtrip():
+    table = RobinHoodTable(8, hash_seed=1)
+    table.insert(5, 2.0)
+    assert table.get(5) == 2.0
+    assert table.get(6) is None
+    assert table.add_to(5, 1.0) is True
+    assert table.add_to(6, 1.0) is False
+    assert table.get(5) == 3.0
+    assert len(table) == 1
+    assert table.check_invariant()
+
+
+def test_duplicate_and_full():
+    table = RobinHoodTable(2)
+    table.insert(1, 1.0)
+    with pytest.raises(InvalidParameterError):
+        table.insert(1, 2.0)
+    table.insert(2, 1.0)
+    with pytest.raises(TableFullError):
+        table.insert(3, 1.0)
+
+
+def test_put_overwrites_and_inserts():
+    table = RobinHoodTable(4, hash_seed=2)
+    table.put(9, 1.0)
+    table.put(9, 7.0)
+    assert table.get(9) == 7.0
+    assert len(table) == 1
+    table.put(10, 2.0)
+    assert len(table) == 2
+
+
+def test_displacement_keeps_invariant_under_fill():
+    table = RobinHoodTable(48, hash_seed=3)  # length 64, load 0.75
+    for key in range(48):
+        table.insert(key, float(key))
+        assert table.check_invariant()
+    for key in range(48):
+        assert table.get(key) == float(key)
+
+
+def test_decrement_purge_and_invariant():
+    table = RobinHoodTable(24, hash_seed=4)
+    for key in range(24):
+        table.insert(key, float(key % 5 + 1))
+    freed = table.decrement_and_purge(2.0)
+    expected_freed = sum(1 for key in range(24) if key % 5 + 1 <= 2.0)
+    assert freed == expected_freed == 10
+    assert table.check_invariant()
+    for key in range(24):
+        expected = key % 5 + 1 - 2.0
+        assert table.get(key) == (expected if expected > 0 else None)
+
+
+def test_model_fuzz_against_dict():
+    random.seed(77)
+    for trial in range(120):
+        capacity = random.randint(1, 40)
+        table = RobinHoodTable(capacity, hash_seed=trial)
+        model: dict[int, float] = {}
+        for _ in range(250):
+            action = random.random()
+            if action < 0.5 and len(model) < capacity:
+                key = random.randrange(80)
+                if key in model:
+                    table.add_to(key, 1.0)
+                    model[key] += 1.0
+                else:
+                    table.insert(key, 2.0)
+                    model[key] = 2.0
+            elif action < 0.75 and model:
+                amount = random.uniform(0.2, 2.5)
+                table.adjust_all(-amount)
+                table.purge_nonpositive()
+                model = {
+                    key: value - amount
+                    for key, value in model.items()
+                    if value - amount > 0
+                }
+            else:
+                key = random.randrange(80)
+                got = table.get(key)
+                expected = model.get(key)
+                assert (got is None) == (expected is None), (trial, key)
+                if expected is not None:
+                    assert got == pytest.approx(expected)
+        assert len(table) == len(model)
+        assert table.check_invariant()
+        contents = dict(table.items())
+        assert set(contents) == set(model)
+
+
+def test_sketch_logical_parity_across_all_backends():
+    """The same stream through dict, probing, and robinhood backends must
+    produce identical summaries (ell >= k, so no sampling divergence)."""
+    stream = [(index % 53, float(index % 7 + 1)) for index in range(4_000)]
+    sketches = {
+        backend: FrequentItemsSketch(24, backend=backend, seed=11)
+        for backend in ("dict", "probing", "robinhood")
+    }
+    for item, weight in stream:
+        for sketch in sketches.values():
+            sketch.update(item, weight)
+    reference = sketches["dict"]
+    for backend, sketch in sketches.items():
+        assert sketch.maximum_error == reference.maximum_error, backend
+        for item in range(53):
+            assert sketch.estimate(item) == reference.estimate(item), (backend, item)
+
+
+def test_serialization_of_robinhood_backend():
+    sketch = FrequentItemsSketch(16, backend="robinhood", seed=5)
+    for index in range(300):
+        sketch.update(index % 30, float(index % 4 + 1))
+    restored = FrequentItemsSketch.from_bytes(sketch.to_bytes())
+    assert restored.backend == "robinhood"
+    assert sorted(restored.to_rows()) == sorted(sketch.to_rows())
+
+
+def test_early_exit_lookup_counts_fewer_probes_on_misses():
+    """Robin Hood's miss lookups terminate early; plain probing scans to
+    the end of the run.  At equal contents, RH miss probes <= LP's."""
+    from repro.table import LinearProbingTable
+
+    rh = RobinHoodTable(96, hash_seed=9)
+    lp = LinearProbingTable(96, hash_seed=9)
+    for key in range(96):
+        rh.insert(key, 1.0)
+        lp.insert(key, 1.0)
+    rh.probe_count = 0
+    lp.probe_count = 0
+    for key in range(1_000, 2_000):  # all misses
+        rh.get(key)
+        lp.get(key)
+    assert rh.probe_count <= lp.probe_count

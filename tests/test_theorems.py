@@ -1,0 +1,178 @@
+"""Cross-module verification of every theorem in the paper.
+
+One test per stated guarantee, on workloads spanning skewed, flat, and
+adversarial shapes:
+
+* Lemma 1   — MG: ``0 <= f_i - f̂_i <= N/(k+1)``.
+* Lemma 2   — MG tail: ``f_i - f̂_i <= N^res(j)/(k+1-j)``.
+* Theorem 1/3 — amortized decrement cadence (MED and SMED).
+* Theorem 2 — MED tail bound with exact k*.
+* Theorem 4 — SMED tail bound with k* = k/3.
+* Theorem 5 — merge bound ``(N - C)/k*`` and its tail form.
+"""
+
+import pytest
+
+from repro.baselines import MisraGries
+from repro.baselines.factory import make_med, make_smed
+from repro.core.frequent_items import FrequentItemsSketch
+from repro.metrics.accuracy import check_merge_bound, check_tail_bound, max_underestimate
+from repro.streams.adversarial import rbmc_killer_stream, two_phase_stream
+from repro.streams.exact import ExactCounter
+from repro.streams.uniform import uniform_weighted_stream
+from repro.streams.zipf import ZipfianStream
+
+
+def _workloads():
+    return {
+        "zipf-skewed": list(
+            ZipfianStream(15_000, universe=3_000, alpha=1.4, seed=1,
+                          weight_low=1, weight_high=500)
+        ),
+        "zipf-flat": list(
+            ZipfianStream(15_000, universe=3_000, alpha=0.8, seed=2,
+                          weight_low=1, weight_high=500)
+        ),
+        "uniform": uniform_weighted_stream(10_000, universe=2_000, seed=3),
+        "rbmc-killer": list(rbmc_killer_stream(64, 50_000.0, 8_000)),
+        "two-phase": list(two_phase_stream(64, 10_000.0, 8_000, 3.0, seed=4)),
+    }
+
+
+WORKLOADS = _workloads()
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_lemma1_misra_gries_unit(name):
+    stream = WORKLOADS[name]
+    k = 48
+    mg = MisraGries(k)
+    exact = ExactCounter()
+    for item, _weight in stream:
+        mg.update(item)  # unit-ized view of the workload
+        exact.update(item)
+    n = exact.total_weight
+    worst = max_underestimate(mg, exact)
+    assert 0 <= worst <= n / (k + 1) + 1e-9
+
+
+def test_lemma2_mg_tail_on_skew():
+    stream = WORKLOADS["zipf-skewed"]
+    k = 64
+    mg = MisraGries(k)
+    exact = ExactCounter()
+    for item, _weight in stream:
+        mg.update(item)
+        exact.update(item)
+    for j in (1, 8, 32):
+        bound = exact.residual_weight(j) / (k + 1 - j)
+        assert max_underestimate(mg, exact) <= bound + 1e-9
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_theorem2_med_tail_bound(name):
+    stream = WORKLOADS[name]
+    k = 64
+    med = make_med(k, seed=5)
+    exact = ExactCounter()
+    for item, weight in stream:
+        med.update(item, weight)
+        exact.update(item, weight)
+    k_star = k // 2  # the exact-median policy guarantees k* = k/2
+    for j in (0, 8):
+        check = check_tail_bound(med, exact, j, k_star)
+        assert check.holds, (name, j, check.observed, check.bound)
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_theorem4_smed_tail_bound(name):
+    stream = WORKLOADS[name]
+    k = 64
+    smed = make_smed(k, seed=6)
+    exact = ExactCounter()
+    for item, weight in stream:
+        smed.update(item, weight)
+        exact.update(item, weight)
+    k_star = k / 3.0  # Theorem 3/4's conservative constant
+    for j in (0, 8):
+        check = check_tail_bound(smed, exact, j, k_star)
+        assert check.holds, (name, j, check.observed, check.bound)
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_theorem3_decrement_cadence(name):
+    """Decrement passes at most once every k/3 updates (SMED)."""
+    stream = WORKLOADS[name]
+    k = 64
+    smed = make_smed(k, seed=7)
+    for item, weight in stream:
+        smed.update(item, weight)
+    if smed.stats.decrements:
+        assert smed.stats.updates / smed.stats.decrements >= k / 3.0
+
+
+def test_theorem1_med_cadence():
+    """MED with k* = k/2 decrements at most once every k/2 updates."""
+    stream = WORKLOADS["uniform"]
+    k = 64
+    med = make_med(k, seed=8)
+    for item, weight in stream:
+        med.update(item, weight)
+    if med.stats.decrements:
+        assert med.stats.updates / med.stats.decrements >= k / 2.0
+
+
+def test_theorem5_merge_bound_many_shapes():
+    """(N - C)/k* after merging across different workload shapes."""
+    k = 64
+    union = ExactCounter()
+    sketches = []
+    for seed, name in enumerate(("zipf-skewed", "uniform", "two-phase")):
+        sketch = make_smed(k, seed=100 + seed)
+        for item, weight in WORKLOADS[name]:
+            sketch.update(item, weight)
+            union.update(item, weight)
+        sketches.append(sketch)
+    merged = sketches[0]
+    for other in sketches[1:]:
+        merged.merge(other)
+    counter_sum = sum(row.lower_bound for row in merged.to_rows())
+    check = check_merge_bound(merged.lower_bound, union, counter_sum, k / 3.0)
+    assert check.holds, (check.observed, check.bound)
+
+
+def test_theorem5_tail_form():
+    """The N^res(j)/k* refinement of Theorem 5 (Equation 8)."""
+    k = 96
+    union = ExactCounter()
+    first = make_smed(k, seed=9)
+    second = make_smed(k, seed=10)
+    for sketch, seed in ((first, 11), (second, 12)):
+        for item, weight in ZipfianStream(
+            10_000, universe=2_000, alpha=1.5, seed=seed,
+            weight_low=1, weight_high=100,
+        ):
+            sketch.update(item, weight)
+            union.update(item, weight)
+    first.merge(second)
+    k_star = k / 3.0
+    observed = max_underestimate(first.lower_bound, union)
+    for j in (0, 8, 16):
+        assert observed <= union.residual_weight(j) / k_star + 1e-9
+
+
+def test_section4_2_convergence_in_speed_and_error():
+    """Decrement counts (the speed driver) and error both fall with k."""
+    stream = WORKLOADS["zipf-flat"]
+    exact = ExactCounter()
+    exact.update_all(stream)
+    decrements = []
+    errors = []
+    for k in (32, 128, 512):
+        smed = make_smed(k, seed=13)
+        for item, weight in stream:
+            smed.update(item, weight)
+        decrements.append(smed.stats.decrements)
+        errors.append(max_underestimate(smed, exact))
+    assert decrements[0] > decrements[1] > decrements[2]
+    assert errors[0] > errors[1] >= errors[2]
