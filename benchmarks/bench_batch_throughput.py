@@ -1,0 +1,80 @@
+"""Batched ingestion engine: scalar vs batch updates/sec per backend.
+
+Per-backend pytest-benchmark timings for the two ingestion paths, plus a
+report benchmark that regenerates the full scalar-vs-batch table and
+writes it to ``benchmarks/out/batch.txt``.
+
+Expected shape: the columnar backend is the slowest store to drive one
+update at a time (every scalar touch pays NumPy scalar-indexing tax) and
+by far the fastest to drive in batches (grouping + bulk array ops), with
+the batch path beating its own scalar loop by well over the 5x the
+batch engine promises, and the per-backend ``batch_speedup`` column
+ranking columnar > probing/robinhood > dict (the CPython dict is so fast
+per probe that packaging matters least there).
+"""
+
+import pytest
+
+from repro.bench.figures import batch_throughput_table
+from repro.bench.harness import (
+    feed_batches,
+    feed_stream,
+    num_batched_updates,
+    zipf_weighted_batches,
+    zipf_weighted_stream,
+)
+from repro.core.frequent_items import FrequentItemsSketch
+
+BACKENDS = ("dict", "probing", "robinhood", "columnar")
+
+
+def _workload(config):
+    batches = zipf_weighted_batches(
+        config.num_updates, config.unique_sources, 1.05, config.seed
+    )
+    stream = zipf_weighted_stream(
+        config.num_updates, config.unique_sources, 1.05, config.seed
+    )
+    return batches, stream, config.k_values[-1]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("mode", ["scalar", "batch"])
+def test_ingest_throughput(benchmark, config, backend, mode):
+    batches, stream, k = _workload(config)
+    benchmark.group = f"batch ingestion, k={k}"
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["updates"] = num_batched_updates(batches)
+
+    def run():
+        sketch = FrequentItemsSketch(k, backend=backend, seed=config.seed)
+        if mode == "scalar":
+            feed_stream(sketch, stream)
+        else:
+            feed_batches(sketch, batches)
+        return sketch
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.stats.updates == len(stream)
+
+
+def test_batch_report(benchmark, config, write_report):
+    benchmark.group = "batch full table"
+
+    def run():
+        return batch_throughput_table(config)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report("batch", table)
+
+    # The acceptance bar of the batched ingestion engine: on the Zipf
+    # workload, update_batch on the columnar backend sustains at least
+    # 5x the updates/sec of the scalar update loop.  (Measured ~12x;
+    # probing/robinhood batch wins are reported in the table but not
+    # asserted — their ~1.3-1.7x margins are within shared-runner
+    # timing noise for a single round.)
+    speedup = table.cell({"backend": "columnar"}, "batch_speedup")
+    assert speedup >= 5.0, (
+        f"columnar update_batch only {speedup:.2f}x its scalar loop"
+    )

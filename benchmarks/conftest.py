@@ -3,8 +3,10 @@
 Scale selection: set ``REPRO_BENCH_SCALE`` to ``quick`` (default),
 ``medium``, or ``paper``.  Every figure's full table is also written to
 ``benchmarks/out/<name>.txt`` as the benchmarks run, so a
-``pytest benchmarks/ --benchmark-only`` leaves the paper-shaped reports
-on disk alongside pytest-benchmark's timing table.
+``pytest benchmarks/bench_*.py`` run leaves the paper-shaped reports
+on disk alongside pytest-benchmark's timing table.  (The files are
+named ``bench_*.py``, outside pytest's default collection pattern, so
+they must be named explicitly.)
 """
 
 from __future__ import annotations

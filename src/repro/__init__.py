@@ -19,6 +19,16 @@ Quickstart
 >>> [row.item for row in sketch.heavy_hitters(phi=0.5)]
 [1]
 
+For high-throughput ingestion, feed NumPy array batches instead — the
+result is identical to the scalar loop, state for state:
+
+>>> import numpy as np
+>>> batched = FrequentItemsSketch(max_counters=64, backend="columnar", seed=7)
+>>> batched.update_batch(np.array([1, 2, 1, 3], dtype=np.uint64),
+...                      np.array([1500.0, 64.0, 1500.0, 576.0]))
+>>> batched.estimate(1)
+3000.0
+
 Package map
 -----------
 - :mod:`repro.core` — the paper's sketch (SMED/SMIN family), merging,

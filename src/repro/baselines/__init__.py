@@ -21,8 +21,19 @@ counter-vs-sketch context experiment:
   quantile-style algorithms.
 
 Prior merge procedures (Section 3.1 / Figure 4): :mod:`merge_prior`.
+
+Batched ingestion
+-----------------
+Every baseline mixes in :class:`~repro.baselines.batch.BatchUpdateMixin`
+(re-exported here), giving it the same ``update_batch(items, weights)``
+array interface as the paper's sketch — so scalar-vs-batch throughput
+comparisons across algorithms stay apples-to-apples.  The mixin's
+default is a faithful per-item replay; algorithms whose semantics
+genuinely commute override it (:class:`CountMinSketch` vectorizes its
+non-conservative path with ``np.add.at``).
 """
 
+from repro.baselines.batch import BatchUpdateMixin
 from repro.baselines.count_min import CountMinSketch
 from repro.baselines.count_sketch import CountSketch
 from repro.baselines.factory import make_algorithm, make_med, make_smed, make_smin
@@ -37,6 +48,7 @@ from repro.baselines.sticky_sampling import StickySampling
 from repro.baselines.stream_summary import StreamSummary
 
 __all__ = [
+    "BatchUpdateMixin",
     "MisraGries",
     "SpaceSavingHeap",
     "StreamSummary",

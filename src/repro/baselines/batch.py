@@ -1,0 +1,40 @@
+"""The shared array-batch ingestion mixin for the baseline algorithms.
+
+Every baseline mixes this in, giving it the same
+``update_batch(items, weights)`` interface as the paper's sketch — so
+scalar-vs-batch throughput comparisons across algorithms stay
+apples-to-apples.  The default is a faithful per-item replay
+(bound-method hoisted): most baselines are *order-sensitive* in exactly
+the way the paper exploits (a decrement between two occurrences of one
+key changes the outcome), so a generic grouped fast path would change
+results.  Algorithms whose semantics genuinely commute override it —
+:class:`~repro.baselines.count_min.CountMinSketch` vectorizes its
+non-conservative path with ``np.add.at``.
+"""
+
+from __future__ import annotations
+
+from repro.streams.model import as_batch
+
+
+class BatchUpdateMixin:
+    """Array-batch ingestion for per-item ``update`` algorithms.
+
+    ``update_batch(items, weights)`` consumes parallel NumPy arrays (or
+    sequences) and is defined to be *exactly* the per-item loop — same
+    updates, same order, same resulting state — so any summary gains the
+    batch API without changing its semantics.  The whole batch is
+    validated up front (ids lossless, weights positive and aligned), so
+    a rejected batch never leaves the summary partially updated.
+    Subclasses with order-insensitive update rules may override this
+    with a vectorized implementation.
+    """
+
+    __slots__ = ()
+
+    def update_batch(self, items, weights=None) -> None:
+        """Process ``(items[i], weights[i])`` for every i, in order."""
+        items, weights = as_batch(items, weights)
+        update = self.update
+        for item, weight in zip(items.tolist(), weights.tolist()):
+            update(item, weight)

@@ -19,14 +19,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.baselines.batch import BatchUpdateMixin
 from repro.errors import InvalidParameterError, InvalidUpdateError
 from repro.hashing.families import MultiplyShiftFamily
 from repro.hashing.mixers import item_to_u64
 from repro.metrics.instrumentation import OpStats
+from repro.streams.model import as_batch
 from repro.types import ItemId
 
 
-class CountMinSketch:
+class CountMinSketch(BatchUpdateMixin):
     """CountMin with optional conservative update and HH candidate tracking."""
 
     __slots__ = (
@@ -102,6 +104,30 @@ class CountMinSketch:
                 table[row, col] += weight
         if self._track_top:
             self._track(item, columns)
+
+    def update_batch(self, items, weights=None) -> None:
+        """Vectorized batch ingest for the plain (non-conservative) path.
+
+        A CountMin cell is a sum, so updates commute: ``np.add.at``
+        scatter-adds a whole batch per row in one call, with results
+        identical to the per-item loop (bit-identical for
+        integer-representable weights).  The conservative-update and
+        candidate-tracking variants are order-sensitive, so they fall
+        back to the mixin's faithful per-item replay.
+        """
+        if self._conservative or self._track_top:
+            super().update_batch(items, weights)
+            return
+        items, weights = as_batch(items, weights)
+        n = items.shape[0]
+        if n == 0:
+            return
+        table = self._table
+        for row in range(self._depth):
+            columns = self._family.hash_row(row, items)
+            np.add.at(table[row], columns, weights)
+        self._stream_weight += float(weights.sum())
+        self.stats.updates += n
 
     def _track(self, item: ItemId, columns: list[int]) -> None:
         estimate = min(self._table[row, col] for row, col in enumerate(columns))

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.baselines.batch import BatchUpdateMixin
 from repro.errors import InvalidParameterError, InvalidUpdateError
 from repro.hashing.families import MultiplyShiftFamily, SignHashFamily
 from repro.hashing.mixers import item_to_u64
@@ -19,7 +20,7 @@ from repro.metrics.instrumentation import OpStats
 from repro.types import ItemId
 
 
-class CountSketch:
+class CountSketch(BatchUpdateMixin):
     """CountSketch with median-of-rows point queries."""
 
     __slots__ = (

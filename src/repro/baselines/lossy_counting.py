@@ -15,12 +15,13 @@ from __future__ import annotations
 import math
 from typing import Iterator
 
+from repro.baselines.batch import BatchUpdateMixin
 from repro.errors import InvalidParameterError, InvalidUpdateError
 from repro.metrics.instrumentation import OpStats
 from repro.types import ItemId
 
 
-class LossyCounting:
+class LossyCounting(BatchUpdateMixin):
     """Manku-Motwani Lossy Counting with real-valued weights."""
 
     __slots__ = ("_epsilon", "_entries", "_stream_weight", "_bucket", "stats")

@@ -12,13 +12,14 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.baselines.batch import BatchUpdateMixin
 from repro.errors import InvalidParameterError, InvalidUpdateError
 from repro.metrics.instrumentation import OpStats
 from repro.metrics.space import space_model_bytes
 from repro.types import ItemId
 
 
-class MisraGries:
+class MisraGries(BatchUpdateMixin):
     """Algorithm 1: unit-weight Misra-Gries with ``k`` counters."""
 
     __slots__ = ("_k", "_counts", "_num_updates", "stats")

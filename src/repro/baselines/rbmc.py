@@ -16,13 +16,14 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.baselines.batch import BatchUpdateMixin
 from repro.errors import InvalidParameterError, InvalidUpdateError
 from repro.metrics.instrumentation import OpStats
 from repro.metrics.space import space_model_bytes
 from repro.types import ItemId
 
 
-class ReduceByMinCounter:
+class ReduceByMinCounter(BatchUpdateMixin):
     """RBMC: weighted Misra-Gries decrementing by ``min(delta, c_min)``."""
 
     __slots__ = ("_k", "_counts", "_stream_weight", "stats")

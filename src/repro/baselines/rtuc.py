@@ -12,13 +12,14 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.baselines.batch import BatchUpdateMixin
 from repro.baselines.misra_gries import MisraGries
 from repro.baselines.space_saving_heap import SpaceSavingHeap
 from repro.errors import InvalidUpdateError
 from repro.types import ItemId
 
 
-class RTUCMisraGries:
+class RTUCMisraGries(BatchUpdateMixin):
     """RTUC-MG: weighted Misra-Gries by unit-update explosion."""
 
     __slots__ = ("_inner",)
@@ -59,7 +60,7 @@ class RTUCMisraGries:
         return len(self._inner)
 
 
-class RTUCSpaceSaving:
+class RTUCSpaceSaving(BatchUpdateMixin):
     """RTUC-SS: weighted Space Saving by unit-update explosion."""
 
     __slots__ = ("_inner",)

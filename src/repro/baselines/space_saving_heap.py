@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.baselines.batch import BatchUpdateMixin
 from repro.baselines.heap import IndexedMinHeap
 from repro.errors import InvalidParameterError, InvalidUpdateError
 from repro.metrics.instrumentation import OpStats
@@ -21,7 +22,7 @@ from repro.metrics.space import space_model_bytes
 from repro.types import ItemId
 
 
-class SpaceSavingHeap:
+class SpaceSavingHeap(BatchUpdateMixin):
     """SS with an indexed min-heap (SSH unit-weight; MHE weighted)."""
 
     __slots__ = ("_k", "_heap", "_stream_weight", "stats")

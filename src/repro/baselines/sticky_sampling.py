@@ -13,13 +13,14 @@ from __future__ import annotations
 import math
 from typing import Iterator
 
+from repro.baselines.batch import BatchUpdateMixin
 from repro.errors import InvalidParameterError, InvalidUpdateError
 from repro.metrics.instrumentation import OpStats
 from repro.prng import Xoroshiro128PlusPlus
 from repro.types import ItemId
 
 
-class StickySampling:
+class StickySampling(BatchUpdateMixin):
     """Manku-Motwani Sticky Sampling (unit updates)."""
 
     __slots__ = ("_epsilon", "_delta", "_phi", "_t", "_rate", "_next_boundary",

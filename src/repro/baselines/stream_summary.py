@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
+from repro.baselines.batch import BatchUpdateMixin
 from repro.errors import InvalidParameterError, InvalidUpdateError
 from repro.metrics.instrumentation import OpStats
 from repro.metrics.space import space_model_bytes
@@ -45,7 +46,7 @@ class _Node:
         self.error = error
 
 
-class StreamSummary:
+class StreamSummary(BatchUpdateMixin):
     """SSL: Space Saving via the Stream Summary bucket list (unit updates)."""
 
     __slots__ = ("_k", "_nodes", "_min_bucket", "_num_updates", "stats")

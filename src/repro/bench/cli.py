@@ -51,6 +51,10 @@ def _adversarial(config) -> Iterable[ResultTable]:
     return [figures.adversarial_table(config)]
 
 
+def _batch(config) -> Iterable[ResultTable]:
+    return [figures.batch_throughput_table(config)]
+
+
 def _ablations(config) -> Iterable[ResultTable]:
     return [
         figures.ablation_policies(config),
@@ -70,6 +74,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "context": _context,
     "bounds": _bounds,
     "adversarial": _adversarial,
+    "batch": _batch,
     "ablations": _ablations,
 }
 

@@ -24,10 +24,13 @@ from repro.baselines.merge_prior import ach13_merge, hoa61_merge
 from repro.bench.harness import (
     BenchConfig,
     feed_stream,
+    num_batched_updates,
     packet_exact,
     packet_stream,
     time_call,
     time_feed,
+    time_feed_batches,
+    zipf_weighted_batches,
     zipf_weighted_stream,
 )
 from repro.bench.report import ResultTable
@@ -433,6 +436,66 @@ def ablation_backend(config: BenchConfig) -> ResultTable:
                 max_error=max_error(sketch, exact),
                 probes_per_update=probes,
             )
+    return table
+
+
+def batch_throughput_table(config: BenchConfig) -> ResultTable:
+    """Scalar vs batched ingestion across counter-store backends.
+
+    The Section 4.5 Zipf workload (α = 1.05, weights U[1, 10000]) is fed
+    to the paper's sketch twice per backend — once through the per-item
+    ``update`` loop, once through ``update_batch`` on the same array
+    batches — and the resulting state is asserted identical, so the
+    table measures packaging, not semantics.  ``batch_speedup`` is the
+    per-backend batch/scalar throughput ratio; ``vs_best_scalar``
+    compares the batch path against the *fastest scalar backend*, the
+    honest headline number.
+    """
+    batches = zipf_weighted_batches(
+        config.num_updates, config.unique_sources, 1.05, config.seed
+    )
+    stream = zipf_weighted_stream(
+        config.num_updates, config.unique_sources, 1.05, config.seed
+    )
+    n = num_batched_updates(batches)
+    k = config.k_values[-1]
+    # Warm-up: one small feed per path pulls NumPy's lazily imported
+    # submodules (np.insert -> numpy.ma, ...) out of the timed regions.
+    warm_items, warm_weights = batches[0]
+    warmup = FrequentItemsSketch(max(2, k // 8), backend="columnar", seed=0)
+    warmup.update_batch(warm_items[:256], warm_weights[:256])
+    table = ResultTable(
+        f"Batch ingestion engine: scalar vs batched updates/sec "
+        f"(Zipf 1.05, k={k})",
+        [
+            "backend", "k", "scalar_sec", "batch_sec",
+            "scalar_per_sec", "batch_per_sec", "batch_speedup",
+            "vs_best_scalar",
+        ],
+    )
+    results = []
+    for backend in ("dict", "probing", "robinhood", "columnar"):
+        scalar = FrequentItemsSketch(k, backend=backend, seed=config.seed)
+        scalar_seconds = time_feed(scalar, stream)
+        batched = FrequentItemsSketch(k, backend=backend, seed=config.seed)
+        batch_seconds = time_feed_batches(batched, batches)
+        if scalar.to_bytes() != batched.to_bytes():  # pragma: no cover
+            raise AssertionError(
+                f"scalar/batch divergence on backend {backend!r}"
+            )
+        results.append((backend, scalar_seconds, batch_seconds))
+    best_scalar = min(seconds for _backend, seconds, _batch in results)
+    for backend, scalar_seconds, batch_seconds in results:
+        table.add_row(
+            backend=backend,
+            k=k,
+            scalar_sec=scalar_seconds,
+            batch_sec=batch_seconds,
+            scalar_per_sec=n / scalar_seconds,
+            batch_per_sec=n / batch_seconds,
+            batch_speedup=scalar_seconds / batch_seconds,
+            vs_best_scalar=best_scalar / batch_seconds,
+        )
     return table
 
 

@@ -8,18 +8,31 @@ larger k) for overnight runs.  Absolute wall-clock numbers are not
 comparable to the paper's Java on 126M CAIDA updates — the *orderings
 and ratios* are what the harness is after, plus the hardware-independent
 operation counts every table carries.
+
+Streams are cached in both representations: per-item update lists for
+the scalar ``update`` loop and materialized ``(items, weights)`` array
+batches for ``update_batch``.  Both carry the identical update sequence
+(the batch form is the source of truth; the scalar list is its
+flattening), so scalar-vs-batch timings measure the ingestion path and
+nothing else.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
 
 from repro.streams.caida import SyntheticPacketTrace
 from repro.streams.exact import ExactCounter
+from repro.streams.transforms import flatten_batches
 from repro.streams.zipf import ZipfianStream
 from repro.types import StreamUpdate
+
+#: One ``(items, weights)`` array pair.
+Batch = tuple[np.ndarray, np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -63,20 +76,48 @@ SCALES: dict[str, BenchConfig] = {
 }
 
 _STREAM_CACHE: dict[tuple, list[StreamUpdate]] = {}
+_BATCH_CACHE: dict[tuple, list[Batch]] = {}
 _EXACT_CACHE: dict[tuple, ExactCounter] = {}
+
+
+def packet_batches(config: BenchConfig) -> list[Batch]:
+    """The CAIDA-like trace as array batches (materialized once)."""
+    key = ("caida", config.num_updates, config.unique_sources, config.seed)
+    if key not in _BATCH_CACHE:
+        trace = SyntheticPacketTrace(
+            config.num_updates,
+            unique_sources=config.unique_sources,
+            seed=config.seed,
+        )
+        _BATCH_CACHE[key] = list(trace.batches())
+    return _BATCH_CACHE[key]
 
 
 def packet_stream(config: BenchConfig) -> list[StreamUpdate]:
     """The CAIDA-like trace for this scale (materialized once)."""
     key = ("caida", config.num_updates, config.unique_sources, config.seed)
     if key not in _STREAM_CACHE:
-        trace = SyntheticPacketTrace(
-            config.num_updates,
-            unique_sources=config.unique_sources,
-            seed=config.seed,
-        )
-        _STREAM_CACHE[key] = list(trace)
+        _STREAM_CACHE[key] = list(flatten_batches(packet_batches(config)))
     return _STREAM_CACHE[key]
+
+
+def zipf_weighted_batches(
+    num_updates: int, universe: int, alpha: float, seed: int
+) -> list[Batch]:
+    """The Section 4.5 synthetic stream as array batches."""
+    key = ("zipf", num_updates, universe, alpha, seed)
+    if key not in _BATCH_CACHE:
+        _BATCH_CACHE[key] = list(
+            ZipfianStream(
+                num_updates,
+                universe=universe,
+                alpha=alpha,
+                seed=seed,
+                weight_low=1,
+                weight_high=10_000,
+            ).batches()
+        )
+    return _BATCH_CACHE[key]
 
 
 def zipf_weighted_stream(
@@ -86,14 +127,7 @@ def zipf_weighted_stream(
     key = ("zipf", num_updates, universe, alpha, seed)
     if key not in _STREAM_CACHE:
         _STREAM_CACHE[key] = list(
-            ZipfianStream(
-                num_updates,
-                universe=universe,
-                alpha=alpha,
-                seed=seed,
-                weight_low=1,
-                weight_high=10_000,
-            )
+            flatten_batches(zipf_weighted_batches(num_updates, universe, alpha, seed))
         )
     return _STREAM_CACHE[key]
 
@@ -122,6 +156,27 @@ def time_feed(algorithm, updates: Sequence[StreamUpdate]) -> float:
     for item, weight in updates:
         update(item, weight)
     return time.perf_counter() - start
+
+
+def feed_batches(algorithm, batches: Iterable[Batch]) -> None:
+    """Feed every array batch to ``algorithm.update_batch``."""
+    update_batch = algorithm.update_batch
+    for items, weights in batches:
+        update_batch(items, weights)
+
+
+def time_feed_batches(algorithm, batches: Sequence[Batch]) -> float:
+    """Wall-clock seconds to feed ``batches`` into ``algorithm``."""
+    update_batch = algorithm.update_batch
+    start = time.perf_counter()
+    for items, weights in batches:
+        update_batch(items, weights)
+    return time.perf_counter() - start
+
+
+def num_batched_updates(batches: Sequence[Batch]) -> int:
+    """Total updates carried by a batch list."""
+    return sum(len(items) for items, _weights in batches)
 
 
 def time_call(function: Callable[[], object]) -> tuple[float, object]:

@@ -10,7 +10,7 @@ field        bytes  meaning
 ===========  =====  ====================================================
 magic        4      ``b"RFI1"``
 k            4      uint32 ``max_counters``
-backend      1      0 = probing, 1 = dict
+backend      1      0 = probing, 1 = dict, 2 = robinhood, 3 = columnar
 policy kind  1      0 = sample-quantile, 1 = exact-kth, 2 = global-min
 policy p     8      float64 quantile / fraction (0 for global-min)
 sample size  4      uint32 ℓ (0 when not applicable)
@@ -32,6 +32,8 @@ from __future__ import annotations
 
 import struct
 
+import numpy as np
+
 from repro.core.frequent_items import FrequentItemsSketch
 from repro.core.policies import (
     ExactKthLargestPolicy,
@@ -44,7 +46,7 @@ _MAGIC = b"RFI1"
 _HEADER = struct.Struct("<4sIBBdIQddI")
 _RECORD = struct.Struct("<Qd")
 
-_BACKEND_CODES = {"probing": 0, "dict": 1, "robinhood": 2}
+_BACKEND_CODES = {"probing": 0, "dict": 1, "robinhood": 2, "columnar": 3}
 _BACKEND_NAMES = {code: name for name, code in _BACKEND_CODES.items()}
 
 
@@ -123,11 +125,17 @@ def sketch_from_bytes(blob: bytes) -> FrequentItemsSketch:
         )
     policy = _decode_policy(kind, param, sample_size)
     sketch = FrequentItemsSketch(k, policy=policy, backend=backend, seed=seed)
-    position = _HEADER.size
-    for _ in range(count):
-        item, value = _RECORD.unpack_from(blob, position)
-        position += _RECORD.size
-        sketch._store.insert(item, value)
+    if count:
+        records = np.frombuffer(
+            blob, dtype=np.dtype([("item", "<u8"), ("count", "<f8")]),
+            count=count, offset=_HEADER.size,
+        )
+        # Bulk insert preserves record order on order-sensitive layouts
+        # and is vectorized on the columnar backend.
+        sketch._store.insert_many(
+            np.ascontiguousarray(records["item"]),
+            np.ascontiguousarray(records["count"]),
+        )
     sketch._offset = offset
     sketch._stream_weight = weight
     return sketch

@@ -10,8 +10,10 @@ pre-mixed by ``fmix64`` to defeat structured inputs.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import InvalidParameterError
-from repro.hashing.mixers import fmix64
+from repro.hashing.mixers import fmix64, fmix64_array
 from repro.prng import SplitMix64
 
 _MASK64 = (1 << 64) - 1
@@ -52,6 +54,17 @@ class MultiplyShiftFamily:
         """Return ``h_row(key)`` in ``[0, width)``."""
         mixed = fmix64(key)
         return ((self._a[row] * mixed + self._b[row]) & _MASK64) >> self._shift
+
+    def hash_row(self, row: int, keys: np.ndarray) -> np.ndarray:
+        """Vectorized ``h_row`` over a uint64 key array.
+
+        Element-wise identical to :meth:`hash` — the batched sketch
+        paths rely on that to reproduce the scalar loop exactly.
+        """
+        mixed = fmix64_array(keys)
+        with np.errstate(over="ignore"):
+            hashed = np.uint64(self._a[row]) * mixed + np.uint64(self._b[row])
+        return hashed >> np.uint64(self._shift)
 
     def hash_all(self, key: int) -> list[int]:
         """Return ``[h_0(key), ..., h_{rows-1}(key)]``."""

@@ -10,6 +10,9 @@ matters).
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.errors import InvalidUpdateError
 from repro.hashing.murmur import murmur3_x64_128
 
 _MASK64 = (1 << 64) - 1
@@ -27,6 +30,23 @@ def fmix64(x: int) -> int:
     return x
 
 
+def fmix64_array(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`fmix64` over a uint64 array.
+
+    Bit-identical to the scalar mixer element-wise (uint64 arithmetic is
+    the same mod-2**64 arithmetic the masks emulate); used by the batched
+    ingestion paths of the sketching baselines.
+    """
+    x = np.asarray(x, dtype=np.uint64).copy()
+    with np.errstate(over="ignore"):
+        x ^= x >> np.uint64(33)
+        x *= np.uint64(0xFF51AFD7ED558CCD)
+        x ^= x >> np.uint64(33)
+        x *= np.uint64(0xC4CEB9FE1A85EC53)
+        x ^= x >> np.uint64(33)
+    return x
+
+
 def hash_u64(x: int, seed: int = 0) -> int:
     """Hash a 64-bit integer under ``seed``; different seeds are independent.
 
@@ -35,6 +55,47 @@ def hash_u64(x: int, seed: int = 0) -> int:
     modular reduction onto table slots.
     """
     return fmix64(fmix64(x) ^ ((seed * _GOLDEN) & _MASK64))
+
+
+def items_to_u64_array(items: object) -> np.ndarray:
+    """Coerce a batch of item identifiers to a uint64 array, losslessly.
+
+    The array-batch analogue of :func:`item_to_u64` for the common case
+    of integer identifiers.  Integer NumPy arrays are cast directly;
+    float arrays are rejected (a float64 id above 2**53 has already lost
+    bits, and NumPy's C cast would wrap out-of-range values silently).
+    Other inputs (lists, object arrays) are converted element-exact from
+    the Python integers — never through an intermediate float64 — and
+    any value the conversion would corrupt (negative, >= 2**64, or a
+    non-integral number) raises :class:`~repro.errors.InvalidUpdateError`
+    rather than wrapping or truncating.
+    """
+    if isinstance(items, np.ndarray):
+        kind = items.dtype.kind
+        if kind == "u":
+            return items.astype(np.uint64, copy=False)
+        if kind in ("i", "b"):
+            if kind == "i" and items.size and int(items.min()) < 0:
+                raise InvalidUpdateError(
+                    f"item ids must be non-negative, got {int(items.min())}"
+                )
+            return items.astype(np.uint64, copy=False)
+        if kind != "O":
+            # Floats (and anything else numeric-lossy) are rejected
+            # outright; object arrays fall through to the exact path.
+            raise InvalidUpdateError(
+                f"item ids must be an integer array, got dtype {items.dtype}"
+            )
+    try:
+        original = np.asarray(items, dtype=object)
+        out = original.astype(np.uint64)
+    except (OverflowError, ValueError, TypeError) as exc:
+        raise InvalidUpdateError(f"invalid item ids for a batch: {exc}") from exc
+    # The object->uint64 cast truncates non-integral numbers instead of
+    # raising; comparing against the originals catches every lossy case.
+    if out.size and not (original == out).all():
+        raise InvalidUpdateError("item ids must be integral values")
+    return out
 
 
 def item_to_u64(item: object) -> int:

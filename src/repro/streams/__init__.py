@@ -12,18 +12,40 @@ experiment, Section 4.5).
 :class:`ExactCounter` computes exact frequencies, residual tail weights
 ``N^res(j)``, and exact heavy-hitter sets — the ground truth every error
 measurement compares against.
+
+Every generator also speaks *array batches*: ``(items, weights)`` pairs
+of parallel NumPy arrays for the batched ingestion path
+(``update_batch``).  Natively vectorized sources expose ``batches()`` /
+``*_batches`` generators; :func:`as_batches` and
+:func:`flatten_batches` convert any stream between the two forms.
 """
 
-from repro.streams.adversarial import rbmc_killer_stream, uniform_random_stream
+from repro.streams.adversarial import (
+    rbmc_killer_batches,
+    rbmc_killer_stream,
+    uniform_random_batches,
+    uniform_random_stream,
+)
 from repro.streams.caida import SyntheticPacketTrace
 from repro.streams.exact import ExactCounter
 from repro.streams.model import as_updates
 from repro.streams.transforms import (
+    DEFAULT_BATCH_SIZE,
+    as_batches,
     concat,
+    concat_batches,
+    flatten_batches,
     materialize,
     partition_hash,
     partition_round_robin,
     take,
+    take_batches,
+)
+from repro.streams.uniform import (
+    round_robin_batches,
+    round_robin_stream,
+    uniform_weighted_batches,
+    uniform_weighted_stream,
 )
 from repro.streams.zipf import (
     RejectionInversionZipf,
@@ -33,12 +55,23 @@ from repro.streams.zipf import (
 
 __all__ = [
     "as_updates",
+    "as_batches",
+    "flatten_batches",
+    "take_batches",
+    "concat_batches",
+    "DEFAULT_BATCH_SIZE",
     "ZipfianStream",
     "ZipfTableSampler",
     "RejectionInversionZipf",
     "SyntheticPacketTrace",
     "rbmc_killer_stream",
+    "rbmc_killer_batches",
     "uniform_random_stream",
+    "uniform_random_batches",
+    "uniform_weighted_stream",
+    "uniform_weighted_batches",
+    "round_robin_stream",
+    "round_robin_batches",
     "ExactCounter",
     "take",
     "concat",

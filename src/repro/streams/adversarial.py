@@ -11,8 +11,11 @@ from __future__ import annotations
 
 from typing import Iterator
 
+import numpy as np
+
 from repro.errors import InvalidParameterError
 from repro.prng import Xoroshiro128PlusPlus
+from repro.streams.transforms import DEFAULT_BATCH_SIZE, as_batches
 from repro.types import StreamUpdate
 
 
@@ -42,6 +45,40 @@ def rbmc_killer_stream(
         yield StreamUpdate(id_offset + k + i, 1.0)
 
 
+def rbmc_killer_batches(
+    k: int,
+    heavy_weight: float,
+    num_unit_updates: int,
+    id_offset: int = 0,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """:func:`rbmc_killer_stream` as array batches, generated vectorized.
+
+    The construction is deterministic, so the batches carry exactly the
+    updates of the per-item generator for any batch size.
+    """
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    if heavy_weight <= 1:
+        raise InvalidParameterError(
+            f"heavy_weight must exceed 1 for the construction, got {heavy_weight}"
+        )
+    if batch_size <= 0:
+        raise InvalidParameterError(f"batch_size must be positive, got {batch_size}")
+    total = k + num_unit_updates
+    start = 0
+    while start < total:
+        count = min(batch_size, total - start)
+        items = np.arange(
+            id_offset + start, id_offset + start + count, dtype=np.uint64
+        )
+        weights = np.where(
+            np.arange(start, start + count) < k, float(heavy_weight), 1.0
+        )
+        yield items, weights
+        start += count
+
+
 def uniform_random_stream(
     num_updates: int,
     universe: int,
@@ -66,6 +103,19 @@ def uniform_random_stream(
         item = rng.randrange(universe)
         weight = 1.0 if max_weight == 1.0 else rng.uniform(1.0, max_weight)
         yield StreamUpdate(item, weight)
+
+
+def uniform_random_batches(
+    num_updates: int,
+    universe: int,
+    seed: int = 0,
+    max_weight: float = 1.0,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """:func:`uniform_random_stream` as array batches (same PRNG draws)."""
+    return as_batches(
+        uniform_random_stream(num_updates, universe, seed, max_weight), batch_size
+    )
 
 
 def two_phase_stream(

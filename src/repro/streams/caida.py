@@ -123,8 +123,21 @@ class SyntheticPacketTrace:
         perm[idx_a], perm[idx_b] = perm[idx_b].copy(), perm[idx_a].copy()
         return addresses[perm]
 
-    def batches(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
-        """Yield ``(source_ids, packet_bits)`` numpy array pairs."""
+    def batches(
+        self, batch_size: int | None = None
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(source_ids, packet_bits)`` numpy array pairs.
+
+        ``batch_size`` overrides the constructor's batch size for this
+        traversal.  Note the batch size participates in the trace's
+        identity (item and size draws interleave per batch), so compare
+        runs at a fixed batch size; per-item iteration via ``__iter__``
+        always uses the constructor's.
+        """
+        if batch_size is None:
+            batch_size = self.batch_size
+        if batch_size <= 0:
+            raise InvalidParameterError(f"batch_size must be positive, got {batch_size}")
         # Zipf CDF over source ranks, shared across segments.
         ranks = np.arange(1, self.unique_sources + 1, dtype=np.float64)
         cdf = np.cumsum(ranks ** (-self.alpha))
@@ -140,7 +153,7 @@ class SyntheticPacketTrace:
             )
             remaining = per_segment[segment]
             while remaining > 0:
-                count = min(self.batch_size, remaining)
+                count = min(batch_size, remaining)
                 rank_draws = np.searchsorted(cdf, draw_rng.random(count), side="left")
                 items = addresses[rank_draws]
                 sizes = draw_rng.choice(

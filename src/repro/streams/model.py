@@ -1,11 +1,53 @@
-"""Normalizing helpers for the stream-update model of Section 1.2."""
+"""Normalizing helpers for the stream-update model of Section 1.2.
+
+Two entry forms are normalized here: per-item iterables (via
+:func:`as_updates`) and array batches (via :func:`as_batch`) — the
+single validation path every ``update_batch`` implementation shares.
+"""
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from repro.errors import InvalidUpdateError
+from repro.hashing.mixers import items_to_u64_array
 from repro.types import StreamUpdate
+
+
+def as_batch(
+    items: object, weights: object = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and coerce one array batch to ``(uint64, float64)`` form.
+
+    ``items`` may be any 1-D integer array or sequence (converted
+    losslessly — see :func:`repro.hashing.mixers.items_to_u64_array`);
+    ``weights`` must align element-wise and be strictly positive, and
+    defaults to unit weights.  Raises
+    :class:`~repro.errors.InvalidUpdateError` before any caller state
+    can change, so a rejected batch is always a no-op.
+    """
+    items = items_to_u64_array(items)
+    if items.ndim != 1:
+        raise InvalidUpdateError(
+            f"items must be a 1-D array, got shape {items.shape}"
+        )
+    n = items.shape[0]
+    if weights is None:
+        return items, np.ones(n, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != items.shape:
+        raise InvalidUpdateError(
+            f"items and weights must align, got {items.shape} vs {weights.shape}"
+        )
+    if n and not (weights > 0).all():
+        bad = int(np.flatnonzero(weights <= 0)[0])
+        raise InvalidUpdateError(
+            f"update weights must be positive, got {weights[bad]} "
+            f"for item {int(items[bad])}"
+        )
+    return items, weights
 
 
 def as_updates(raw: Iterable) -> Iterator[StreamUpdate]:

@@ -1,8 +1,18 @@
-"""Stream combinators: slicing, concatenation, and partitioning.
+"""Stream combinators: slicing, concatenation, partitioning, batching.
 
 Partitioning feeds the mergeability experiments (Section 3): a dataset
 split across machines or time windows, summarized per partition, then
 merged via an arbitrary aggregation tree.
+
+The batch adapters translate between the two stream representations the
+library supports: per-item iterables of :class:`~repro.types.
+StreamUpdate` and array *batches* — ``(items, weights)`` pairs of
+parallel NumPy arrays consumed by ``update_batch``.  :func:`as_batches`
+chunks any per-item stream into batches (same updates, same order);
+:func:`flatten_batches` is its inverse.  Natively array-producing
+generators (:class:`~repro.streams.zipf.ZipfianStream`,
+:class:`~repro.streams.caida.SyntheticPacketTrace`) skip the adapter and
+yield batches directly.
 """
 
 from __future__ import annotations
@@ -10,9 +20,14 @@ from __future__ import annotations
 import itertools
 from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
 from repro.errors import InvalidParameterError
 from repro.hashing.mixers import hash_u64, item_to_u64
 from repro.types import StreamUpdate
+
+#: Default updates per array batch for the batching adapters.
+DEFAULT_BATCH_SIZE = 65536
 
 
 def take(updates: Iterable[StreamUpdate], count: int) -> Iterator[StreamUpdate]:
@@ -64,6 +79,67 @@ def partition_hash(
         shard = hash_u64(item_to_u64(update[0]), seed) % parts
         out[shard].append(StreamUpdate(update[0], update[1]))
     return out
+
+
+def as_batches(
+    updates: Iterable[StreamUpdate],
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Chunk a per-item stream into ``(items, weights)`` array batches.
+
+    Feeding the produced batches through ``update_batch`` processes
+    exactly the same weighted updates in exactly the same order as
+    feeding the original iterable through ``update``; only the packaging
+    changes.  The final batch is short when the stream length is not a
+    multiple of ``batch_size``.
+    """
+    if batch_size <= 0:
+        raise InvalidParameterError(f"batch_size must be positive, got {batch_size}")
+    iterator = iter(updates)
+    while True:
+        chunk = list(itertools.islice(iterator, batch_size))
+        if not chunk:
+            return
+        items = np.array([update[0] for update in chunk], dtype=np.uint64)
+        weights = np.array([update[1] for update in chunk], dtype=np.float64)
+        yield items, weights
+
+
+def flatten_batches(
+    batches: Iterable[tuple[np.ndarray, np.ndarray]],
+) -> Iterator[StreamUpdate]:
+    """The inverse of :func:`as_batches`: array batches to per-item updates."""
+    for items, weights in batches:
+        for item, weight in zip(items.tolist(), weights.tolist()):
+            yield StreamUpdate(int(item), float(weight))
+
+
+def take_batches(
+    batches: Iterable[tuple[np.ndarray, np.ndarray]], count: int
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield batches covering at most the first ``count`` *updates*.
+
+    The final batch is trimmed so exactly ``count`` updates pass through
+    — the batch-level analogue of :func:`take`.
+    """
+    if count < 0:
+        raise InvalidParameterError(f"count must be >= 0, got {count}")
+    remaining = count
+    for items, weights in batches:
+        if remaining <= 0:
+            return
+        if len(items) > remaining:
+            yield items[:remaining], weights[:remaining]
+            return
+        yield items, weights
+        remaining -= len(items)
+
+
+def concat_batches(
+    *batch_streams: Iterable[tuple[np.ndarray, np.ndarray]],
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Concatenate batch streams (the batch-level ``sigma_1 ∘ sigma_2``)."""
+    return itertools.chain(*batch_streams)
 
 
 def split_chunks(

@@ -4,14 +4,21 @@ The flattest workload shape: items uniform over the universe, weights
 uniform on a range.  No heavy hitters exist, so counter algorithms churn
 maximally — the complementary stress case to Zipfian skew in the bound
 checks and ablations.
+
+Each generator has an array-batch companion (``*_batches``) yielding
+``(items, weights)`` NumPy pairs for the batched ingestion path; the
+batched form emits exactly the same updates as its per-item sibling.
 """
 
 from __future__ import annotations
 
 from typing import Iterator
 
+import numpy as np
+
 from repro.errors import InvalidParameterError
 from repro.prng import Xoroshiro128PlusPlus
+from repro.streams.transforms import DEFAULT_BATCH_SIZE, as_batches
 from repro.types import StreamUpdate
 
 
@@ -40,6 +47,25 @@ def uniform_weighted_stream(
     return out
 
 
+def uniform_weighted_batches(
+    num_updates: int,
+    universe: int,
+    seed: int = 0,
+    weight_low: float = 1.0,
+    weight_high: float = 10_000.0,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """:func:`uniform_weighted_stream` as ``(items, weights)`` array batches.
+
+    Chunks the per-item generator, so the updates (and the PRNG draws
+    behind them) are identical to the scalar stream for any batch size.
+    """
+    return as_batches(
+        uniform_weighted_stream(num_updates, universe, seed, weight_low, weight_high),
+        batch_size,
+    )
+
+
 def round_robin_stream(num_updates: int, universe: int) -> Iterator[StreamUpdate]:
     """Deterministic cycling through the universe with unit weights.
 
@@ -52,3 +78,22 @@ def round_robin_stream(num_updates: int, universe: int) -> Iterator[StreamUpdate
         raise InvalidParameterError(f"universe must be positive, got {universe}")
     for index in range(num_updates):
         yield StreamUpdate(index % universe, 1.0)
+
+
+def round_robin_batches(
+    num_updates: int, universe: int, batch_size: int = DEFAULT_BATCH_SIZE
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """:func:`round_robin_stream` as array batches, generated vectorized."""
+    if num_updates < 0:
+        raise InvalidParameterError(f"num_updates must be >= 0, got {num_updates}")
+    if universe <= 0:
+        raise InvalidParameterError(f"universe must be positive, got {universe}")
+    if batch_size <= 0:
+        raise InvalidParameterError(f"batch_size must be positive, got {batch_size}")
+    start = 0
+    while start < num_updates:
+        count = min(batch_size, num_updates - start)
+        items = (np.arange(start, start + count, dtype=np.uint64)
+                 % np.uint64(universe))
+        yield items, np.ones(count, dtype=np.float64)
+        start += count

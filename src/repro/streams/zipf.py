@@ -205,8 +205,19 @@ class ZipfianStream:
             x = x ^ (x >> np.uint64(33))
         return x
 
-    def batches(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
-        """Yield ``(item_ids, weights)`` numpy array pairs."""
+    def batches(
+        self, batch_size: Optional[int] = None
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(item_ids, weights)`` numpy array pairs.
+
+        ``batch_size`` overrides the constructor's batch size for this
+        traversal; the emitted updates are identical either way (every
+        batch boundary is transparent to the draws).
+        """
+        if batch_size is None:
+            batch_size = self.batch_size
+        if batch_size <= 0:
+            raise InvalidParameterError(f"batch_size must be positive, got {batch_size}")
         sampler = ZipfTableSampler(
             min(self.universe, TABLE_SAMPLER_LIMIT), self.alpha, seed=self.seed
         )
@@ -219,7 +230,7 @@ class ZipfianStream:
         weight_rng = np.random.Generator(np.random.PCG64(self.seed ^ 0xBEEF))
         remaining = self.num_updates
         while remaining > 0:
-            count = min(self.batch_size, remaining)
+            count = min(batch_size, remaining)
             if big is None:
                 ranks = sampler.sample(count)
             else:

@@ -9,10 +9,16 @@ purges.  :class:`LinearProbingTable` reproduces that structure.
 :class:`DictCounterStore` offers the same interface on a plain Python
 ``dict`` — in CPython the built-in dict is the pragmatic fast path, and an
 ablation benchmark compares the two backends.
+
+:class:`ColumnarCounterStore` keeps the counters in sorted parallel
+NumPy arrays; its bulk operations (``get_many``/``add_many``/
+``insert_many`` and a masked ``decrement_and_purge``) are the substrate
+of the batched ingestion engine.
 """
 
 from repro.table.accounting import probing_table_bytes, table_length
 from repro.table.base import CounterStore
+from repro.table.columnar import ColumnarCounterStore
 from repro.table.dictstore import DictCounterStore
 from repro.table.probing import LinearProbingTable
 from repro.table.robinhood import RobinHoodTable
@@ -22,9 +28,15 @@ __all__ = [
     "LinearProbingTable",
     "RobinHoodTable",
     "DictCounterStore",
+    "ColumnarCounterStore",
     "table_length",
     "probing_table_bytes",
+    "make_store",
+    "BACKEND_NAMES",
 ]
+
+#: Every counter-store backend name ``make_store`` accepts.
+BACKEND_NAMES = ("probing", "robinhood", "dict", "columnar")
 
 
 def make_store(backend: str, capacity: int, seed: int = 0) -> CounterStore:
@@ -32,7 +44,8 @@ def make_store(backend: str, capacity: int, seed: int = 0) -> CounterStore:
 
     Backends: ``"probing"`` (the paper's Section 2.3.3 layout),
     ``"robinhood"`` (the displacement variant, for the backend ablation),
-    and ``"dict"`` (CPython's builtin table).
+    ``"dict"`` (CPython's builtin table), and ``"columnar"`` (sorted
+    NumPy parallel arrays with vectorized batch operations).
     """
     if backend == "probing":
         return LinearProbingTable(capacity, hash_seed=seed)
@@ -40,4 +53,6 @@ def make_store(backend: str, capacity: int, seed: int = 0) -> CounterStore:
         return RobinHoodTable(capacity, hash_seed=seed)
     if backend == "dict":
         return DictCounterStore(capacity)
+    if backend == "columnar":
+        return ColumnarCounterStore(capacity)
     raise ValueError(f"unknown counter-store backend: {backend!r}")

@@ -5,6 +5,20 @@ positive real counts supporting exactly the operations the paper's
 algorithms need: point lookup/increment, insert, a bulk
 "decrement everything and drop the non-positive" pass, iteration, and
 random sampling of live counter values.
+
+Batch operations
+----------------
+The batched ingestion engine (``FrequentItemsSketch.update_batch``)
+talks to stores through three *bulk* operations — :meth:`~CounterStore.
+get_many`, :meth:`~CounterStore.add_many`, and :meth:`~CounterStore.
+insert_many` — operating on NumPy arrays of keys.  The base class
+provides per-key fallbacks so every store works with the batch path out
+of the box; array-native stores (:class:`~repro.table.columnar.
+ColumnarCounterStore`) override them with vectorized implementations.
+The fallbacks are written so that a batch call is *observably identical*
+to the equivalent sequence of scalar calls: ``insert_many`` inserts in
+the order given (which fixes iteration order for order-sensitive
+layouts), and ``add_many`` touches no key absent from the store.
 """
 
 from __future__ import annotations
@@ -12,6 +26,9 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Iterator, Optional
 
+import numpy as np
+
+from repro.errors import InvalidParameterError
 from repro.prng import Xoroshiro128PlusPlus
 from repro.types import ItemId
 
@@ -77,6 +94,52 @@ class CounterStore(ABC):
 
     def __contains__(self, key: ItemId) -> bool:
         return self.get(key) is not None
+
+    # -- batch operations (vectorizable; per-key fallbacks provided) ----------
+
+    def get_many(self, keys: np.ndarray) -> np.ndarray:
+        """Look up many keys at once; NaN marks an unassigned key.
+
+        ``keys`` is a 1-D array of (distinct) 64-bit item identifiers.
+        Returns a float64 array of the same length.  NaN is a safe
+        missing-value marker because live counters are strictly positive
+        reals.
+        """
+        get = self.get
+        out = np.empty(len(keys), dtype=np.float64)
+        for index, key in enumerate(keys.tolist()):
+            value = get(key)
+            out[index] = np.nan if value is None else value
+        return out
+
+    def add_many(self, keys: np.ndarray, deltas: np.ndarray) -> None:
+        """Add ``deltas[i]`` to the counter of ``keys[i]`` for every i.
+
+        Every key must currently be assigned a counter and appear at most
+        once in ``keys`` — the batch ingest loop guarantees both by
+        construction (it groups duplicates and splits tracked from
+        untracked keys before calling in).
+        """
+        add_to = self.add_to
+        for key, delta in zip(keys.tolist(), deltas.tolist()):
+            if not add_to(key, delta):
+                raise InvalidParameterError(
+                    f"add_many: key {key} has no counter assigned"
+                )
+
+    def insert_many(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Assign fresh counters to many distinct, unassigned keys.
+
+        Insertion happens in the order given — for layouts whose
+        iteration order depends on insertion history (builtin dict,
+        linear probing) this makes a batch insert byte-for-byte
+        equivalent to the scalar insert sequence.  Raises
+        :class:`repro.errors.TableFullError` when capacity would be
+        exceeded.
+        """
+        insert = self.insert
+        for key, value in zip(keys.tolist(), values.tolist()):
+            insert(key, value)
 
     def decrement_and_purge(self, amount: float) -> int:
         """Subtract ``amount`` from every counter, dropping non-positive ones.

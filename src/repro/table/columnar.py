@@ -1,0 +1,214 @@
+"""NumPy-columnar counter store: sorted parallel key/value arrays.
+
+The batched ingestion engine wants a store whose bulk operations are
+array operations, the way the C++/Java implementations behind the paper
+(and the DataSketches library it shipped in) amortize per-update cost
+across whole buffers.  This store keeps the live counters in two dense,
+preallocated NumPy columns::
+
+    _keys   : uint64[capacity]   (ascending, first ``size`` entries live)
+    _values : float64[capacity]  (parallel to ``_keys``)
+
+Keeping the key column *sorted* buys three things at once:
+
+* every lookup — scalar or batched — is a ``searchsorted`` binary
+  search, so :meth:`get_many`/:meth:`add_many` over ``m`` keys cost one
+  vectorized ``O(m log k)`` call instead of ``m`` Python probes;
+* the decrement pass of ``DecrementCounters()`` is a pair of array
+  operations (subtract, boolean-mask compress) — the "vectorized
+  ``decrement_and_purge``" the batch engine leans on;
+* the layout is a pure function of the key *set*, independent of
+  insertion order, so scalar and batched ingestion converge to
+  bit-identical state (and identical serialized bytes) by construction.
+
+The tradeoff is scalar ``insert``, which must shift the tail of both
+columns (``O(k)`` memmove).  That is the wrong store for one-at-a-time
+feeding — the probing and dict backends exist for that — but in the
+batch path inserts arrive grouped and are merged in bulk, so the shift
+cost is paid once per segment rather than once per key.
+
+Space is charged with the same model as the probing table
+(``probing_table_bytes``) so equal-space comparisons across backends
+remain about algorithms, not accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.errors import InvalidParameterError, TableFullError
+from repro.prng import Xoroshiro128PlusPlus
+from repro.table.accounting import probing_table_bytes
+from repro.table.base import CounterStore
+from repro.types import ItemId
+
+
+class ColumnarCounterStore(CounterStore):
+    """Bounded item -> count map on sorted parallel NumPy arrays."""
+
+    __slots__ = ("_capacity", "_keys", "_values", "_size")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise InvalidParameterError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._keys = np.zeros(capacity, dtype=np.uint64)
+        self._values = np.zeros(capacity, dtype=np.float64)
+        self._size = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- scalar operations (binary search on the sorted key column) ----------
+
+    def _position(self, key: ItemId) -> int:
+        """Index of ``key`` in the live prefix, or -1 if unassigned."""
+        size = self._size
+        position = int(np.searchsorted(self._keys[:size], key))
+        if position < size and int(self._keys[position]) == key:
+            return position
+        return -1
+
+    def get(self, key: ItemId) -> Optional[float]:
+        position = self._position(key)
+        if position < 0:
+            return None
+        return float(self._values[position])
+
+    def add_to(self, key: ItemId, delta: float) -> bool:
+        position = self._position(key)
+        if position < 0:
+            return False
+        self._values[position] += delta
+        return True
+
+    def insert(self, key: ItemId, value: float) -> None:
+        size = self._size
+        position = int(np.searchsorted(self._keys[:size], key))
+        if position < size and int(self._keys[position]) == key:
+            raise InvalidParameterError(f"key {key} is already assigned a counter")
+        if size >= self._capacity:
+            raise TableFullError(
+                f"store holds {size} counters, capacity {self._capacity}"
+            )
+        # Shift the tail up one slot (NumPy handles the overlap) and drop
+        # the new pair into its sorted position.
+        self._keys[position + 1 : size + 1] = self._keys[position:size]
+        self._values[position + 1 : size + 1] = self._values[position:size]
+        self._keys[position] = key
+        self._values[position] = value
+        self._size = size + 1
+
+    # -- batch operations (vectorized) ---------------------------------------
+
+    def get_many(self, keys: np.ndarray) -> np.ndarray:
+        size = self._size
+        keys = np.asarray(keys, dtype=np.uint64)
+        positions = np.searchsorted(self._keys[:size], keys)
+        clamped = np.minimum(positions, max(size - 1, 0))
+        found = (positions < size) & (self._keys[clamped] == keys)
+        out = np.full(len(keys), np.nan, dtype=np.float64)
+        out[found] = self._values[positions[found]]
+        return out
+
+    def add_many(self, keys: np.ndarray, deltas: np.ndarray) -> None:
+        size = self._size
+        keys = np.asarray(keys, dtype=np.uint64)
+        positions = np.searchsorted(self._keys[:size], keys)
+        clamped = np.minimum(positions, max(size - 1, 0))
+        found = (positions < size) & (self._keys[clamped] == keys)
+        if not found.all():
+            missing = keys[~found]
+            raise InvalidParameterError(
+                f"add_many: key {int(missing[0])} has no counter assigned"
+            )
+        # Keys are distinct by contract, so plain fancy indexing is a
+        # race-free scatter-add.
+        self._values[positions] += deltas
+
+    def insert_many(self, keys: np.ndarray, values: np.ndarray) -> None:
+        count = len(keys)
+        if count == 0:
+            return
+        size = self._size
+        if size + count > self._capacity:
+            raise TableFullError(
+                f"store holds {size} counters, inserting {count} exceeds "
+                f"capacity {self._capacity}"
+            )
+        keys = np.asarray(keys, dtype=np.uint64)
+        values = np.asarray(values, dtype=np.float64)
+        # The sorted layout is insertion-order independent, so sort the
+        # incoming block and merge it into the live prefix.
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        sorted_values = values[order]
+        if count > 1 and (sorted_keys[1:] == sorted_keys[:-1]).any():
+            raise InvalidParameterError("insert_many: duplicate keys in batch")
+        positions = np.searchsorted(self._keys[:size], sorted_keys)
+        collisions = positions < size
+        if collisions.any() and (
+            self._keys[positions[collisions]] == sorted_keys[collisions]
+        ).any():
+            raise InvalidParameterError(
+                "insert_many: a key is already assigned a counter"
+            )
+        merged_keys = np.insert(self._keys[:size], positions, sorted_keys)
+        merged_values = np.insert(self._values[:size], positions, sorted_values)
+        self._keys[: size + count] = merged_keys
+        self._values[: size + count] = merged_values
+        self._size = size + count
+
+    # -- bulk decrement (array masks) ----------------------------------------
+
+    def adjust_all(self, delta: float) -> None:
+        self._values[: self._size] += delta
+
+    def purge_nonpositive(self) -> int:
+        size = self._size
+        survivors = self._values[:size] > 0.0
+        kept = int(np.count_nonzero(survivors))
+        if kept != size:
+            # Boolean-mask extraction copies, so writing back into the
+            # prefix is safe; the survivors stay key-sorted.
+            self._keys[:kept] = self._keys[:size][survivors]
+            self._values[:kept] = self._values[:size][survivors]
+            self._size = kept
+        return size - kept
+
+    # -- iteration / sampling ------------------------------------------------
+
+    def items(self) -> Iterator[tuple[ItemId, float]]:
+        size = self._size
+        keys = self._keys[:size].tolist()
+        values = self._values[:size].tolist()
+        return iter(zip(keys, values))
+
+    def values_list(self) -> list[float]:
+        return self._values[: self._size].tolist()
+
+    def sample_values(self, count: int, rng: Xoroshiro128PlusPlus) -> list[float]:
+        size = self._size
+        if size == 0:
+            raise InvalidParameterError("cannot sample from an empty store")
+        pool = self._values[:size].tolist()
+        return [pool[rng.randrange(size)] for _ in range(count)]
+
+    def clear(self) -> None:
+        self._size = 0
+
+    # -- accounting ----------------------------------------------------------
+
+    def space_bytes(self) -> int:
+        # Same model as the probing table so "equal space" sweeps compare
+        # algorithms, not backends.
+        return probing_table_bytes(self._capacity)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ColumnarCounterStore(size={self._size}, capacity={self._capacity})"

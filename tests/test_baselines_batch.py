@@ -1,0 +1,120 @@
+"""BatchUpdateMixin: every baseline speaks array batches, faithfully."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BatchUpdateMixin,
+    CountMinSketch,
+    CountSketch,
+    LossyCounting,
+    MisraGries,
+    ReduceByMinCounter,
+    RTUCMisraGries,
+    RTUCSpaceSaving,
+    SpaceSavingHeap,
+    StickySampling,
+    StreamSummary,
+)
+from repro.errors import InvalidUpdateError
+
+
+def _weighted(seed, n=3_000, universe=400):
+    rng = np.random.default_rng(seed)
+    items = rng.integers(0, universe, size=n).astype(np.uint64)
+    weights = rng.integers(1, 50, size=n).astype(np.float64)
+    return items, weights
+
+
+ALL_BASELINES = [
+    MisraGries,
+    SpaceSavingHeap,
+    StreamSummary,
+    ReduceByMinCounter,
+    RTUCMisraGries,
+    RTUCSpaceSaving,
+    CountMinSketch,
+    CountSketch,
+    LossyCounting,
+    StickySampling,
+]
+
+
+@pytest.mark.parametrize("cls", ALL_BASELINES)
+def test_every_baseline_has_the_batch_api(cls):
+    assert issubclass(cls, BatchUpdateMixin)
+
+
+def _make(cls, seed=7):
+    if cls in (CountMinSketch, CountSketch):
+        return cls(4, 256, seed=seed)
+    if cls is LossyCounting:
+        return cls(0.01)
+    if cls is StickySampling:
+        return cls(0.01, delta=0.01, phi=0.05, seed=seed)
+    return cls(48)
+
+
+@pytest.mark.parametrize(
+    "cls",
+    [SpaceSavingHeap, ReduceByMinCounter, RTUCSpaceSaving, CountMinSketch,
+     CountSketch, LossyCounting],
+)
+def test_batch_matches_scalar_weighted(cls):
+    items, weights = _weighted(seed=1)
+    scalar = _make(cls)
+    for item, weight in zip(items.tolist(), weights.tolist()):
+        scalar.update(item, weight)
+    batched = _make(cls)
+    batched.update_batch(items, weights)
+    probe = np.unique(items)[:50].tolist() + [10**9]
+    for item in probe:
+        assert scalar.estimate(item) == batched.estimate(item), (cls, item)
+
+
+@pytest.mark.parametrize("cls", [MisraGries, StreamSummary, RTUCMisraGries])
+def test_batch_matches_scalar_unit(cls):
+    items, _ = _weighted(seed=2)
+    scalar = _make(cls)
+    for item in items.tolist():
+        scalar.update(item, 1.0)
+    batched = _make(cls)
+    batched.update_batch(items)
+    probe = np.unique(items)[:50].tolist() + [10**9]
+    for item in probe:
+        assert scalar.estimate(item) == batched.estimate(item), (cls, item)
+
+
+def test_countmin_vectorized_table_identical():
+    items, weights = _weighted(seed=3)
+    scalar = CountMinSketch(5, 512, seed=11)
+    for item, weight in zip(items.tolist(), weights.tolist()):
+        scalar.update(item, weight)
+    batched = CountMinSketch(5, 512, seed=11)
+    batched.update_batch(items, weights)
+    assert np.array_equal(scalar._table, batched._table)
+    assert scalar.stream_weight == batched.stream_weight
+    assert scalar.stats.updates == batched.stats.updates
+
+
+def test_countmin_order_sensitive_variants_fall_back():
+    items, weights = _weighted(seed=4, n=800)
+    for kwargs in ({"conservative": True}, {"track_top": 16}):
+        scalar = CountMinSketch(4, 256, seed=5, **kwargs)
+        for item, weight in zip(items.tolist(), weights.tolist()):
+            scalar.update(item, weight)
+        batched = CountMinSketch(4, 256, seed=5, **kwargs)
+        batched.update_batch(items, weights)
+        assert np.array_equal(scalar._table, batched._table), kwargs
+        assert scalar._candidates == batched._candidates, kwargs
+
+
+def test_batch_validation():
+    sketch = SpaceSavingHeap(8)
+    with pytest.raises(InvalidUpdateError):
+        sketch.update_batch(np.array([1, 2]), np.array([1.0]))
+    with pytest.raises(InvalidUpdateError):
+        sketch.update_batch(np.array([[1]]), np.array([[1.0]]))
+    cms = CountMinSketch(2, 64, seed=0)
+    with pytest.raises(InvalidUpdateError):
+        cms.update_batch(np.array([1]), np.array([-1.0]))

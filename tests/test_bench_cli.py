@@ -32,6 +32,7 @@ def tiny_scale(monkeypatch):
         ("context", "Context"),
         ("adversarial", "adversarial stream"),
         ("bounds", "Theorem 4 check"),
+        ("batch", "Batch ingestion engine"),
     ],
 )
 def test_each_experiment_runs(experiment, landmark, capsys):
@@ -56,5 +57,5 @@ def test_unknown_experiment_rejected():
 def test_experiments_registry_matches_readme_surface():
     assert set(cli.EXPERIMENTS) == {
         "fig1", "fig2", "fig3", "fig4", "claims", "space",
-        "context", "bounds", "adversarial", "ablations",
+        "context", "bounds", "adversarial", "batch", "ablations",
     }

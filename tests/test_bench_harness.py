@@ -5,11 +5,16 @@ import pytest
 from repro.bench.harness import (
     SCALES,
     BenchConfig,
+    feed_batches,
     feed_stream,
+    num_batched_updates,
+    packet_batches,
     packet_exact,
     packet_stream,
     time_call,
     time_feed,
+    time_feed_batches,
+    zipf_weighted_batches,
     zipf_weighted_stream,
 )
 from repro.core.frequent_items import FrequentItemsSketch
@@ -66,6 +71,37 @@ def test_feed_and_time_feed():
     sketch2 = FrequentItemsSketch(32, backend="dict", seed=1)
     feed_stream(sketch2, stream)
     assert sketch2.stats.updates == len(stream)
+
+
+def test_batch_and_scalar_caches_agree():
+    batches = packet_batches(TINY)
+    stream = packet_stream(TINY)
+    assert num_batched_updates(batches) == len(stream) == TINY.num_updates
+    flattened = [
+        (int(item), float(weight))
+        for items, weights in batches
+        for item, weight in zip(items.tolist(), weights.tolist())
+    ]
+    assert flattened == [(item, weight) for item, weight in stream]
+    zb = zipf_weighted_batches(600, 120, 1.05, seed=3)
+    zs = zipf_weighted_stream(600, 120, 1.05, seed=3)
+    assert num_batched_updates(zb) == len(zs)
+    assert zb is zipf_weighted_batches(600, 120, 1.05, seed=3)  # cache hit
+
+
+def test_feed_batches_equals_feed_stream():
+    batches = packet_batches(TINY)
+    stream = packet_stream(TINY)
+    scalar = FrequentItemsSketch(32, backend="columnar", seed=1)
+    feed_stream(scalar, stream)
+    batched = FrequentItemsSketch(32, backend="columnar", seed=1)
+    seconds = time_feed_batches(batched, batches)
+    assert seconds > 0
+    assert batched.stats.updates == len(stream)
+    assert scalar.to_bytes() == batched.to_bytes()
+    again = FrequentItemsSketch(32, backend="columnar", seed=1)
+    feed_batches(again, batches)
+    assert again.to_bytes() == batched.to_bytes()
 
 
 def test_time_call():

@@ -92,7 +92,7 @@ def test_probing_state_bytes_stay_small_under_churn():
 
 def test_tiny_k_extreme_churn():
     """k=2: every other update can trigger a decrement; nothing breaks."""
-    for backend in ("dict", "probing", "robinhood"):
+    for backend in ("dict", "probing", "robinhood", "columnar"):
         sketch = FrequentItemsSketch(2, backend=backend, seed=8)
         exact = ExactCounter()
         for index in range(3_000):

@@ -1,0 +1,92 @@
+"""Array-batch stream APIs: adapters and native batch generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.streams import (
+    SyntheticPacketTrace,
+    ZipfianStream,
+    as_batches,
+    concat_batches,
+    flatten_batches,
+    rbmc_killer_batches,
+    rbmc_killer_stream,
+    round_robin_batches,
+    round_robin_stream,
+    take_batches,
+    uniform_random_batches,
+    uniform_random_stream,
+    uniform_weighted_batches,
+    uniform_weighted_stream,
+)
+from repro.types import StreamUpdate
+
+
+def _flat(batches):
+    return list(flatten_batches(batches))
+
+
+def test_as_batches_round_trips():
+    updates = [StreamUpdate(i % 7, float(1 + i % 3)) for i in range(100)]
+    batches = list(as_batches(updates, batch_size=32))
+    assert [len(items) for items, _ in batches] == [32, 32, 32, 4]
+    for items, weights in batches:
+        assert items.dtype == np.uint64
+        assert weights.dtype == np.float64
+    assert _flat(batches) == updates
+    with pytest.raises(InvalidParameterError):
+        list(as_batches(updates, batch_size=0))
+
+
+def test_take_and_concat_batches():
+    updates = [StreamUpdate(i, 1.0) for i in range(50)]
+    batches = list(as_batches(updates, batch_size=20))
+    assert _flat(take_batches(batches, 33)) == updates[:33]
+    assert _flat(take_batches(batches, 0)) == []
+    assert _flat(take_batches(batches, 500)) == updates
+    doubled = concat_batches(batches, batches)
+    assert _flat(doubled) == updates + updates
+    with pytest.raises(InvalidParameterError):
+        list(take_batches(batches, -1))
+
+
+def test_zipf_batches_match_iteration_at_any_batch_size():
+    stream = ZipfianStream(
+        4_000, universe=900, alpha=1.1, seed=5, weight_low=1, weight_high=100
+    )
+    scalar = list(stream)
+    assert _flat(stream.batches(batch_size=123)) == scalar
+    assert _flat(stream.batches(batch_size=4_000)) == scalar
+    with pytest.raises(InvalidParameterError):
+        next(stream.batches(batch_size=0))
+
+
+def test_caida_batches_cover_stream_and_respect_batch_size():
+    trace = SyntheticPacketTrace(5_000, unique_sources=500, seed=9)
+    batches = list(trace.batches(batch_size=700))
+    assert all(len(items) <= 700 for items, _ in batches)
+    flattened = _flat(batches)
+    assert len(flattened) == 5_000
+    # At the constructor's batch size the batches are exactly __iter__.
+    assert _flat(trace.batches()) == list(trace)
+
+
+def test_uniform_batches_equal_scalar_streams():
+    scalar = uniform_weighted_stream(300, 50, seed=3)
+    assert _flat(uniform_weighted_batches(300, 50, seed=3, batch_size=64)) == scalar
+    scalar = list(uniform_random_stream(300, 50, seed=4, max_weight=8.0))
+    assert _flat(uniform_random_batches(300, 50, seed=4, max_weight=8.0,
+                                        batch_size=64)) == scalar
+    scalar = list(round_robin_stream(100, 7))
+    assert _flat(round_robin_batches(100, 7, batch_size=13)) == scalar
+
+
+def test_rbmc_killer_batches_equal_scalar_stream():
+    scalar = list(rbmc_killer_stream(16, 1000.0, 200, id_offset=5))
+    batched = _flat(rbmc_killer_batches(16, 1000.0, 200, id_offset=5, batch_size=33))
+    assert batched == scalar
+    with pytest.raises(InvalidParameterError):
+        next(rbmc_killer_batches(0, 1000.0, 10))
+    with pytest.raises(InvalidParameterError):
+        next(rbmc_killer_batches(4, 0.5, 10))

@@ -1,0 +1,120 @@
+"""ColumnarCounterStore: sorted-array layout, batch ops, purge semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError, TableFullError
+from repro.prng import Xoroshiro128PlusPlus
+from repro.table import ColumnarCounterStore, DictCounterStore, make_store
+
+
+def test_make_store_dispatch():
+    assert isinstance(make_store("columnar", 8), ColumnarCounterStore)
+    assert isinstance(make_store("columnar", 8, seed=5), ColumnarCounterStore)
+
+
+def test_basic_operations():
+    store = ColumnarCounterStore(4)
+    assert store.capacity == 4
+    store.insert(10, 2.0)
+    store.insert(3, 1.0)
+    assert store.get(10) == 2.0
+    assert store.get(3) == 1.0
+    assert store.get(7) is None
+    assert store.add_to(10, 3.0) is True
+    assert store.get(10) == 5.0
+    assert store.add_to(7, 1.0) is False
+    assert len(store) == 2
+    assert 10 in store and 7 not in store
+    with pytest.raises(InvalidParameterError):
+        ColumnarCounterStore(0)
+
+
+def test_items_are_key_sorted_regardless_of_insert_order():
+    a = ColumnarCounterStore(8)
+    b = ColumnarCounterStore(8)
+    pairs = [(5, 1.0), (1, 2.0), (9, 3.0), (3, 4.0)]
+    for key, value in pairs:
+        a.insert(key, value)
+    for key, value in reversed(pairs):
+        b.insert(key, value)
+    assert list(a.items()) == list(b.items()) == sorted(pairs)
+
+
+def test_capacity_and_duplicates():
+    store = ColumnarCounterStore(2)
+    store.insert(1, 1.0)
+    store.insert(2, 1.0)
+    with pytest.raises(TableFullError):
+        store.insert(3, 1.0)
+    with pytest.raises(InvalidParameterError):
+        store.insert(1, 1.0)
+    with pytest.raises(TableFullError):
+        store.insert_many(np.array([4, 5], dtype=np.uint64), np.array([1.0, 1.0]))
+
+
+def test_decrement_and_purge_vectorized():
+    store = ColumnarCounterStore(8)
+    for key, value in [(1, 5.0), (2, 2.0), (3, 1.0), (4, 9.0)]:
+        store.insert(key, value)
+    freed = store.decrement_and_purge(2.0)
+    assert freed == 2
+    assert dict(store.items()) == {1: 3.0, 4: 7.0}
+    # Purged slots are reusable.
+    store.insert(2, 1.5)
+    assert dict(store.items()) == {1: 3.0, 2: 1.5, 4: 7.0}
+
+
+def test_batch_operations_match_scalar():
+    batch = ColumnarCounterStore(16)
+    scalar = DictCounterStore(16)
+    keys = np.array([8, 2, 12, 4], dtype=np.uint64)
+    values = np.array([1.0, 2.0, 3.0, 4.0])
+    batch.insert_many(keys, values)
+    for key, value in zip(keys.tolist(), values.tolist()):
+        scalar.insert(key, value)
+    looked = batch.get_many(np.array([2, 5, 12], dtype=np.uint64))
+    assert looked[0] == 2.0 and np.isnan(looked[1]) and looked[2] == 3.0
+    batch.add_many(np.array([8, 4], dtype=np.uint64), np.array([0.5, 0.25]))
+    scalar.add_to(8, 0.5)
+    scalar.add_to(4, 0.25)
+    assert dict(batch.items()) == dict(scalar.items())
+
+
+def test_batch_operation_errors():
+    store = ColumnarCounterStore(8)
+    store.insert_many(np.array([1, 2], dtype=np.uint64), np.array([1.0, 2.0]))
+    with pytest.raises(InvalidParameterError):
+        store.add_many(np.array([1, 3], dtype=np.uint64), np.array([1.0, 1.0]))
+    with pytest.raises(InvalidParameterError):
+        store.insert_many(np.array([2], dtype=np.uint64), np.array([1.0]))
+    with pytest.raises(InvalidParameterError):
+        store.insert_many(np.array([5, 5], dtype=np.uint64), np.array([1.0, 1.0]))
+    # Failed calls leave the store unchanged.
+    assert dict(store.items()) == {1: 1.0, 2: 2.0}
+    store.insert_many(np.array([], dtype=np.uint64), np.array([]))  # no-op
+    assert len(store) == 2
+
+
+def test_values_sampling_and_clear():
+    store = ColumnarCounterStore(8)
+    for key in range(5):
+        store.insert(key, float(key + 1))
+    assert sorted(store.values_list()) == [1.0, 2.0, 3.0, 4.0, 5.0]
+    sample = store.sample_values(64, Xoroshiro128PlusPlus(1))
+    assert len(sample) == 64
+    assert set(sample) <= {1.0, 2.0, 3.0, 4.0, 5.0}
+    assert store.space_bytes() == DictCounterStore(8).space_bytes()
+    store.clear()
+    assert len(store) == 0
+    with pytest.raises(InvalidParameterError):
+        store.sample_values(1, Xoroshiro128PlusPlus(1))
+
+
+def test_64bit_keys_round_trip():
+    store = ColumnarCounterStore(4)
+    big = (1 << 64) - 1
+    store.insert(big, 7.0)
+    store.insert(0, 1.0)
+    assert store.get(big) == 7.0
+    assert list(store.items()) == [(0, 1.0), (big, 7.0)]
