@@ -39,6 +39,8 @@ Package map
 - :mod:`repro.extensions` — sampling-based weighted frequent items,
   random-admission SS, hierarchical heavy hitters, streaming entropy,
   turnstile support.
+- :mod:`repro.sharded` — sharded parallel ingestion with merge-on-query
+  (:class:`~repro.sharded.sketch.ShardedFrequentItemsSketch`).
 - :mod:`repro.streams` — workload generators (synthetic CAIDA-like
   trace, Zipf), exact ground truth, IO, partitioning.
 - :mod:`repro.table`, :mod:`repro.selection`, :mod:`repro.hashing`,
@@ -65,12 +67,14 @@ from repro.errors import (
     SerializationError,
     TableFullError,
 )
+from repro.sharded.sketch import ShardedFrequentItemsSketch
 from repro.streams.exact import ExactCounter
 from repro.types import StreamUpdate
 
 __all__ = [
     "__version__",
     "FrequentItemsSketch",
+    "ShardedFrequentItemsSketch",
     "SampleQuantilePolicy",
     "ExactKthLargestPolicy",
     "GlobalMinPolicy",

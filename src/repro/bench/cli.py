@@ -55,6 +55,10 @@ def _batch(config) -> Iterable[ResultTable]:
     return [figures.batch_throughput_table(config)]
 
 
+def _shard(config) -> Iterable[ResultTable]:
+    return [figures.sharded_throughput_table(config)]
+
+
 def _ablations(config) -> Iterable[ResultTable]:
     return [
         figures.ablation_policies(config),
@@ -75,6 +79,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "bounds": _bounds,
     "adversarial": _adversarial,
     "batch": _batch,
+    "shard": _shard,
     "ablations": _ablations,
 }
 

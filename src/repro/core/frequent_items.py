@@ -110,34 +110,74 @@ class FrequentItemsSketch:
 
     @property
     def max_counters(self) -> int:
-        """The configured number of counters ``k``."""
+        """The configured number of counters ``k``.
+
+        Examples
+        --------
+        >>> FrequentItemsSketch(64).max_counters
+        64
+        """
         return self._k
 
     @property
     def policy(self) -> DecrementPolicy:
-        """The active decrement policy."""
+        """The active decrement policy (SMED when none was given).
+
+        Examples
+        --------
+        >>> FrequentItemsSketch(64).policy.describe()
+        'SMED(ell=1024)'
+        """
         return self._policy
 
     @property
     def backend(self) -> str:
-        """The counter-store backend name."""
+        """The counter-store backend name.
+
+        Examples
+        --------
+        >>> FrequentItemsSketch(64).backend
+        'probing'
+        """
         return self._backend
 
     @property
     def seed(self) -> int:
-        """The seed this sketch was constructed with."""
+        """The seed this sketch was constructed with.
+
+        Examples
+        --------
+        >>> FrequentItemsSketch(64, seed=9).seed
+        9
+        """
         return self._seed
 
     # -- state introspection ---------------------------------------------------
 
     @property
     def num_active(self) -> int:
-        """Number of items currently assigned counters."""
+        """Number of items currently assigned counters.
+
+        Examples
+        --------
+        >>> sketch = FrequentItemsSketch(64)
+        >>> sketch.update_all([1, 2, 1])
+        >>> sketch.num_active
+        2
+        """
         return len(self._store)
 
     @property
     def stream_weight(self) -> float:
-        """Total weight ``N`` processed (including merged-in sketches)."""
+        """Total weight ``N`` processed (including merged-in sketches).
+
+        Examples
+        --------
+        >>> sketch = FrequentItemsSketch(64)
+        >>> sketch.update(5, 2.5)
+        >>> sketch.stream_weight
+        2.5
+        """
         return self._stream_weight
 
     @property
@@ -146,11 +186,22 @@ class FrequentItemsSketch:
 
         This is the sum of all decrement values ``c*`` so far; every
         estimate's uncertainty interval has exactly this width.
+
+        Examples
+        --------
+        >>> FrequentItemsSketch(64).maximum_error
+        0.0
         """
         return self._offset
 
     def is_empty(self) -> bool:
-        """True if the sketch has processed no weight."""
+        """True if the sketch has processed no weight.
+
+        Examples
+        --------
+        >>> FrequentItemsSketch(64).is_empty()
+        True
+        """
         return self._stream_weight == 0.0
 
     def __len__(self) -> int:
@@ -167,6 +218,27 @@ class FrequentItemsSketch:
         Amortized O(1): the only non-constant step is a decrement pass,
         which frees a constant fraction of the ``k`` counters and so can
         recur at most once every Ω(k) updates (Theorem 3).
+
+        Parameters
+        ----------
+        item : int
+            The 64-bit item identifier (helpers in :mod:`repro.hashing`
+            fold strings/bytes onto that space).
+        weight : float, optional
+            Positive update weight ``delta_j`` (1.0 when omitted).
+
+        Raises
+        ------
+        InvalidUpdateError
+            If ``weight`` is not strictly positive.
+
+        Examples
+        --------
+        >>> sketch = FrequentItemsSketch(64)
+        >>> sketch.update(7)
+        >>> sketch.update(7, 2.0)
+        >>> sketch.estimate(7)
+        3.0
         """
         if weight <= 0:
             raise InvalidUpdateError(
@@ -180,6 +252,19 @@ class FrequentItemsSketch:
 
         Bare item ids are treated as unit-weight updates, exactly as the
         stream model of Section 1.2 allows.
+
+        Parameters
+        ----------
+        updates : iterable
+            Any mix of bare item ids, ``(item, weight)`` pairs, and
+            :class:`~repro.types.StreamUpdate` instances.
+
+        Examples
+        --------
+        >>> sketch = FrequentItemsSketch(64)
+        >>> sketch.update_all([7, (8, 3.0), 7])
+        >>> sketch.estimate(7), sketch.estimate(8)
+        (2.0, 3.0)
         """
         for item, weight in as_updates(updates):
             self.update(item, weight)
@@ -207,8 +292,34 @@ class FrequentItemsSketch:
         integer weights, packet bits — all are); for arbitrary reals the
         grouped additions may differ from the sequential loop by
         floating-point rounding only.
+
+        Parameters
+        ----------
+        items : numpy.ndarray or sequence
+            1-D array of 64-bit item identifiers.
+        weights : numpy.ndarray, optional
+            Parallel array of positive weights (all 1.0 when omitted).
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> sketch = FrequentItemsSketch(64, backend="columnar")
+        >>> sketch.update_batch(np.array([7, 8, 7], dtype=np.uint64),
+        ...                     np.array([1.0, 3.0, 1.0]))
+        >>> sketch.estimate(7), sketch.stream_weight
+        (2.0, 5.0)
         """
         items, weights = as_batch(items, weights)
+        self._update_batch_validated(items, weights)
+
+    def _update_batch_validated(self, items: np.ndarray, weights: np.ndarray) -> None:
+        """:meth:`update_batch` minus input coercion.
+
+        ``items``/``weights`` must already be the ``(uint64, float64)``
+        pair :func:`repro.streams.model.as_batch` produces.  The sharded
+        ingestion path validates a batch once and feeds each shard its
+        slice through this entry point, skipping per-shard re-validation.
+        """
         n = items.shape[0]
         if n == 0:
             return
@@ -248,6 +359,28 @@ class FrequentItemsSketch:
         n = len(items)
         uniq, inverse = np.unique(items, return_inverse=True)
         num_groups = len(uniq)
+        if not len(store) and num_groups <= k:
+            # Bulk load: every distinct key fits an empty table, so no
+            # decrement pass can trigger (weights are positive) and the
+            # whole batch collapses to one grouped insert.  This is the
+            # hot path for deserialization, merge into a fresh sketch,
+            # and the first batch on each shard of a sharded ingest.
+            sums = np.bincount(inverse, weights=weights, minlength=num_groups)
+            if isinstance(store, ColumnarCounterStore):
+                # Sorted layout is insertion-order independent; ``uniq``
+                # is already sorted and duplicate-free.
+                store.insert_many(uniq, sums)
+            else:
+                # Order-sensitive layouts need first-occurrence order to
+                # stay bit-identical to the scalar insert sequence.
+                first = np.empty(num_groups, dtype=np.int64)
+                first[inverse[::-1]] = np.arange(n - 1, -1, -1, dtype=np.int64)
+                order = np.argsort(first, kind="stable")
+                store.insert_many(uniq[order], sums[order])
+            stats.updates += n
+            stats.inserts += num_groups
+            stats.hits += n - num_groups
+            return
         # Per-group live value, mirrored locally so purge survival can be
         # decided with array ops instead of store lookups.  NaN-free:
         # untracked groups carry 0.0 and a False `tracked` flag.
@@ -358,6 +491,23 @@ class FrequentItemsSketch:
 
         ``c(i) + offset`` when the item holds a counter (SS-like), else 0
         (MG-like).  Always within ``[lower_bound, upper_bound]``.
+
+        Parameters
+        ----------
+        item : int
+            The item identifier to estimate.
+
+        Returns
+        -------
+        float
+            The estimated total weight of ``item`` in the stream.
+
+        Examples
+        --------
+        >>> sketch = FrequentItemsSketch(64)
+        >>> sketch.update(7, 5.0)
+        >>> sketch.estimate(7), sketch.estimate(8)
+        (5.0, 0.0)
         """
         count = self._store.get(item)
         if count is None:
@@ -365,19 +515,43 @@ class FrequentItemsSketch:
         return count + self._offset
 
     def lower_bound(self, item: ItemId) -> float:
-        """A value guaranteed ``<= f(item)``: the raw MG counter."""
+        """A value guaranteed ``<= f(item)``: the raw MG counter.
+
+        Examples
+        --------
+        >>> sketch = FrequentItemsSketch(64)
+        >>> sketch.update(7, 5.0)
+        >>> sketch.lower_bound(7)
+        5.0
+        """
         count = self._store.get(item)
         return 0.0 if count is None else count
 
     def upper_bound(self, item: ItemId) -> float:
-        """A value guaranteed ``>= f(item)``: counter plus total offset."""
+        """A value guaranteed ``>= f(item)``: counter plus total offset.
+
+        Examples
+        --------
+        >>> sketch = FrequentItemsSketch(64)
+        >>> sketch.update(7, 5.0)
+        >>> sketch.upper_bound(7)
+        5.0
+        """
         count = self._store.get(item)
         return self._offset if count is None else count + self._offset
 
     # -- heavy hitters ------------------------------------------------------------
 
     def row(self, item: ItemId) -> HeavyHitterRow:
-        """The full (estimate, bounds) record for one item."""
+        """The full (estimate, bounds) record for one item.
+
+        Examples
+        --------
+        >>> sketch = FrequentItemsSketch(64)
+        >>> sketch.update(7, 5.0)
+        >>> sketch.row(7).lower_bound
+        5.0
+        """
         return HeavyHitterRow(
             item, self.estimate(item), self.lower_bound(item), self.upper_bound(item)
         )
@@ -395,6 +569,26 @@ class FrequentItemsSketch:
         true heavy hitter is reported, possibly with a few borderline
         extras.  The default threshold is :attr:`maximum_error`, the
         tightest level at which the reports are meaningful.
+
+        Parameters
+        ----------
+        error_type : ErrorType, optional
+            Which side of the uncertainty interval gates inclusion.
+        threshold : float, optional
+            Minimum (estimated) frequency; defaults to
+            :attr:`maximum_error`.
+
+        Returns
+        -------
+        list of HeavyHitterRow
+            Qualifying items, sorted by estimate descending.
+
+        Examples
+        --------
+        >>> sketch = FrequentItemsSketch(64)
+        >>> sketch.update_all([(1, 9.0), (2, 1.0)])
+        >>> [row.item for row in sketch.frequent_items(threshold=5.0)]
+        [1]
         """
         if threshold is None:
             threshold = self._offset
@@ -425,13 +619,41 @@ class FrequentItemsSketch:
         The default error direction guarantees every true φ-heavy hitter
         is returned, with false positives limited to items of frequency
         at least ``phi*N - maximum_error``.
+
+        Parameters
+        ----------
+        phi : float
+            The heavy-hitter fraction, in ``(0, 1]``.
+        error_type : ErrorType, optional
+            As in :meth:`frequent_items`; defaults to no false
+            negatives.
+
+        Returns
+        -------
+        list of HeavyHitterRow
+            The reported heavy hitters, sorted by estimate descending.
+
+        Examples
+        --------
+        >>> sketch = FrequentItemsSketch(64)
+        >>> sketch.update_all([(1, 9.0), (2, 1.0)])
+        >>> [row.item for row in sketch.heavy_hitters(phi=0.5)]
+        [1]
         """
         if not 0.0 < phi <= 1.0:
             raise InvalidParameterError(f"phi must be in (0, 1], got {phi}")
         return self.frequent_items(error_type, phi * self._stream_weight)
 
     def to_rows(self) -> list[HeavyHitterRow]:
-        """All tracked items as rows, sorted by estimate descending."""
+        """All tracked items as rows, sorted by estimate descending.
+
+        Examples
+        --------
+        >>> sketch = FrequentItemsSketch(64)
+        >>> sketch.update_all([(1, 9.0), (2, 1.0)])
+        >>> [row.item for row in sketch.to_rows()]
+        [1, 2]
+        """
         offset = self._offset
         rows = [
             HeavyHitterRow(item, count + offset, count, count + offset)
@@ -458,6 +680,23 @@ class FrequentItemsSketch:
         Runs in O(k) time, O(min(k, k'))-amortized when many small
         summaries are merged in, and allocates nothing beyond the
         iteration order.
+
+        Parameters
+        ----------
+        other : FrequentItemsSketch
+            The summary to absorb; it is left unmodified.
+
+        Returns
+        -------
+        FrequentItemsSketch
+            ``self``, to allow fold-style chaining.
+
+        Examples
+        --------
+        >>> a, b = FrequentItemsSketch(64), FrequentItemsSketch(64)
+        >>> a.update(1, 4.0); b.update(1, 6.0)
+        >>> a.merge(b).estimate(1)
+        10.0
         """
         if other is self:
             raise IncompatibleSketchError("cannot merge a sketch into itself")
@@ -529,7 +768,17 @@ class FrequentItemsSketch:
         stats.inserts += inserts
 
     def copy(self) -> "FrequentItemsSketch":
-        """An independent deep copy (same configuration and contents)."""
+        """An independent deep copy (same configuration and contents).
+
+        Examples
+        --------
+        >>> sketch = FrequentItemsSketch(64)
+        >>> sketch.update(1, 5.0)
+        >>> dup = sketch.copy()
+        >>> dup.update(1, 5.0)
+        >>> sketch.estimate(1), dup.estimate(1)
+        (5.0, 10.0)
+        """
         dup = FrequentItemsSketch(
             self._k, policy=self._policy, backend=self._backend, seed=self._seed
         )
@@ -544,7 +793,13 @@ class FrequentItemsSketch:
     # -- accounting ------------------------------------------------------------------
 
     def space_bytes(self) -> int:
-        """Modeled memory footprint (Section 2.3.3: ~24k bytes)."""
+        """Modeled memory footprint (Section 2.3.3: ~24k bytes).
+
+        Examples
+        --------
+        >>> FrequentItemsSketch(64).space_bytes() > 0
+        True
+        """
         return self._store.space_bytes()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -557,14 +812,28 @@ class FrequentItemsSketch:
     # -- serialization hooks (implemented in repro.core.serialize) --------------------
 
     def to_bytes(self) -> bytes:
-        """Serialize to the compact binary format (see repro.core.serialize)."""
+        """Serialize to the compact binary format (see docs/serialization.md).
+
+        Examples
+        --------
+        >>> FrequentItemsSketch(64).to_bytes()[:4]
+        b'RFI1'
+        """
         from repro.core.serialize import sketch_to_bytes
 
         return sketch_to_bytes(self)
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "FrequentItemsSketch":
-        """Reconstruct a sketch serialized with :meth:`to_bytes`."""
+        """Reconstruct a sketch serialized with :meth:`to_bytes`.
+
+        Examples
+        --------
+        >>> sketch = FrequentItemsSketch(64)
+        >>> sketch.update(1, 5.0)
+        >>> FrequentItemsSketch.from_bytes(sketch.to_bytes()).estimate(1)
+        5.0
+        """
         from repro.core.serialize import sketch_from_bytes
 
         return sketch_from_bytes(blob)

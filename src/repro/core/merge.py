@@ -22,6 +22,29 @@ def merge_linear(sketches: Sequence[FrequentItemsSketch]) -> FrequentItemsSketch
     The shape used when millions of per-hour summaries are merged at
     query time (the Section 3 motivating example).  The inputs after the
     first are not modified.
+
+    Parameters
+    ----------
+    sketches : sequence of FrequentItemsSketch
+        At least one sketch; the first is mutated and returned.
+
+    Returns
+    -------
+    FrequentItemsSketch
+        ``sketches[0]``, now holding the combined summary.
+
+    Raises
+    ------
+    InvalidParameterError
+        If the sequence is empty.
+
+    Examples
+    --------
+    >>> parts = [FrequentItemsSketch(64, seed=s) for s in range(3)]
+    >>> for part in parts:
+    ...     part.update(7, 2.0)
+    >>> merge_linear(parts).estimate(7)
+    6.0
     """
     if not sketches:
         raise InvalidParameterError("need at least one sketch to merge")
@@ -42,6 +65,29 @@ def merge_pairwise_tree(
     shape (the tests verify this equivalence empirically).  Sketches in
     even positions absorb their right neighbours and are reused as the
     next round's inputs.
+
+    Parameters
+    ----------
+    sketches : sequence of FrequentItemsSketch
+        At least one sketch; even-position sketches are mutated.
+
+    Returns
+    -------
+    FrequentItemsSketch
+        The tree root holding the combined summary.
+
+    Raises
+    ------
+    InvalidParameterError
+        If the sequence is empty.
+
+    Examples
+    --------
+    >>> parts = [FrequentItemsSketch(64, seed=s) for s in range(4)]
+    >>> for part in parts:
+    ...     part.update(7, 2.0)
+    >>> merge_pairwise_tree(parts).estimate(7)
+    8.0
     """
     if not sketches:
         raise InvalidParameterError("need at least one sketch to merge")

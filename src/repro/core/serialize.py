@@ -1,9 +1,13 @@
-"""Compact binary serialization of :class:`FrequentItemsSketch`.
+"""Compact binary serialization of the flat and sharded sketches.
 
 Real deployments (the Section 3 scenarios) persist summaries and merge
 them later, often on different machines, so a stable wire format is part
-of making the sketch production-usable.  The format is little-endian and
-versioned:
+of making the sketch production-usable.  Both formats are little-endian
+and versioned; the authoritative byte-level specification (offsets
+included, validated by a test that parses a blob with nothing but the
+documented offsets) lives in ``docs/serialization.md``.
+
+Flat format (:func:`sketch_to_bytes` / :func:`sketch_from_bytes`):
 
 ===========  =====  ====================================================
 field        bytes  meaning
@@ -20,6 +24,12 @@ weight       8      float64 stream weight N
 count        4      uint32 number of live counters
 records      16×n   ``(uint64 item, float64 count)`` pairs
 ===========  =====  ====================================================
+
+Sharded format (:func:`sharded_to_bytes` / :func:`sharded_from_bytes`):
+a 33-byte header — magic ``b"RFS1"``, a version byte, uint32 shard
+count, uint64 partition seed, float64 carried-over offset and stream
+weight — followed by one *frame* per shard: a uint32 byte length and
+then a complete flat-format blob of that length.
 
 Deserialization reconstructs an operational sketch: it can keep
 receiving updates and merging.  The PRNG restarts from the stored seed
@@ -45,6 +55,12 @@ from repro.errors import SerializationError
 _MAGIC = b"RFI1"
 _HEADER = struct.Struct("<4sIBBdIQddI")
 _RECORD = struct.Struct("<Qd")
+
+_SHARDED_MAGIC = b"RFS1"
+_SHARDED_VERSION = 1
+#: magic, version, num_shards, partition seed, extra offset, extra weight
+_SHARDED_HEADER = struct.Struct("<4sBIQdd")
+_FRAME_LENGTH = struct.Struct("<I")
 
 _BACKEND_CODES = {"probing": 0, "dict": 1, "robinhood": 2, "columnar": 3}
 _BACKEND_NAMES = {code: name for name, code in _BACKEND_CODES.items()}
@@ -97,6 +113,10 @@ def sketch_to_bytes(sketch: FrequentItemsSketch) -> bytes:
 
 def sketch_from_bytes(blob: bytes) -> FrequentItemsSketch:
     """Reconstruct a sketch from :func:`sketch_to_bytes` output."""
+    if blob[:4] == _SHARDED_MAGIC:
+        raise SerializationError(
+            "this is a sharded frame; use ShardedFrequentItemsSketch.from_bytes"
+        )
     if len(blob) < _HEADER.size:
         raise SerializationError(
             f"blob too short for header: {len(blob)} < {_HEADER.size}"
@@ -139,3 +159,74 @@ def sketch_from_bytes(blob: bytes) -> FrequentItemsSketch:
     sketch._offset = offset
     sketch._stream_weight = weight
     return sketch
+
+
+def sharded_to_bytes(sketch) -> bytes:
+    """Serialize a :class:`ShardedFrequentItemsSketch` to the framed format.
+
+    The header carries the partition parameters and the carried-over
+    (offset, weight) accumulators; each shard follows as a length-
+    prefixed flat-format frame, so shard payloads round-trip through the
+    exact same code path as standalone sketches.
+    """
+    frames = []
+    for shard in sketch._shards:
+        frame = sketch_to_bytes(shard)
+        frames.append(_FRAME_LENGTH.pack(len(frame)))
+        frames.append(frame)
+    header = _SHARDED_HEADER.pack(
+        _SHARDED_MAGIC,
+        _SHARDED_VERSION,
+        sketch.num_shards,
+        sketch.seed & ((1 << 64) - 1),
+        sketch._extra_offset,
+        sketch._extra_weight,
+    )
+    return header + b"".join(frames)
+
+
+def sharded_from_bytes(blob: bytes):
+    """Reconstruct a sharded sketch from :func:`sharded_to_bytes` output."""
+    from repro.sharded.sketch import ShardedFrequentItemsSketch
+
+    if len(blob) < _SHARDED_HEADER.size:
+        raise SerializationError(
+            f"blob too short for sharded header: {len(blob)} < {_SHARDED_HEADER.size}"
+        )
+    magic, version, num_shards, seed, extra_offset, extra_weight = (
+        _SHARDED_HEADER.unpack_from(blob, 0)
+    )
+    if magic != _SHARDED_MAGIC:
+        raise SerializationError(f"bad sharded magic {magic!r}")
+    if version != _SHARDED_VERSION:
+        raise SerializationError(f"unsupported sharded format version {version}")
+    if num_shards < 1:
+        raise SerializationError(f"invalid shard count {num_shards}")
+    shards = []
+    cursor = _SHARDED_HEADER.size
+    for index in range(num_shards):
+        if cursor + _FRAME_LENGTH.size > len(blob):
+            raise SerializationError(
+                f"truncated sharded blob: missing frame {index} length"
+            )
+        (frame_length,) = _FRAME_LENGTH.unpack_from(blob, cursor)
+        cursor += _FRAME_LENGTH.size
+        if cursor + frame_length > len(blob):
+            raise SerializationError(
+                f"truncated sharded blob: frame {index} wants {frame_length} bytes"
+            )
+        shards.append(sketch_from_bytes(blob[cursor : cursor + frame_length]))
+        cursor += frame_length
+    if cursor != len(blob):
+        raise SerializationError(
+            f"sharded blob has {len(blob) - cursor} trailing bytes"
+        )
+    first = shards[0]
+    for index, shard in enumerate(shards):
+        if shard.max_counters != first.max_counters or shard.backend != first.backend:
+            raise SerializationError(
+                f"shard {index} configuration does not match shard 0"
+            )
+    return ShardedFrequentItemsSketch._from_parts(
+        shards, seed, extra_offset, extra_weight
+    )

@@ -151,6 +151,13 @@ class ColumnarCounterStore(CounterStore):
         sorted_values = values[order]
         if count > 1 and (sorted_keys[1:] == sorted_keys[:-1]).any():
             raise InvalidParameterError("insert_many: duplicate keys in batch")
+        if size == 0:
+            # Bulk load into an empty store: the sorted block IS the new
+            # live prefix, no merge needed.
+            self._keys[:count] = sorted_keys
+            self._values[:count] = sorted_values
+            self._size = count
+            return
         positions = np.searchsorted(self._keys[:size], sorted_keys)
         collisions = positions < size
         if collisions.any() and (

@@ -57,5 +57,5 @@ def test_unknown_experiment_rejected():
 def test_experiments_registry_matches_readme_surface():
     assert set(cli.EXPERIMENTS) == {
         "fig1", "fig2", "fig3", "fig4", "claims", "space",
-        "context", "bounds", "adversarial", "batch", "ablations",
+        "context", "bounds", "adversarial", "batch", "shard", "ablations",
     }

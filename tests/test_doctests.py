@@ -12,8 +12,11 @@ import pytest
 MODULES_WITH_DOCTESTS = [
     "repro",
     "repro.core.frequent_items",
+    "repro.core.merge",
     "repro.prng.splitmix",
     "repro.prng.xoroshiro",
+    "repro.sharded.partition",
+    "repro.sharded.sketch",
     "repro.types",
 ]
 

@@ -63,6 +63,15 @@ def test_entropy_anomaly():
 
 
 @pytest.mark.slow
+def test_sharded_ingest():
+    out = _run("sharded_ingest.py")
+    assert "shards (parallel)" in out
+    assert "sharded speedup" in out
+    assert "merge-on-query" in out
+    assert "recall 1.00" in out
+
+
+@pytest.mark.slow
 def test_quantile_tradeoff():
     out = _run("quantile_tradeoff.py")
     assert "SMIN" in out
@@ -77,5 +86,6 @@ def test_all_examples_are_covered():
         "distributed_merge.py",
         "entropy_anomaly.py",
         "quantile_tradeoff.py",
+        "sharded_ingest.py",
     }
     assert scripts == covered

@@ -40,6 +40,9 @@ SUBMODULES = [
     "repro.core.merge",
     "repro.core.serialize",
     "repro.core.row",
+    "repro.sharded",
+    "repro.sharded.partition",
+    "repro.sharded.sketch",
     "repro.baselines",
     "repro.extensions",
     "repro.streams",
