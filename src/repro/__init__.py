@@ -31,6 +31,10 @@ result is identical to the scalar loop, state for state:
 
 Package map
 -----------
+- :mod:`repro.engine` — the shared ingest/query kernel
+  (:class:`~repro.engine.kernel.SketchKernel` +
+  :class:`~repro.engine.query.QueryEngine`) every sketch variant
+  composes.
 - :mod:`repro.core` — the paper's sketch (SMED/SMIN family), merging,
   serialization.
 - :mod:`repro.baselines` — MG, Space Saving (heap + Stream Summary),
@@ -59,6 +63,8 @@ from repro.core.policies import (
     SampleQuantilePolicy,
 )
 from repro.core.row import ErrorType, HeavyHitterRow
+from repro.engine.kernel import SketchKernel
+from repro.engine.query import QueryEngine
 from repro.errors import (
     IncompatibleSketchError,
     InvalidParameterError,
@@ -67,6 +73,7 @@ from repro.errors import (
     SerializationError,
     TableFullError,
 )
+from repro.extensions.decayed import DecayedFrequentItemsSketch
 from repro.sharded.sketch import ShardedFrequentItemsSketch
 from repro.streams.exact import ExactCounter
 from repro.types import StreamUpdate
@@ -75,6 +82,9 @@ __all__ = [
     "__version__",
     "FrequentItemsSketch",
     "ShardedFrequentItemsSketch",
+    "DecayedFrequentItemsSketch",
+    "SketchKernel",
+    "QueryEngine",
     "SampleQuantilePolicy",
     "ExactKthLargestPolicy",
     "GlobalMinPolicy",

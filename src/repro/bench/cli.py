@@ -59,6 +59,10 @@ def _shard(config) -> Iterable[ResultTable]:
     return [figures.sharded_throughput_table(config)]
 
 
+def _decay(config) -> Iterable[ResultTable]:
+    return [figures.decay_throughput_table(config)]
+
+
 def _ablations(config) -> Iterable[ResultTable]:
     return [
         figures.ablation_policies(config),
@@ -80,6 +84,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "adversarial": _adversarial,
     "batch": _batch,
     "shard": _shard,
+    "decay": _decay,
     "ablations": _ablations,
 }
 

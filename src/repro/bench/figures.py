@@ -499,6 +499,128 @@ def batch_throughput_table(config: BenchConfig) -> ResultTable:
     return table
 
 
+def decay_throughput_table(config: BenchConfig) -> ResultTable:
+    """Kernel-routed batch ingest vs the scalar loop for the engine consumers.
+
+    The two time-aware consumers of the shared engine — the sliding
+    window (one kernel per slice) and the exponential time-fading sketch
+    (decay schedule over one kernel) — are fed the Section 4.5 Zipf
+    workload twice per backend: once through their per-item ``update``
+    loop and once through the kernel's segmented ``update_batch`` path,
+    with the slice/tick boundary placed at every batch in both runs.
+    Final kernel state is asserted identical, so ``batch_speedup``
+    measures packaging, not semantics.  The acceptance gate (enforced in
+    ``benchmarks/bench_decay_throughput.py``) is >= 3x on the columnar
+    backend for both consumers.
+    """
+    import numpy as np
+
+    from repro.extensions.decayed import DecayedFrequentItemsSketch
+    from repro.extensions.windowed import SlidingWindowHeavyHitters
+
+    source = zipf_weighted_batches(
+        config.num_updates, config.unique_sources, 1.05, config.seed
+    )
+    # Re-chunk the workload into 8 time slices so the slice/tick
+    # boundaries genuinely interleave with ingest at every scale.
+    all_items = np.concatenate([items for items, _weights in source])
+    all_weights = np.concatenate([weights for _items, weights in source])
+    slice_len = max(1, len(all_items) // 8)
+    batches = [
+        (all_items[start : start + slice_len],
+         all_weights[start : start + slice_len])
+        for start in range(0, len(all_items), slice_len)
+    ]
+    # The scalar loops consume pre-materialized Python pairs — the same
+    # methodology as the batch table's feed_stream — so timings measure
+    # sketch work, not NumPy scalar-boxing overhead.
+    scalar_slices = [
+        list(zip(items.tolist(), weights.tolist())) for items, weights in batches
+    ]
+    n = num_batched_updates(batches)
+    k = config.k_values[-1]
+    # Warm-up pulls NumPy's lazily imported submodules out of the timed
+    # regions.
+    warmup = DecayedFrequentItemsSketch(max(2, k // 8), half_life=1.0, seed=0)
+    warmup.update_batch(all_items[:256], all_weights[:256])
+
+    def windowed_pair(backend: str):
+        return (
+            SlidingWindowHeavyHitters(k, 4, backend=backend, seed=config.seed),
+            SlidingWindowHeavyHitters(k, 4, backend=backend, seed=config.seed),
+        )
+
+    def decayed_pair(backend: str):
+        # A whole half-life per tick keeps the ingest scale a power of
+        # two, so scaled weights stay exactly representable and the
+        # scalar/batch equality check below is exact at any scale.
+        return (
+            DecayedFrequentItemsSketch(
+                k, half_life=1.0, backend=backend, seed=config.seed
+            ),
+            DecayedFrequentItemsSketch(
+                k, half_life=1.0, backend=backend, seed=config.seed
+            ),
+        )
+
+    def boundary(consumer) -> None:
+        if isinstance(consumer, SlidingWindowHeavyHitters):
+            consumer.advance()
+        else:
+            consumer.tick()
+
+    def final_kernel(consumer):
+        if isinstance(consumer, SlidingWindowHeavyHitters):
+            return consumer.window_kernel()
+        return consumer.kernel
+
+    table = ResultTable(
+        f"Engine consumers: scalar vs kernel-batched updates/sec "
+        f"(Zipf 1.05, k={k})",
+        [
+            "consumer", "backend", "k", "scalar_sec", "batch_sec",
+            "scalar_per_sec", "batch_per_sec", "batch_speedup",
+        ],
+    )
+    for name, make_pair in (("windowed", windowed_pair), ("decayed", decayed_pair)):
+        for backend in ("dict", "columnar"):
+            scalar, batched = make_pair(backend)
+            start = time.perf_counter()
+            for slice_updates in scalar_slices:
+                update = scalar.update
+                for item, weight in slice_updates:
+                    update(item, weight)
+                boundary(scalar)
+            scalar_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            for items, weights in batches:
+                batched.update_batch(items, weights)
+                boundary(batched)
+            batch_seconds = time.perf_counter() - start
+            kernel_a = final_kernel(scalar)
+            kernel_b = final_kernel(batched)
+            same = (
+                kernel_a.offset == kernel_b.offset
+                and kernel_a.stream_weight == kernel_b.stream_weight
+                and list(kernel_a.store.items()) == list(kernel_b.store.items())
+            )
+            if not same:  # pragma: no cover
+                raise AssertionError(
+                    f"scalar/batch divergence: {name} on backend {backend!r}"
+                )
+            table.add_row(
+                consumer=name,
+                backend=backend,
+                k=k,
+                scalar_sec=scalar_seconds,
+                batch_sec=batch_seconds,
+                scalar_per_sec=n / scalar_seconds,
+                batch_per_sec=n / batch_seconds,
+                batch_speedup=scalar_seconds / batch_seconds,
+            )
+    return table
+
+
 def ablation_merge_order(config: BenchConfig) -> ResultTable:
     """The Section 3.2 note: random-order vs in-order merge iteration.
 

@@ -23,6 +23,14 @@ This is the paper's contribution in one class:
   stream weights add.  Error after any aggregation tree obeys
   ``f_i - f̂_i <= (N - C)/k*`` (Theorem 5).
 
+Since the engine extraction this class is a thin *facade*: all counter
+logic lives in :class:`repro.engine.kernel.SketchKernel` (ingest,
+decrement, offset accounting, merging) and
+:class:`repro.engine.query.QueryEngine` (estimates, bounds, heavy-hitter
+rows), shared with the sharded sketch and the windowed / sampled /
+decayed extensions.  Behavior is bit-identical to the pre-extraction
+implementation — same counters, offsets, PRNG draws, serialized bytes.
+
 >>> sketch = FrequentItemsSketch(64, seed=1)
 >>> for item, weight in [(7, 100.0), (8, 50.0), (7, 25.0)]:
 ...     sketch.update(item, weight)
@@ -36,20 +44,15 @@ from typing import Iterable, Iterator, Optional
 
 import numpy as np
 
-from repro.core.policies import DecrementPolicy, SampleQuantilePolicy
+from repro.core.policies import DecrementPolicy
 from repro.core.row import ErrorType, HeavyHitterRow
-from repro.errors import (
-    IncompatibleSketchError,
-    InvalidParameterError,
-    InvalidUpdateError,
-)
+from repro.engine.kernel import SketchKernel
+from repro.engine.query import QueryEngine
 from repro.metrics.instrumentation import OpStats
 from repro.prng import Xoroshiro128PlusPlus
 from repro.streams.model import as_batch, as_updates
-from repro.table import make_store
-from repro.table.columnar import ColumnarCounterStore
-from repro.table.dictstore import DictCounterStore
-from repro.types import ItemId, StreamUpdate, Weight
+from repro.table.base import CounterStore
+from repro.types import ItemId, Weight
 
 
 class FrequentItemsSketch:
@@ -73,17 +76,7 @@ class FrequentItemsSketch:
         the same seed and inputs are identical.
     """
 
-    __slots__ = (
-        "_k",
-        "_policy",
-        "_backend",
-        "_seed",
-        "_store",
-        "_rng",
-        "_offset",
-        "_stream_weight",
-        "stats",
-    )
+    __slots__ = ("_kernel", "_query")
 
     def __init__(
         self,
@@ -92,19 +85,67 @@ class FrequentItemsSketch:
         backend: str = "probing",
         seed: int = 0,
     ) -> None:
-        if max_counters < 2:
-            raise InvalidParameterError(
-                f"max_counters must be at least 2, got {max_counters}"
-            )
-        self._k = max_counters
-        self._policy = policy if policy is not None else SampleQuantilePolicy()
-        self._backend = backend
-        self._seed = seed
-        self._store = make_store(backend, max_counters, seed=seed)
-        self._rng = Xoroshiro128PlusPlus(seed ^ 0x5EED_0F_5EED)
-        self._offset = 0.0
-        self._stream_weight = 0.0
-        self.stats = OpStats()
+        self._kernel = SketchKernel(
+            max_counters, policy=policy, backend=backend, seed=seed
+        )
+        self._query = QueryEngine(self._kernel)
+
+    @classmethod
+    def _from_kernel(cls, kernel: SketchKernel) -> "FrequentItemsSketch":
+        """Wrap an existing kernel without copying it (engine consumers)."""
+        sketch = cls.__new__(cls)
+        sketch._kernel = kernel
+        sketch._query = QueryEngine(kernel)
+        return sketch
+
+    # -- engine access ---------------------------------------------------------
+
+    @property
+    def kernel(self) -> SketchKernel:
+        """The underlying :class:`~repro.engine.kernel.SketchKernel`."""
+        return self._kernel
+
+    @property
+    def query_engine(self) -> QueryEngine:
+        """The underlying :class:`~repro.engine.query.QueryEngine`."""
+        return self._query
+
+    # -- kernel state, exposed under the historical private names --------------
+    # (serialization, the sharded sketch, benchmarks, and tests all peek
+    # at these; they are now views onto the kernel.)
+
+    @property
+    def _store(self) -> CounterStore:
+        return self._kernel.store
+
+    @property
+    def _rng(self) -> Xoroshiro128PlusPlus:
+        return self._kernel.rng
+
+    @property
+    def _offset(self) -> float:
+        return self._kernel.offset
+
+    @_offset.setter
+    def _offset(self, value: float) -> None:
+        self._kernel.offset = value
+
+    @property
+    def _stream_weight(self) -> float:
+        return self._kernel.stream_weight
+
+    @_stream_weight.setter
+    def _stream_weight(self, value: float) -> None:
+        self._kernel.stream_weight = value
+
+    @property
+    def stats(self) -> OpStats:
+        """Operation counters for the events that dominate update cost."""
+        return self._kernel.stats
+
+    @stats.setter
+    def stats(self, value: OpStats) -> None:
+        self._kernel.stats = value
 
     # -- configuration introspection ------------------------------------------
 
@@ -117,7 +158,7 @@ class FrequentItemsSketch:
         >>> FrequentItemsSketch(64).max_counters
         64
         """
-        return self._k
+        return self._kernel.k
 
     @property
     def policy(self) -> DecrementPolicy:
@@ -128,7 +169,7 @@ class FrequentItemsSketch:
         >>> FrequentItemsSketch(64).policy.describe()
         'SMED(ell=1024)'
         """
-        return self._policy
+        return self._kernel.policy
 
     @property
     def backend(self) -> str:
@@ -139,7 +180,7 @@ class FrequentItemsSketch:
         >>> FrequentItemsSketch(64).backend
         'probing'
         """
-        return self._backend
+        return self._kernel.backend
 
     @property
     def seed(self) -> int:
@@ -150,7 +191,7 @@ class FrequentItemsSketch:
         >>> FrequentItemsSketch(64, seed=9).seed
         9
         """
-        return self._seed
+        return self._kernel.seed
 
     # -- state introspection ---------------------------------------------------
 
@@ -165,7 +206,7 @@ class FrequentItemsSketch:
         >>> sketch.num_active
         2
         """
-        return len(self._store)
+        return len(self._kernel.store)
 
     @property
     def stream_weight(self) -> float:
@@ -178,7 +219,7 @@ class FrequentItemsSketch:
         >>> sketch.stream_weight
         2.5
         """
-        return self._stream_weight
+        return self._kernel.stream_weight
 
     @property
     def maximum_error(self) -> float:
@@ -192,7 +233,7 @@ class FrequentItemsSketch:
         >>> FrequentItemsSketch(64).maximum_error
         0.0
         """
-        return self._offset
+        return self._kernel.offset
 
     def is_empty(self) -> bool:
         """True if the sketch has processed no weight.
@@ -202,13 +243,13 @@ class FrequentItemsSketch:
         >>> FrequentItemsSketch(64).is_empty()
         True
         """
-        return self._stream_weight == 0.0
+        return self._kernel.is_empty()
 
     def __len__(self) -> int:
-        return len(self._store)
+        return len(self._kernel.store)
 
     def __contains__(self, item: ItemId) -> bool:
-        return self._store.get(item) is not None
+        return self._kernel.store.get(item) is not None
 
     # -- updates ---------------------------------------------------------------
 
@@ -240,12 +281,7 @@ class FrequentItemsSketch:
         >>> sketch.estimate(7)
         3.0
         """
-        if weight <= 0:
-            raise InvalidUpdateError(
-                f"update weights must be positive, got {weight} for item {item}"
-            )
-        self._stream_weight += weight
-        self._ingest(item, weight)
+        self._kernel.update(item, weight)
 
     def update_all(self, updates: Iterable) -> None:
         """Consume an iterable of updates (items, pairs, or StreamUpdates).
@@ -266,8 +302,9 @@ class FrequentItemsSketch:
         >>> sketch.estimate(7), sketch.estimate(8)
         (2.0, 3.0)
         """
+        kernel_update = self._kernel.update
         for item, weight in as_updates(updates):
-            self.update(item, weight)
+            kernel_update(item, weight)
 
     def update_batch(self, items, weights=None) -> None:
         """Process a batch of weighted updates given as NumPy arrays.
@@ -310,179 +347,11 @@ class FrequentItemsSketch:
         (2.0, 5.0)
         """
         items, weights = as_batch(items, weights)
-        self._update_batch_validated(items, weights)
-
-    def _update_batch_validated(self, items: np.ndarray, weights: np.ndarray) -> None:
-        """:meth:`update_batch` minus input coercion.
-
-        ``items``/``weights`` must already be the ``(uint64, float64)``
-        pair :func:`repro.streams.model.as_batch` produces.  The sharded
-        ingestion path validates a batch once and feeds each shard its
-        slice through this entry point, skipping per-shard re-validation.
-        """
-        n = items.shape[0]
-        if n == 0:
-            return
-        # Integer-valued weights make this sum exact in any order, which
-        # keeps batched and scalar stream weights bit-identical.
-        self._stream_weight += float(weights.sum())
-        # Ingest in bounded windows: the segment scan inside
-        # _ingest_batch walks the remaining window once per decrement
-        # pass, so capping the window at O(k) keeps the worst case
-        # (min-like policies that free one counter per pass) at the
-        # scalar loop's O(n*k) instead of O(n^2).  _ingest_batch is
-        # per-update-equivalent, so windowing cannot change the result.
-        window = max(4096, 8 * self._k)
-        if n <= window:
-            self._ingest_batch(items, weights)
-        else:
-            for start in range(0, n, window):
-                stop = start + window
-                self._ingest_batch(items[start:stop], weights[start:stop])
-
-    def _ingest_batch(self, items: np.ndarray, weights: np.ndarray) -> None:
-        """Grouped counter logic, equivalent to ``_ingest`` per element.
-
-        The batch is processed as a run of *segments* separated by
-        decrement passes.  Within a segment no counter is freed, so
-        updates commute into per-key groups: tracked keys take one bulk
-        add, new keys one bulk insert (in first-occurrence order, which
-        pins down iteration order on order-sensitive layouts).  The
-        segment boundary is placed exactly where the scalar loop would
-        overflow the table — the first update whose key is untracked
-        once the table is full — and the decrement there replays the
-        scalar code path verbatim, PRNG draws included.
-        """
-        store = self._store
-        stats = self.stats
-        k = self._k
-        n = len(items)
-        uniq, inverse = np.unique(items, return_inverse=True)
-        num_groups = len(uniq)
-        if not len(store) and num_groups <= k:
-            # Bulk load: every distinct key fits an empty table, so no
-            # decrement pass can trigger (weights are positive) and the
-            # whole batch collapses to one grouped insert.  This is the
-            # hot path for deserialization, merge into a fresh sketch,
-            # and the first batch on each shard of a sharded ingest.
-            sums = np.bincount(inverse, weights=weights, minlength=num_groups)
-            if isinstance(store, ColumnarCounterStore):
-                # Sorted layout is insertion-order independent; ``uniq``
-                # is already sorted and duplicate-free.
-                store.insert_many(uniq, sums)
-            else:
-                # Order-sensitive layouts need first-occurrence order to
-                # stay bit-identical to the scalar insert sequence.
-                first = np.empty(num_groups, dtype=np.int64)
-                first[inverse[::-1]] = np.arange(n - 1, -1, -1, dtype=np.int64)
-                order = np.argsort(first, kind="stable")
-                store.insert_many(uniq[order], sums[order])
-            stats.updates += n
-            stats.inserts += num_groups
-            stats.hits += n - num_groups
-            return
-        # Per-group live value, mirrored locally so purge survival can be
-        # decided with array ops instead of store lookups.  NaN-free:
-        # untracked groups carry 0.0 and a False `tracked` flag.
-        initial = store.get_many(uniq)
-        tracked = ~np.isnan(initial)
-        val = np.where(tracked, initial, 0.0)
-        first_scratch = np.empty(num_groups, dtype=np.int64)
-        p = 0
-        while p < n:
-            room = k - len(store)
-            sub = inverse[p:]
-            untracked_at = np.flatnonzero(~tracked[sub])
-            if untracked_at.size:
-                # First occurrence (within the suffix) of each distinct
-                # untracked group: reversed fancy assignment makes the
-                # earliest position win, with no sort.
-                groups_at = sub[untracked_at]
-                first_scratch[:] = -1
-                first_scratch[groups_at[::-1]] = untracked_at[::-1]
-                candidates = first_scratch[first_scratch >= 0]
-            else:
-                candidates = untracked_at
-            if candidates.size <= room:
-                seg_len = n - p
-                trigger = -1
-                new_positions = np.sort(candidates)
-            else:
-                # The (room+1)-th distinct new key overflows the table:
-                # that update runs the decrement, exactly as in scalar.
-                bound = np.partition(candidates, room)[: room + 1]
-                bound.sort()
-                new_positions = bound[:room]
-                seg_len = int(bound[room])
-                trigger = p + seg_len
-            if seg_len:
-                seg_weights = np.bincount(
-                    sub[:seg_len], weights=weights[p : p + seg_len],
-                    minlength=num_groups,
-                )
-                # Positive weights make "summed to > 0" and "present in
-                # the segment" the same predicate.
-                add_groups = np.flatnonzero((seg_weights > 0.0) & tracked)
-                if add_groups.size:
-                    store.add_many(uniq[add_groups], seg_weights[add_groups])
-                    val[add_groups] += seg_weights[add_groups]
-                new_groups = sub[new_positions]
-                if new_groups.size:
-                    store.insert_many(uniq[new_groups], seg_weights[new_groups])
-                    tracked[new_groups] = True
-                    val[new_groups] = seg_weights[new_groups]
-                stats.updates += seg_len
-                stats.inserts += int(new_groups.size)
-                stats.hits += seg_len - int(new_groups.size)
-            if trigger < 0:
-                break
-            # Table full: DecrementCounters(), scalar code path verbatim.
-            trigger_weight = float(weights[trigger])
-            trigger_group = int(inverse[trigger])
-            c_star = self._policy.decrement_value(store, self._rng)
-            scanned = len(store)
-            freed = store.decrement_and_purge(c_star)
-            self._offset += c_star
-            stats.updates += 1
-            stats.decrements += 1
-            stats.counters_scanned += scanned
-            stats.counters_freed += freed
-            np.subtract(val, c_star, out=val, where=tracked)
-            tracked &= val > 0.0
-            if trigger_weight > c_star:
-                store.insert(int(uniq[trigger_group]), trigger_weight - c_star)
-                stats.inserts += 1
-                tracked[trigger_group] = True
-                val[trigger_group] = trigger_weight - c_star
-            p = trigger + 1
+        self._kernel.update_batch_validated(items, weights)
 
     def _ingest(self, item: ItemId, weight: float) -> None:
-        """Counter logic shared by :meth:`update` and :meth:`merge`.
-
-        Does *not* touch ``_stream_weight`` — merging must account for
-        the other summary's true stream weight, not its counter sum.
-        """
-        stats = self.stats
-        stats.updates += 1
-        store = self._store
-        if store.add_to(item, weight):
-            stats.hits += 1
-            return
-        if len(store) < self._k:
-            store.insert(item, weight)
-            stats.inserts += 1
-            return
-        # Table full: DecrementCounters() (Algorithm 4, lines 15-21).
-        c_star = self._policy.decrement_value(store, self._rng)
-        scanned = len(store)
-        freed = store.decrement_and_purge(c_star)
-        self._offset += c_star
-        stats.decrements += 1
-        stats.counters_scanned += scanned
-        stats.counters_freed += freed
-        if weight > c_star:
-            store.insert(item, weight - c_star)
-            stats.inserts += 1
+        """Kernel scalar ingest (stream weight not touched); see the engine."""
+        self._kernel.ingest(item, weight)
 
     # -- point queries ----------------------------------------------------------
 
@@ -509,10 +378,33 @@ class FrequentItemsSketch:
         >>> sketch.estimate(7), sketch.estimate(8)
         (5.0, 0.0)
         """
-        count = self._store.get(item)
-        if count is None:
-            return 0.0
-        return count + self._offset
+        return self._query.estimate(item)
+
+    def estimate_batch(self, items) -> np.ndarray:
+        """Vectorized :meth:`estimate` over an array of item identifiers.
+
+        One bulk store probe instead of one Python call per key; repeated
+        and absent keys are both fine.  Element-for-element equal to the
+        scalar method: ``estimate_batch(items)[i] == estimate(items[i])``.
+
+        Parameters
+        ----------
+        items : numpy.ndarray or sequence
+            1-D array of item identifiers to estimate.
+
+        Returns
+        -------
+        numpy.ndarray
+            Float64 estimates, parallel to ``items``.
+
+        Examples
+        --------
+        >>> sketch = FrequentItemsSketch(64)
+        >>> sketch.update(7, 5.0)
+        >>> sketch.estimate_batch([7, 8, 7])
+        array([5., 0., 5.])
+        """
+        return self._query.estimate_batch(items)
 
     def lower_bound(self, item: ItemId) -> float:
         """A value guaranteed ``<= f(item)``: the raw MG counter.
@@ -524,8 +416,7 @@ class FrequentItemsSketch:
         >>> sketch.lower_bound(7)
         5.0
         """
-        count = self._store.get(item)
-        return 0.0 if count is None else count
+        return self._query.lower_bound(item)
 
     def upper_bound(self, item: ItemId) -> float:
         """A value guaranteed ``>= f(item)``: counter plus total offset.
@@ -537,8 +428,7 @@ class FrequentItemsSketch:
         >>> sketch.upper_bound(7)
         5.0
         """
-        count = self._store.get(item)
-        return self._offset if count is None else count + self._offset
+        return self._query.upper_bound(item)
 
     # -- heavy hitters ------------------------------------------------------------
 
@@ -552,9 +442,7 @@ class FrequentItemsSketch:
         >>> sketch.row(7).lower_bound
         5.0
         """
-        return HeavyHitterRow(
-            item, self.estimate(item), self.lower_bound(item), self.upper_bound(item)
-        )
+        return self._query.row(item)
 
     def frequent_items(
         self,
@@ -590,24 +478,7 @@ class FrequentItemsSketch:
         >>> [row.item for row in sketch.frequent_items(threshold=5.0)]
         [1]
         """
-        if threshold is None:
-            threshold = self._offset
-        if threshold < 0:
-            raise InvalidParameterError(f"threshold must be >= 0, got {threshold}")
-        rows = []
-        offset = self._offset
-        for item, count in self._store.items():
-            lower = count
-            upper = count + offset
-            qualifies = (
-                lower >= threshold
-                if error_type is ErrorType.NO_FALSE_POSITIVES
-                else upper >= threshold
-            )
-            if qualifies:
-                rows.append(HeavyHitterRow(item, upper, lower, upper))
-        rows.sort(key=lambda r: (-r.estimate, r.item))
-        return rows
+        return self._query.frequent_items(error_type, threshold)
 
     def heavy_hitters(
         self,
@@ -640,9 +511,7 @@ class FrequentItemsSketch:
         >>> [row.item for row in sketch.heavy_hitters(phi=0.5)]
         [1]
         """
-        if not 0.0 < phi <= 1.0:
-            raise InvalidParameterError(f"phi must be in (0, 1], got {phi}")
-        return self.frequent_items(error_type, phi * self._stream_weight)
+        return self._query.heavy_hitters(phi, error_type)
 
     def to_rows(self) -> list[HeavyHitterRow]:
         """All tracked items as rows, sorted by estimate descending.
@@ -654,13 +523,7 @@ class FrequentItemsSketch:
         >>> [row.item for row in sketch.to_rows()]
         [1, 2]
         """
-        offset = self._offset
-        rows = [
-            HeavyHitterRow(item, count + offset, count, count + offset)
-            for item, count in self._store.items()
-        ]
-        rows.sort(key=lambda r: (-r.estimate, r.item))
-        return rows
+        return self._query.to_rows()
 
     def __iter__(self) -> Iterator[HeavyHitterRow]:
         return iter(self.to_rows())
@@ -698,77 +561,15 @@ class FrequentItemsSketch:
         >>> a.merge(b).estimate(1)
         10.0
         """
-        if other is self:
-            raise IncompatibleSketchError("cannot merge a sketch into itself")
-        entries = list(other._store.items())
-        if len(entries) > 1:
-            # Deterministic random order, seeded from this sketch's PRNG
-            # (numpy's permutation is C-coded; a pure-Python shuffle would
-            # dominate the merge cost at large k).
-            order = np.random.Generator(
-                np.random.PCG64(self._rng.next_u64())
-            ).permutation(len(entries))
-            entries = [entries[index] for index in order]
-        if isinstance(self._store, DictCounterStore):
-            self._merge_entries_dict_fast(entries)
-        elif isinstance(self._store, ColumnarCounterStore) and entries:
-            # The batch ingest is defined to equal the per-entry loop,
-            # and on the columnar store it replaces per-entry O(k)
-            # insert shifts with bulk sorted merges.
-            self._ingest_batch(
-                np.array([item for item, _count in entries], dtype=np.uint64),
-                np.array([count for _item, count in entries], dtype=np.float64),
-            )
-        else:
-            for item, count in entries:
-                self._ingest(item, count)
-        self._offset += other._offset
-        self._stream_weight += other._stream_weight
+        self._kernel.absorb(other._kernel)
         return self
-
-    def _merge_entries_dict_fast(self, entries: list[tuple[ItemId, float]]) -> None:
-        """Inlined Algorithm 5 ingest loop for the dict backend.
-
-        Semantically identical to calling :meth:`_ingest` per entry (the
-        tests assert so); inlining removes the per-counter Python call
-        frames that would otherwise dominate merge cost at large k.
-        """
-        store = self._store
-        counts = store._counts
-        k = self._k
-        stats = self.stats
-        hits = 0
-        inserts = 0
-        for item, count in entries:
-            current = counts.get(item)
-            if current is not None:
-                counts[item] = current + count
-                hits += 1
-                continue
-            if len(counts) < k:
-                counts[item] = count
-                inserts += 1
-                continue
-            c_star = self._policy.decrement_value(store, self._rng)
-            stats.decrements += 1
-            stats.counters_scanned += len(counts)
-            survivors = {
-                key: value - c_star
-                for key, value in counts.items()
-                if value > c_star
-            }
-            stats.counters_freed += len(counts) - len(survivors)
-            counts = store._counts = survivors
-            self._offset += c_star
-            if count > c_star:
-                counts[item] = count - c_star
-                inserts += 1
-        stats.updates += len(entries)
-        stats.hits += hits
-        stats.inserts += inserts
 
     def copy(self) -> "FrequentItemsSketch":
         """An independent deep copy (same configuration and contents).
+
+        Reconstruction goes through the kernel's single
+        :meth:`~repro.engine.kernel.SketchKernel.restore` path, shared
+        with :meth:`from_bytes`.
 
         Examples
         --------
@@ -779,16 +580,7 @@ class FrequentItemsSketch:
         >>> sketch.estimate(1), dup.estimate(1)
         (5.0, 10.0)
         """
-        dup = FrequentItemsSketch(
-            self._k, policy=self._policy, backend=self._backend, seed=self._seed
-        )
-        for item, count in self._store.items():
-            dup._store.insert(item, count)
-        dup._offset = self._offset
-        dup._stream_weight = self._stream_weight
-        dup._rng.setstate(self._rng.getstate())
-        dup.stats = OpStats(**self.stats.as_dict())
-        return dup
+        return FrequentItemsSketch._from_kernel(self._kernel.copy())
 
     # -- accounting ------------------------------------------------------------------
 
@@ -800,13 +592,14 @@ class FrequentItemsSketch:
         >>> FrequentItemsSketch(64).space_bytes() > 0
         True
         """
-        return self._store.space_bytes()
+        return self._kernel.store.space_bytes()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kernel = self._kernel
         return (
-            f"FrequentItemsSketch(k={self._k}, policy={self._policy.describe()}, "
-            f"backend={self._backend!r}, active={len(self._store)}, "
-            f"N={self._stream_weight:g}, offset={self._offset:g})"
+            f"FrequentItemsSketch(k={kernel.k}, policy={kernel.policy.describe()}, "
+            f"backend={kernel.backend!r}, active={len(kernel.store)}, "
+            f"N={kernel.stream_weight:g}, offset={kernel.offset:g})"
         )
 
     # -- serialization hooks (implemented in repro.core.serialize) --------------------

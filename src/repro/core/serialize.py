@@ -50,6 +50,7 @@ from repro.core.policies import (
     GlobalMinPolicy,
     SampleQuantilePolicy,
 )
+from repro.engine.kernel import SketchKernel
 from repro.errors import SerializationError
 
 _MAGIC = b"RFI1"
@@ -144,21 +145,24 @@ def sketch_from_bytes(blob: bytes) -> FrequentItemsSketch:
             f"blob length {len(blob)} does not match header (expected {expected})"
         )
     policy = _decode_policy(kind, param, sample_size)
-    sketch = FrequentItemsSketch(k, policy=policy, backend=backend, seed=seed)
     if count:
         records = np.frombuffer(
             blob, dtype=np.dtype([("item", "<u8"), ("count", "<f8")]),
             count=count, offset=_HEADER.size,
         )
-        # Bulk insert preserves record order on order-sensitive layouts
-        # and is vectorized on the columnar backend.
-        sketch._store.insert_many(
-            np.ascontiguousarray(records["item"]),
-            np.ascontiguousarray(records["count"]),
-        )
-    sketch._offset = offset
-    sketch._stream_weight = weight
-    return sketch
+        items = records["item"]
+        counts = records["count"]
+    else:
+        items = np.empty(0, dtype=np.uint64)
+        counts = np.empty(0, dtype=np.float64)
+    # The kernel's one shared reconstruction path (also used by copy()):
+    # bulk insert preserves record order on order-sensitive layouts and
+    # is vectorized on the columnar backend; the PRNG restarts from the
+    # stored seed.
+    kernel = SketchKernel.restore(
+        k, policy, backend, seed, items, counts, offset, weight
+    )
+    return FrequentItemsSketch._from_kernel(kernel)
 
 
 def sharded_to_bytes(sketch) -> bytes:

@@ -1,0 +1,19 @@
+"""The shared ingest/query engine every sketch variant composes.
+
+* :class:`SketchKernel` — the paper's Algorithm 4 state machine in
+  reusable form: counter store, decrement policy, offset / stream-weight
+  accounting, PRNG, and the scalar + segmented-batch ingestion paths.
+* :class:`QueryEngine` — estimates, deterministic bounds, vectorized
+  ``estimate_batch``, and heavy-hitter row assembly over a kernel.
+
+``FrequentItemsSketch`` is a thin facade over one kernel;
+``ShardedFrequentItemsSketch`` runs one kernel per shard and queries a
+merged kernel; the windowed, sampled, and decayed extensions compose
+kernels directly.  See ``docs/extending.md`` for building your own
+consumer.
+"""
+
+from repro.engine.kernel import SketchKernel
+from repro.engine.query import QueryEngine
+
+__all__ = ["SketchKernel", "QueryEngine"]

@@ -1,0 +1,461 @@
+"""The shared ingest kernel behind every counter-based sketch variant.
+
+The paper's contribution (Algorithm 4 + Section 2.3) is really a
+*kernel*: a bounded counter table, a sampled-quantile decrement policy,
+and offset / stream-weight accounting.  :class:`SketchKernel` packages
+exactly that state and its two ingestion paths — the scalar
+:meth:`~SketchKernel.ingest` loop and the segmented, vectorized
+:meth:`~SketchKernel.ingest_batch` — so that the flat
+:class:`~repro.core.frequent_items.FrequentItemsSketch`, the sharded
+sketch, and the extensions (windowed, sampled, decayed) all compose the
+same engine instead of re-implementing pieces of it.
+
+Both paths are *bit-identical* to each other (for integer-representable
+weights) and to the pre-extraction ``FrequentItemsSketch`` internals:
+same counters, same offset, same PRNG draw sequence, same serialized
+bytes.  Queries over a kernel live in
+:class:`repro.engine.query.QueryEngine`.
+
+>>> kernel = SketchKernel(64, seed=1)
+>>> kernel.update(7, 100.0)
+>>> kernel.update(7, 25.0)
+>>> kernel.store.get(7), kernel.stream_weight
+(125.0, 125.0)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.policies import DecrementPolicy, SampleQuantilePolicy
+from repro.errors import (
+    IncompatibleSketchError,
+    InvalidParameterError,
+    InvalidUpdateError,
+)
+from repro.metrics.instrumentation import OpStats
+from repro.prng import Xoroshiro128PlusPlus
+from repro.table import make_store
+from repro.table.base import CounterStore
+from repro.table.columnar import ColumnarCounterStore
+from repro.table.dictstore import DictCounterStore
+from repro.types import ItemId
+
+#: XOR mask applied to the construction seed before seeding the counter
+#: sampling PRNG (kept identical to the pre-engine FrequentItemsSketch so
+#: serialized state and draw sequences are unchanged).
+RNG_SEED_MASK = 0x5EED_0F_5EED
+
+
+class SketchKernel:
+    """Counter table + decrement policy + offset accounting, batched and scalar.
+
+    Parameters
+    ----------
+    max_counters:
+        The paper's ``k`` — number of counters maintained.  Must be >= 2.
+    policy:
+        The ``DecrementCounters()`` strategy (the paper's SMED
+        configuration when omitted).
+    backend:
+        Counter-store backend name (see :func:`repro.table.make_store`).
+    seed:
+        Controls counter sampling, quickselect pivots, merge iteration
+        order, and the table hash — two kernels built with the same seed
+        and inputs are identical.
+    """
+
+    __slots__ = (
+        "k",
+        "policy",
+        "backend",
+        "seed",
+        "store",
+        "rng",
+        "offset",
+        "stream_weight",
+        "stats",
+    )
+
+    def __init__(
+        self,
+        max_counters: int,
+        policy: Optional[DecrementPolicy] = None,
+        backend: str = "probing",
+        seed: int = 0,
+    ) -> None:
+        if max_counters < 2:
+            raise InvalidParameterError(
+                f"max_counters must be at least 2, got {max_counters}"
+            )
+        self.k = max_counters
+        self.policy: DecrementPolicy = (
+            policy if policy is not None else SampleQuantilePolicy()
+        )
+        self.backend = backend
+        self.seed = seed
+        self.store: CounterStore = make_store(backend, max_counters, seed=seed)
+        self.rng = Xoroshiro128PlusPlus(seed ^ RNG_SEED_MASK)
+        self.offset = 0.0
+        self.stream_weight = 0.0
+        self.stats = OpStats()
+
+    # -- reconstruction -------------------------------------------------------
+
+    @classmethod
+    def restore(
+        cls,
+        max_counters: int,
+        policy: Optional[DecrementPolicy],
+        backend: str,
+        seed: int,
+        items: np.ndarray,
+        counts: np.ndarray,
+        offset: float,
+        stream_weight: float,
+        rng_state: Optional[tuple[int, int]] = None,
+        stats: Optional[OpStats] = None,
+    ) -> "SketchKernel":
+        """Rebuild a kernel from saved state (the one shared restore path).
+
+        ``copy()`` and ``from_bytes()`` both funnel through here:
+        counters are bulk-inserted in the order given (which fixes the
+        layout of order-sensitive stores exactly as a scalar insert
+        sequence would), the accounting scalars are restored verbatim,
+        and the PRNG either resumes from ``rng_state`` (copy) or
+        restarts from the construction seed (deserialization).
+        """
+        kernel = cls(max_counters, policy=policy, backend=backend, seed=seed)
+        if len(items):
+            kernel.store.insert_many(
+                np.ascontiguousarray(items, dtype=np.uint64),
+                np.ascontiguousarray(counts, dtype=np.float64),
+            )
+        kernel.offset = offset
+        kernel.stream_weight = stream_weight
+        if rng_state is not None:
+            kernel.rng.setstate(rng_state)
+        if stats is not None:
+            kernel.stats = OpStats(**stats.as_dict())
+        return kernel
+
+    def copy(self) -> "SketchKernel":
+        """An independent deep copy (same configuration and contents)."""
+        items, counts = self.store.as_arrays()
+        return SketchKernel.restore(
+            self.k,
+            self.policy,
+            self.backend,
+            self.seed,
+            items,
+            counts,
+            self.offset,
+            self.stream_weight,
+            rng_state=self.rng.getstate(),
+            stats=self.stats,
+        )
+
+    # -- scalar ingestion -----------------------------------------------------
+
+    def update(self, item: ItemId, weight: float = 1.0) -> None:
+        """Validate and process one weighted stream update."""
+        if weight <= 0:
+            raise InvalidUpdateError(
+                f"update weights must be positive, got {weight} for item {item}"
+            )
+        self.stream_weight += weight
+        self.ingest(item, weight)
+
+    def ingest(self, item: ItemId, weight: float) -> None:
+        """Counter logic shared by :meth:`update` and :meth:`absorb`.
+
+        Does *not* touch :attr:`stream_weight` — merging must account for
+        the other summary's true stream weight, not its counter sum.
+        """
+        stats = self.stats
+        stats.updates += 1
+        store = self.store
+        if store.add_to(item, weight):
+            stats.hits += 1
+            return
+        if len(store) < self.k:
+            store.insert(item, weight)
+            stats.inserts += 1
+            return
+        # Table full: DecrementCounters() (Algorithm 4, lines 15-21).
+        c_star = self.policy.decrement_value(store, self.rng)
+        scanned = len(store)
+        freed = store.decrement_and_purge(c_star)
+        self.offset += c_star
+        stats.decrements += 1
+        stats.counters_scanned += scanned
+        stats.counters_freed += freed
+        if weight > c_star:
+            store.insert(item, weight - c_star)
+            stats.inserts += 1
+
+    # -- batched ingestion ----------------------------------------------------
+
+    def update_batch_validated(self, items: np.ndarray, weights: np.ndarray) -> None:
+        """Batched ingest minus input coercion.
+
+        ``items``/``weights`` must already be the ``(uint64, float64)``
+        pair :func:`repro.streams.model.as_batch` produces.  The sharded
+        ingestion path validates a batch once and feeds each shard its
+        slice through this entry point, skipping per-shard re-validation.
+        """
+        n = items.shape[0]
+        if n == 0:
+            return
+        # Integer-valued weights make this sum exact in any order, which
+        # keeps batched and scalar stream weights bit-identical.
+        self.stream_weight += float(weights.sum())
+        # Ingest in bounded windows: the segment scan inside
+        # ingest_batch walks the remaining window once per decrement
+        # pass, so capping the window at O(k) keeps the worst case
+        # (min-like policies that free one counter per pass) at the
+        # scalar loop's O(n*k) instead of O(n^2).  ingest_batch is
+        # per-update-equivalent, so windowing cannot change the result.
+        window = max(4096, 8 * self.k)
+        if n <= window:
+            self.ingest_batch(items, weights)
+        else:
+            for start in range(0, n, window):
+                stop = start + window
+                self.ingest_batch(items[start:stop], weights[start:stop])
+
+    def ingest_batch(self, items: np.ndarray, weights: np.ndarray) -> None:
+        """Grouped counter logic, equivalent to :meth:`ingest` per element.
+
+        The batch is processed as a run of *segments* separated by
+        decrement passes.  Within a segment no counter is freed, so
+        updates commute into per-key groups: tracked keys take one bulk
+        add, new keys one bulk insert (in first-occurrence order, which
+        pins down iteration order on order-sensitive layouts).  The
+        segment boundary is placed exactly where the scalar loop would
+        overflow the table — the first update whose key is untracked
+        once the table is full — and the decrement there replays the
+        scalar code path verbatim, PRNG draws included.
+        """
+        store = self.store
+        stats = self.stats
+        k = self.k
+        n = len(items)
+        uniq, inverse = np.unique(items, return_inverse=True)
+        num_groups = len(uniq)
+        if not len(store) and num_groups <= k:
+            # Bulk load: every distinct key fits an empty table, so no
+            # decrement pass can trigger (weights are positive) and the
+            # whole batch collapses to one grouped insert.  This is the
+            # hot path for deserialization, merge into a fresh sketch,
+            # and the first batch on each shard of a sharded ingest.
+            sums = np.bincount(inverse, weights=weights, minlength=num_groups)
+            if isinstance(store, ColumnarCounterStore):
+                # Sorted layout is insertion-order independent; ``uniq``
+                # is already sorted and duplicate-free.
+                store.insert_many(uniq, sums)
+            else:
+                # Order-sensitive layouts need first-occurrence order to
+                # stay bit-identical to the scalar insert sequence.
+                first = np.empty(num_groups, dtype=np.int64)
+                first[inverse[::-1]] = np.arange(n - 1, -1, -1, dtype=np.int64)
+                order = np.argsort(first, kind="stable")
+                store.insert_many(uniq[order], sums[order])
+            stats.updates += n
+            stats.inserts += num_groups
+            stats.hits += n - num_groups
+            return
+        # Per-group live value, mirrored locally so purge survival can be
+        # decided with array ops instead of store lookups.  NaN-free:
+        # untracked groups carry 0.0 and a False `tracked` flag.
+        initial = store.get_many(uniq)
+        tracked = ~np.isnan(initial)
+        val = np.where(tracked, initial, 0.0)
+        first_scratch = np.empty(num_groups, dtype=np.int64)
+        p = 0
+        while p < n:
+            room = k - len(store)
+            sub = inverse[p:]
+            untracked_at = np.flatnonzero(~tracked[sub])
+            if untracked_at.size:
+                # First occurrence (within the suffix) of each distinct
+                # untracked group: reversed fancy assignment makes the
+                # earliest position win, with no sort.
+                groups_at = sub[untracked_at]
+                first_scratch[:] = -1
+                first_scratch[groups_at[::-1]] = untracked_at[::-1]
+                candidates = first_scratch[first_scratch >= 0]
+            else:
+                candidates = untracked_at
+            if candidates.size <= room:
+                seg_len = n - p
+                trigger = -1
+                new_positions = np.sort(candidates)
+            else:
+                # The (room+1)-th distinct new key overflows the table:
+                # that update runs the decrement, exactly as in scalar.
+                bound = np.partition(candidates, room)[: room + 1]
+                bound.sort()
+                new_positions = bound[:room]
+                seg_len = int(bound[room])
+                trigger = p + seg_len
+            if seg_len:
+                seg_weights = np.bincount(
+                    sub[:seg_len], weights=weights[p : p + seg_len],
+                    minlength=num_groups,
+                )
+                # Positive weights make "summed to > 0" and "present in
+                # the segment" the same predicate.
+                add_groups = np.flatnonzero((seg_weights > 0.0) & tracked)
+                if add_groups.size:
+                    store.add_many(uniq[add_groups], seg_weights[add_groups])
+                    val[add_groups] += seg_weights[add_groups]
+                new_groups = sub[new_positions]
+                if new_groups.size:
+                    store.insert_many(uniq[new_groups], seg_weights[new_groups])
+                    tracked[new_groups] = True
+                    val[new_groups] = seg_weights[new_groups]
+                stats.updates += seg_len
+                stats.inserts += int(new_groups.size)
+                stats.hits += seg_len - int(new_groups.size)
+            if trigger < 0:
+                break
+            # Table full: DecrementCounters(), scalar code path verbatim.
+            trigger_weight = float(weights[trigger])
+            trigger_group = int(inverse[trigger])
+            c_star = self.policy.decrement_value(store, self.rng)
+            scanned = len(store)
+            freed = store.decrement_and_purge(c_star)
+            self.offset += c_star
+            stats.updates += 1
+            stats.decrements += 1
+            stats.counters_scanned += scanned
+            stats.counters_freed += freed
+            np.subtract(val, c_star, out=val, where=tracked)
+            tracked &= val > 0.0
+            if trigger_weight > c_star:
+                store.insert(int(uniq[trigger_group]), trigger_weight - c_star)
+                stats.inserts += 1
+                tracked[trigger_group] = True
+                val[trigger_group] = trigger_weight - c_star
+            p = trigger + 1
+
+    # -- merging --------------------------------------------------------------
+
+    def absorb(self, other: "SketchKernel") -> "SketchKernel":
+        """Algorithm 5: replay ``other``'s counters into this kernel.
+
+        The other summary's counters are fed through the update path in
+        *random order* — the Section 3.2 note: iterating a hash table
+        front-to-back into another table (possibly sharing the hash
+        function) would overpopulate the front of this kernel's table.
+        Offsets add (each summary's accumulated error carries over) and
+        stream weights add.  ``other`` is not modified.
+        """
+        if other is self:
+            raise IncompatibleSketchError("cannot merge a sketch into itself")
+        entries = list(other.store.items())
+        if len(entries) > 1:
+            # Deterministic random order, seeded from this kernel's PRNG
+            # (numpy's permutation is C-coded; a pure-Python shuffle would
+            # dominate the merge cost at large k).
+            order = np.random.Generator(
+                np.random.PCG64(self.rng.next_u64())
+            ).permutation(len(entries))
+            entries = [entries[index] for index in order]
+        if isinstance(self.store, DictCounterStore):
+            self._merge_entries_dict_fast(entries)
+        elif isinstance(self.store, ColumnarCounterStore) and entries:
+            # The batch ingest is defined to equal the per-entry loop,
+            # and on the columnar store it replaces per-entry O(k)
+            # insert shifts with bulk sorted merges.
+            self.ingest_batch(
+                np.array([item for item, _count in entries], dtype=np.uint64),
+                np.array([count for _item, count in entries], dtype=np.float64),
+            )
+        else:
+            for item, count in entries:
+                self.ingest(item, count)
+        self.offset += other.offset
+        self.stream_weight += other.stream_weight
+        return self
+
+    def _merge_entries_dict_fast(self, entries: list[tuple[ItemId, float]]) -> None:
+        """Inlined Algorithm 5 ingest loop for the dict backend.
+
+        Semantically identical to calling :meth:`ingest` per entry (the
+        tests assert so); inlining removes the per-counter Python call
+        frames that would otherwise dominate merge cost at large k.
+        """
+        store = self.store
+        counts = store._counts  # type: ignore[attr-defined]
+        k = self.k
+        stats = self.stats
+        hits = 0
+        inserts = 0
+        for item, count in entries:
+            current = counts.get(item)
+            if current is not None:
+                counts[item] = current + count
+                hits += 1
+                continue
+            if len(counts) < k:
+                counts[item] = count
+                inserts += 1
+                continue
+            c_star = self.policy.decrement_value(store, self.rng)
+            stats.decrements += 1
+            stats.counters_scanned += len(counts)
+            survivors = {
+                key: value - c_star
+                for key, value in counts.items()
+                if value > c_star
+            }
+            stats.counters_freed += len(counts) - len(survivors)
+            counts = store._counts = survivors  # type: ignore[attr-defined]
+            self.offset += c_star
+            if count > c_star:
+                counts[item] = count - c_star
+                inserts += 1
+        stats.updates += len(entries)
+        stats.hits += hits
+        stats.inserts += inserts
+
+    # -- rescaling (time-fading consumers) ------------------------------------
+
+    def rescale(self, factor: float) -> None:
+        """Multiply every counter and both accounting scalars by ``factor``.
+
+        The renormalization primitive of the exponential time-fading
+        consumer (:class:`repro.extensions.decayed.
+        DecayedFrequentItemsSketch`): dividing the whole summary by the
+        current decay scale keeps counters inside float range without
+        changing any reported (decayed) estimate.  Counters that
+        underflow to zero are purged — they represent weight decayed
+        below representability, which is exactly when dropping them is
+        harmless.
+        """
+        if factor < 0.0:
+            raise InvalidParameterError(f"rescale factor must be >= 0, got {factor}")
+        self.store.scale_all(factor)
+        self.store.purge_nonpositive()
+        self.offset *= factor
+        self.stream_weight *= factor
+
+    # -- introspection ---------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """True if the kernel has processed no weight."""
+        return self.stream_weight == 0.0
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SketchKernel(k={self.k}, policy={self.policy.describe()}, "
+            f"backend={self.backend!r}, active={len(self.store)}, "
+            f"N={self.stream_weight:g}, offset={self.offset:g})"
+        )

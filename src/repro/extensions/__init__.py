@@ -15,8 +15,12 @@
   term needs).
 * :class:`TwoSidedSketch` — the Section 1.3 note: handling deletions by
   running one summary on positive and one on negative updates.
+* :class:`DecayedFrequentItemsSketch` — exponential time-fading heavy
+  hitters (Cafaro et al.'s model) as a forward-decay schedule on one
+  :class:`~repro.engine.kernel.SketchKernel`.
 """
 
+from repro.extensions.decayed import DecayedFrequentItemsSketch
 from repro.extensions.hierarchical import HierarchicalHeavyHitters, HHHNode
 from repro.extensions.hyperloglog import HyperLogLog
 from repro.extensions.entropy import StreamingEntropy
@@ -34,4 +38,5 @@ __all__ = [
     "HyperLogLog",
     "TwoSidedSketch",
     "SlidingWindowHeavyHitters",
+    "DecayedFrequentItemsSketch",
 ]

@@ -2,11 +2,17 @@
 
 The paper's Section 3 motivates mergeability with systems that keep one
 summary per time slice and combine slices at query time.  This module
-packages that pattern: a ring of per-bucket sketches; ``update`` feeds
-the current bucket, ``advance`` rotates it, and queries merge the live
-buckets with Algorithm 5 (cheap enough — O(k) per bucket — to run per
-query).  Expired buckets simply drop out, giving heavy hitters over the
-last ``window_buckets`` slices with the usual deterministic brackets.
+packages that pattern: a ring of per-bucket summaries; ``update`` (or
+``update_batch``) feeds the current bucket, ``advance`` rotates it, and
+queries merge the live buckets with Algorithm 5 (cheap enough — O(k) per
+bucket — to run per query).  Expired buckets simply drop out, giving
+heavy hitters over the last ``window_buckets`` slices with the usual
+deterministic brackets.
+
+Each bucket is a bare :class:`~repro.engine.kernel.SketchKernel`, so the
+window inherits both engine ingest paths: the scalar ``update`` loop and
+the segmented, vectorized ``update_batch`` — one array call per slice
+batch instead of one Python call per update.
 
 This is exactly the "separate summary for each 1-hour period" deployment
 of Section 3, in library form.
@@ -19,7 +25,10 @@ from typing import Optional
 from repro.core.frequent_items import FrequentItemsSketch
 from repro.core.policies import DecrementPolicy
 from repro.core.row import ErrorType, HeavyHitterRow
+from repro.engine.kernel import SketchKernel
+from repro.engine.query import QueryEngine
 from repro.errors import InvalidParameterError
+from repro.streams.model import as_batch
 from repro.types import ItemId, Weight
 
 
@@ -29,13 +38,13 @@ class SlidingWindowHeavyHitters:
     Parameters
     ----------
     max_counters:
-        Counters per bucket sketch (and for the merged query view).
+        Counters per bucket kernel (and for the merged query view).
     window_buckets:
         Number of slices the window spans.  One slice = whatever the
         caller delimits with :meth:`advance` (a minute, an hour, 10k
         packets, ...).
     policy, backend, seed:
-        Forwarded to every bucket sketch; each bucket gets a distinct
+        Forwarded to every bucket kernel; each bucket gets a distinct
         derived seed, per the Section 3.2 guidance that summaries to be
         merged should not share hash functions.
     """
@@ -58,14 +67,14 @@ class SlidingWindowHeavyHitters:
         self._backend = backend
         self._seed = seed
         self._epoch = 0
-        #: Ring of (epoch, sketch); index = epoch % window.
-        self._buckets: list[Optional[tuple[int, FrequentItemsSketch]]] = (
+        #: Ring of (epoch, kernel); index = epoch % window.
+        self._buckets: list[Optional[tuple[int, SketchKernel]]] = (
             [None] * window_buckets
         )
-        self._buckets[0] = (0, self._new_sketch(0))
+        self._buckets[0] = (0, self._new_kernel(0))
 
-    def _new_sketch(self, epoch: int) -> FrequentItemsSketch:
-        return FrequentItemsSketch(
+    def _new_kernel(self, epoch: int) -> SketchKernel:
+        return SketchKernel(
             self._k,
             policy=self._policy,
             backend=self._backend,
@@ -82,11 +91,24 @@ class SlidingWindowHeavyHitters:
         """The configured window span, in slices."""
         return self._window
 
-    def update(self, item: ItemId, weight: Weight = 1.0) -> None:
-        """Record one update in the current slice."""
+    def _current(self) -> SketchKernel:
         slot = self._buckets[self._epoch % self._window]
         assert slot is not None
-        slot[1].update(item, weight)
+        return slot[1]
+
+    def update(self, item: ItemId, weight: Weight = 1.0) -> None:
+        """Record one update in the current slice."""
+        self._current().update(item, weight)
+
+    def update_batch(self, items, weights=None) -> None:
+        """Record one array batch in the current slice.
+
+        Routed through the kernel's segmented batch engine, so the
+        result is identical to calling :meth:`update` per element (for
+        integer-representable weights) at a fraction of the cost.
+        """
+        items, weights = as_batch(items, weights)
+        self._current().update_batch_validated(items, weights)
 
     def advance(self) -> None:
         """Close the current slice and open the next.
@@ -98,38 +120,46 @@ class SlidingWindowHeavyHitters:
         self._epoch += 1
         self._buckets[self._epoch % self._window] = (
             self._epoch,
-            self._new_sketch(self._epoch),
+            self._new_kernel(self._epoch),
         )
 
-    def _live_sketches(self) -> list[FrequentItemsSketch]:
+    def _live_kernels(self) -> list[SketchKernel]:
         floor = self._epoch - self._window + 1
         return [
-            sketch
+            kernel
             for slot in self._buckets
             if slot is not None
-            for epoch, sketch in [slot]
+            for epoch, kernel in [slot]
             if epoch >= floor
         ]
 
-    def window_sketch(self) -> FrequentItemsSketch:
-        """A fresh sketch summarizing the whole window (Algorithm 5 folds).
+    def window_kernel(self) -> SketchKernel:
+        """A fresh kernel summarizing the whole window (Algorithm 5 folds).
 
-        The returned sketch is independent of the ring: querying never
+        The returned kernel is independent of the ring: querying never
         perturbs the per-slice summaries.
         """
-        merged = self._new_sketch(-1)
-        for sketch in self._live_sketches():
-            merged.merge(sketch)
+        merged = self._new_kernel(-1)
+        for kernel in self._live_kernels():
+            merged.absorb(kernel)
         return merged
+
+    def window_sketch(self) -> FrequentItemsSketch:
+        """The merged window as a queryable :class:`FrequentItemsSketch`."""
+        return FrequentItemsSketch._from_kernel(self.window_kernel())
 
     @property
     def window_weight(self) -> float:
         """Total weight inside the window."""
-        return sum(sketch.stream_weight for sketch in self._live_sketches())
+        return sum(kernel.stream_weight for kernel in self._live_kernels())
 
     def estimate(self, item: ItemId) -> float:
         """Point estimate of the item's weight within the window."""
-        return self.window_sketch().estimate(item)
+        return QueryEngine(self.window_kernel()).estimate(item)
+
+    def estimate_batch(self, items):
+        """Vectorized :meth:`estimate` over an array of item identifiers."""
+        return QueryEngine(self.window_kernel()).estimate_batch(items)
 
     def heavy_hitters(
         self,
@@ -137,8 +167,8 @@ class SlidingWindowHeavyHitters:
         error_type: ErrorType = ErrorType.NO_FALSE_NEGATIVES,
     ) -> list[HeavyHitterRow]:
         """φ-heavy hitters of the window."""
-        return self.window_sketch().heavy_hitters(phi, error_type)
+        return QueryEngine(self.window_kernel()).heavy_hitters(phi, error_type)
 
     def space_bytes(self) -> int:
         """Footprint of the ring (excludes transient query merges)."""
-        return sum(sketch.space_bytes() for sketch in self._live_sketches())
+        return sum(kernel.store.space_bytes() for kernel in self._live_kernels())

@@ -9,13 +9,14 @@ one object:
 * **Hash-partitioned ingest** — every item is routed to one of ``n``
   independent shard sketches by a seeded 64-bit mix
   (:mod:`repro.sharded.partition`), so each shard observes a disjoint
-  substream.  Batches are masked per shard and ingested through the
-  existing :meth:`~repro.core.frequent_items.FrequentItemsSketch.
-  update_batch` path on a ``ThreadPoolExecutor``, so per-shard state is
-  bit-reproducible given the partition.
-* **Merge-on-query** — queries are answered from a flat
-  :class:`~repro.core.frequent_items.FrequentItemsSketch` of capacity
-  ``n * k`` assembled from the shards' counters on first use and cached
+  substream.  Batches are masked per shard and ingested through each
+  shard's :class:`~repro.engine.kernel.SketchKernel` batch path on a
+  ``ThreadPoolExecutor``, so per-shard state is bit-reproducible given
+  the partition.
+* **Merge-on-query** — queries are answered from a flat view (one
+  :class:`~repro.engine.kernel.SketchKernel` of capacity ``n * k``
+  wrapped in a :class:`~repro.core.frequent_items.FrequentItemsSketch`)
+  assembled from the shards' counters on first use and cached
   until the next write.  Because the partition keeps shard key sets
   disjoint and the view has room for every live counter, assembling it
   adds **zero** error: the view's offset is exactly the *sum of the
@@ -48,6 +49,7 @@ import numpy as np
 from repro.core.frequent_items import FrequentItemsSketch
 from repro.core.policies import DecrementPolicy
 from repro.core.row import ErrorType, HeavyHitterRow
+from repro.engine.kernel import SketchKernel
 from repro.errors import IncompatibleSketchError, InvalidParameterError
 from repro.hashing.mixers import hash_u64
 from repro.metrics.instrumentation import OpStats
@@ -59,15 +61,6 @@ from repro.types import ItemId, Weight
 def _shard_seed(seed: int, index: int) -> int:
     """Per-shard sketch seed: decorrelates shard tables and policies."""
     return hash_u64(seed, index + 1)
-
-
-def _store_arrays(store) -> tuple[np.ndarray, np.ndarray]:
-    """A counter store's live ``(items, counts)`` as parallel arrays."""
-    entries = list(store.items())
-    return (
-        np.array([item for item, _count in entries], dtype=np.uint64),
-        np.array([count for _item, count in entries], dtype=np.float64),
-    )
 
 
 class ShardedFrequentItemsSketch:
@@ -395,14 +388,14 @@ class ShardedFrequentItemsSketch:
             return
         self._merged = None
         if self._num_shards == 1:
-            self._shards[0]._update_batch_validated(items, weights)
+            self._shards[0].kernel.update_batch_validated(items, weights)
             return
         owners = shard_ids(items, self._num_shards, self._seed)
 
         def ingest(index: int) -> None:
             mask = owners == index
             if mask.any():
-                self._shards[index]._update_batch_validated(
+                self._shards[index].kernel.update_batch_validated(
                     items[mask], weights[mask]
                 )
 
@@ -433,21 +426,21 @@ class ShardedFrequentItemsSketch:
         (5.0, 8.0)
         """
         if self._merged is None:
-            view = FrequentItemsSketch(
+            kernel = SketchKernel(
                 self._k * self._num_shards,
                 policy=self._policy,
                 backend=self._backend,
                 seed=self._seed,
             )
             for shard in self._shards:
-                items, counts = _store_arrays(shard._store)
+                items, counts = shard._store.as_arrays()
                 if len(items):
                     # Shard key sets are disjoint under the partition, so
                     # the copies never collide and never overflow n*k.
-                    view._store.insert_many(items, counts)
-            view._offset = self.maximum_error
-            view._stream_weight = self.stream_weight
-            self._merged = view
+                    kernel.store.insert_many(items, counts)
+            kernel.offset = self.maximum_error
+            kernel.stream_weight = self.stream_weight
+            self._merged = FrequentItemsSketch._from_kernel(kernel)
         return self._merged
 
     # -- point queries ----------------------------------------------------------
@@ -465,6 +458,23 @@ class ShardedFrequentItemsSketch:
         0.0
         """
         return self.merged_view().estimate(item)
+
+    def estimate_batch(self, items) -> np.ndarray:
+        """Vectorized :meth:`estimate` over an array of item identifiers.
+
+        One bulk probe of the merged view's store instead of one Python
+        call (and one merged-view lookup) per key; repeated and absent
+        keys are both fine.  Element-for-element equal to the scalar
+        method.
+
+        Examples
+        --------
+        >>> s = ShardedFrequentItemsSketch(8, num_shards=2, seed=5)
+        >>> s.update(3, 7.0)
+        >>> s.estimate_batch([3, 99])
+        array([7., 0.])
+        """
+        return self.merged_view().estimate_batch(items)
 
     def lower_bound(self, item: ItemId) -> float:
         """A value guaranteed ``<= f(item)`` for the full stream.
@@ -610,7 +620,7 @@ class ShardedFrequentItemsSketch:
         # Re-shard path: re-route the foreign counters through this
         # sketch's partition, then account the foreign error bound once.
         for shard in other._shards:
-            items, counts = _store_arrays(shard._store)
+            items, counts = shard._store.as_arrays()
             if len(items):
                 self._replay_counters(items, counts)
         self._extra_offset += other.maximum_error
@@ -635,7 +645,7 @@ class ShardedFrequentItemsSketch:
         (9.0, 9.0)
         """
         self._merged = None
-        items, counts = _store_arrays(other._store)
+        items, counts = other._store.as_arrays()
         mass = 0.0
         if len(items):
             mass = float(counts.sum())
@@ -657,7 +667,7 @@ class ShardedFrequentItemsSketch:
         for index in range(self._num_shards):
             mask = owners == index
             if mask.any():
-                self._shards[index]._update_batch_validated(
+                self._shards[index].kernel.update_batch_validated(
                     items[mask], counts[mask]
                 )
 

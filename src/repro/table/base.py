@@ -141,6 +141,36 @@ class CounterStore(ABC):
         for key, value in zip(keys.tolist(), values.tolist()):
             insert(key, value)
 
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Live ``(keys, counts)`` as parallel arrays, in storage order.
+
+        The bulk export the engine layer uses for kernel copies, the
+        sharded merge-on-query view, and counter replay during re-shard
+        merges.  The returned arrays are fresh copies — mutating them
+        never touches the store.
+        """
+        entries = list(self.items())
+        keys = np.fromiter(
+            (key for key, _count in entries), dtype=np.uint64, count=len(entries)
+        )
+        counts = np.fromiter(
+            (count for _key, count in entries), dtype=np.float64, count=len(entries)
+        )
+        return keys, counts
+
+    def scale_all(self, factor: float) -> None:
+        """Multiply every assigned counter by ``factor`` (``>= 0``).
+
+        The renormalization primitive of the time-fading consumers: the
+        decayed sketch periodically divides its whole summary by the
+        accumulated decay scale.  Values scaled to exactly zero are left
+        in place — callers follow up with :meth:`purge_nonpositive`.
+        """
+        entries = list(self.items())
+        self.clear()
+        for key, count in entries:
+            self.insert(key, count * factor)
+
     def decrement_and_purge(self, amount: float) -> int:
         """Subtract ``amount`` from every counter, dropping non-positive ones.
 

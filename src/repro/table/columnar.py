@@ -177,6 +177,9 @@ class ColumnarCounterStore(CounterStore):
     def adjust_all(self, delta: float) -> None:
         self._values[: self._size] += delta
 
+    def scale_all(self, factor: float) -> None:
+        self._values[: self._size] *= factor
+
     def purge_nonpositive(self) -> int:
         size = self._size
         survivors = self._values[:size] > 0.0
@@ -196,6 +199,10 @@ class ColumnarCounterStore(CounterStore):
         keys = self._keys[:size].tolist()
         values = self._values[:size].tolist()
         return iter(zip(keys, values))
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        size = self._size
+        return self._keys[:size].copy(), self._values[:size].copy()
 
     def values_list(self) -> list[float]:
         return self._values[: self._size].tolist()

@@ -101,6 +101,11 @@ class DictCounterStore(CounterStore):
         for key in counts:
             counts[key] += delta
 
+    def scale_all(self, factor: float) -> None:
+        counts = self._counts
+        for key in counts:
+            counts[key] *= factor
+
     def purge_nonpositive(self) -> int:
         before = len(self._counts)
         self._counts = {k: v for k, v in self._counts.items() if v > 0.0}

@@ -190,6 +190,13 @@ class LinearProbingTable(CounterStore):
             if states[slot] != 0:
                 values[slot] += delta
 
+    def scale_all(self, factor: float) -> None:
+        states = self._states
+        values = self._values
+        for slot in range(len(states)):
+            if states[slot] != 0:
+                values[slot] *= factor
+
     def purge_nonpositive(self) -> int:
         states = self._states
         values = self._values

@@ -33,6 +33,7 @@ def tiny_scale(monkeypatch):
         ("adversarial", "adversarial stream"),
         ("bounds", "Theorem 4 check"),
         ("batch", "Batch ingestion engine"),
+        ("decay", "Engine consumers"),
     ],
 )
 def test_each_experiment_runs(experiment, landmark, capsys):
@@ -57,5 +58,6 @@ def test_unknown_experiment_rejected():
 def test_experiments_registry_matches_readme_surface():
     assert set(cli.EXPERIMENTS) == {
         "fig1", "fig2", "fig3", "fig4", "claims", "space",
-        "context", "bounds", "adversarial", "batch", "shard", "ablations",
+        "context", "bounds", "adversarial", "batch", "shard", "decay",
+        "ablations",
     }

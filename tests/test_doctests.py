@@ -13,6 +13,9 @@ MODULES_WITH_DOCTESTS = [
     "repro",
     "repro.core.frequent_items",
     "repro.core.merge",
+    "repro.engine.kernel",
+    "repro.engine.query",
+    "repro.extensions.decayed",
     "repro.prng.splitmix",
     "repro.prng.xoroshiro",
     "repro.sharded.partition",

@@ -78,6 +78,17 @@ def test_quantile_tradeoff():
     assert "SMED (recommended)" in out
 
 
+@pytest.mark.slow
+def test_decayed_trending():
+    out = _run("decayed_trending.py")
+    assert "trending now" in out
+    assert "the decayed sketch has moved on" in out
+    # The time-fading sketch must rank the breakout item first.
+    for line in out.splitlines():
+        if line.startswith("time-fading"):
+            assert line.rstrip().endswith("#1")
+
+
 def test_all_examples_are_covered():
     scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
     covered = {
@@ -87,5 +98,6 @@ def test_all_examples_are_covered():
         "entropy_anomaly.py",
         "quantile_tradeoff.py",
         "sharded_ingest.py",
+        "decayed_trending.py",
     }
     assert scripts == covered
