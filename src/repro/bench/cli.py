@@ -63,6 +63,12 @@ def _decay(config) -> Iterable[ResultTable]:
     return [figures.decay_throughput_table(config)]
 
 
+def _ingest_profile(config) -> Iterable[ResultTable]:
+    # The canonical perf trajectory: also writes BENCH_ingest.json in the
+    # working directory (the repo root in CI) for cross-PR comparison.
+    return [figures.ingest_profile_table(config, json_path="BENCH_ingest.json")]
+
+
 def _ablations(config) -> Iterable[ResultTable]:
     return [
         figures.ablation_policies(config),
@@ -85,6 +91,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "batch": _batch,
     "shard": _shard,
     "decay": _decay,
+    "ingest-profile": _ingest_profile,
     "ablations": _ablations,
 }
 
@@ -102,8 +109,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--scale",
         choices=sorted(SCALES),
-        default="quick",
+        default=None,
         help="workload scale (default: quick)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shorthand for --scale quick (the CI smoke-job invocation)",
     )
     parser.add_argument(
         "--out",
@@ -111,7 +123,9 @@ def main(argv: list[str] | None = None) -> int:
         help="also append the tables to this file",
     )
     args = parser.parse_args(argv)
-    config = SCALES[args.scale]
+    if args.quick and args.scale not in (None, "quick"):
+        parser.error("--quick conflicts with --scale " + args.scale)
+    config = SCALES[args.scale or "quick"]
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     chunks = []

@@ -836,3 +836,116 @@ def sharded_throughput_table(config: BenchConfig) -> ResultTable:
         )
         sketch.close()
     return table
+
+
+def ingest_profile_table(
+    config: BenchConfig,
+    json_path: str | None = None,
+    batch_sizes: tuple[int, ...] = (1_024, 4_096, 16_384),
+    alphas: tuple[float, ...] = (0.8, 1.05, 1.3),
+) -> ResultTable:
+    """Backend × batch-size × skew ingest profile (the perf trajectory).
+
+    For every backend and Zipf skew the same update sequence is fed three
+    ways — the scalar ``update`` loop, ``update_batch`` at each batch
+    size, and ``update_batch`` on an adaptive-growth sketch — and the
+    scalar/batch states are asserted identical so the numbers measure
+    packaging, not semantics.  When ``json_path`` is given the full
+    sweep (plus the gate figures the CI smoke job enforces: probing and
+    robinhood batch >= 4x their scalar loops on the canonical α = 1.05
+    workload, columnar batch throughput recorded for cross-PR
+    comparison) is written as one JSON document.
+    """
+    import json
+
+    import numpy as np
+
+    k = config.k_values[-1]
+    # Warm-up pulls NumPy's lazily imported submodules out of timed code.
+    # (The generated batches are cached and reused by the alpha = 1.05
+    # iteration of the sweep below, so nothing is generated twice.)
+    warmup = FrequentItemsSketch(max(2, k // 8), backend="columnar", seed=0)
+    warmup.update_batch(*zipf_weighted_batches(
+        config.num_updates, config.unique_sources, 1.05, config.seed
+    )[0])
+    table = ResultTable(
+        f"Ingest profile: backend x batch size x skew (k={k})",
+        [
+            "backend", "alpha", "batch", "scalar_per_sec", "batch_per_sec",
+            "batch_speedup", "adaptive_per_sec",
+        ],
+    )
+    rows: list[dict] = []
+    for alpha in alphas:
+        stream = zipf_weighted_stream(
+            config.num_updates, config.unique_sources, alpha, config.seed
+        )
+        n = len(stream)
+        all_items = np.array([item for item, _w in stream], dtype=np.uint64)
+        all_weights = np.array([w for _item, w in stream], dtype=np.float64)
+        for backend in ("dict", "probing", "robinhood", "columnar"):
+            scalar = FrequentItemsSketch(k, backend=backend, seed=config.seed)
+            scalar_seconds = time_feed(scalar, stream)
+            scalar_blob = scalar.to_bytes()
+            for batch in batch_sizes:
+                batched = FrequentItemsSketch(k, backend=backend, seed=config.seed)
+                start = time.perf_counter()
+                for lo in range(0, n, batch):
+                    batched.update_batch(
+                        all_items[lo : lo + batch], all_weights[lo : lo + batch]
+                    )
+                batch_seconds = time.perf_counter() - start
+                if batched.to_bytes() != scalar_blob:  # pragma: no cover
+                    raise AssertionError(
+                        f"scalar/batch divergence: backend={backend}, "
+                        f"alpha={alpha}, batch={batch}"
+                    )
+                adaptive = FrequentItemsSketch(
+                    k, backend=backend, seed=config.seed, growth="adaptive"
+                )
+                start = time.perf_counter()
+                for lo in range(0, n, batch):
+                    adaptive.update_batch(
+                        all_items[lo : lo + batch], all_weights[lo : lo + batch]
+                    )
+                adaptive_seconds = time.perf_counter() - start
+                record = {
+                    "backend": backend,
+                    "alpha": alpha,
+                    "batch": batch,
+                    "scalar_per_sec": n / scalar_seconds,
+                    "batch_per_sec": n / batch_seconds,
+                    "batch_speedup": scalar_seconds / batch_seconds,
+                    "adaptive_per_sec": n / adaptive_seconds,
+                }
+                rows.append(record)
+                table.add_row(**record)
+    if json_path is not None:
+        def best_speedup(backend: str) -> float:
+            return max(
+                row["batch_speedup"]
+                for row in rows
+                if row["backend"] == backend and row["alpha"] == 1.05
+            )
+        document = {
+            "bench": "ingest-profile",
+            "k": k,
+            "num_updates": config.num_updates,
+            "unique_sources": config.unique_sources,
+            "seed": config.seed,
+            "rows": rows,
+            "gates": {
+                "probing_batch_speedup_alpha1.05": best_speedup("probing"),
+                "robinhood_batch_speedup_alpha1.05": best_speedup("robinhood"),
+                "columnar_batch_speedup_alpha1.05": best_speedup("columnar"),
+                "columnar_batch_per_sec_alpha1.05": max(
+                    row["batch_per_sec"]
+                    for row in rows
+                    if row["backend"] == "columnar" and row["alpha"] == 1.05
+                ),
+            },
+        }
+        with open(json_path, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+    return table

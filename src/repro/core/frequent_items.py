@@ -74,6 +74,12 @@ class FrequentItemsSketch:
         Controls counter sampling, quickselect pivots, the merge
         iteration order, and the table's hash — two sketches built with
         the same seed and inputs are identical.
+    growth:
+        ``"fixed"`` (default) allocates the whole table up front;
+        ``"adaptive"`` starts it small and doubles up to ``k`` on
+        overflow (the paper's doubling hash map) — decrement passes
+        begin only once ``k`` counters are live, so query results are
+        bit-identical to the fixed mode throughout.
     """
 
     __slots__ = ("_kernel", "_query")
@@ -84,9 +90,10 @@ class FrequentItemsSketch:
         policy: Optional[DecrementPolicy] = None,
         backend: str = "probing",
         seed: int = 0,
+        growth: str = "fixed",
     ) -> None:
         self._kernel = SketchKernel(
-            max_counters, policy=policy, backend=backend, seed=seed
+            max_counters, policy=policy, backend=backend, seed=seed, growth=growth
         )
         self._query = QueryEngine(self._kernel)
 
@@ -192,6 +199,17 @@ class FrequentItemsSketch:
         9
         """
         return self._kernel.seed
+
+    @property
+    def growth(self) -> str:
+        """The table-growth mode (``"fixed"`` or ``"adaptive"``).
+
+        Examples
+        --------
+        >>> FrequentItemsSketch(64, growth="adaptive").growth
+        'adaptive'
+        """
+        return self._kernel.growth
 
     # -- state introspection ---------------------------------------------------
 

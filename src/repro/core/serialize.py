@@ -14,7 +14,8 @@ field        bytes  meaning
 ===========  =====  ====================================================
 magic        4      ``b"RFI1"``
 k            4      uint32 ``max_counters``
-backend      1      0 = probing, 1 = dict, 2 = robinhood, 3 = columnar
+backend      1      0 = probing, 1 = dict, 2 = robinhood, 3 = columnar;
+                    bit 7 (0x80) set = adaptive table growth
 policy kind  1      0 = sample-quantile, 1 = exact-kth, 2 = global-min
 policy p     8      float64 quantile / fraction (0 for global-min)
 sample size  4      uint32 ℓ (0 when not applicable)
@@ -66,6 +67,11 @@ _FRAME_LENGTH = struct.Struct("<I")
 _BACKEND_CODES = {"probing": 0, "dict": 1, "robinhood": 2, "columnar": 3}
 _BACKEND_NAMES = {code: name for name, code in _BACKEND_CODES.items()}
 
+#: High bit of the backend byte: set when the counter table uses
+#: adaptive (doubling) growth.  Default-mode blobs are byte-identical to
+#: the pre-flag format, so existing golden hashes stay valid.
+_ADAPTIVE_GROWTH_FLAG = 0x80
+
 
 def _encode_policy(policy) -> tuple[int, float, int]:
     if isinstance(policy, SampleQuantilePolicy):
@@ -94,6 +100,8 @@ def sketch_to_bytes(sketch: FrequentItemsSketch) -> bytes:
     backend_code = _BACKEND_CODES.get(sketch.backend)
     if backend_code is None:
         raise SerializationError(f"unknown backend {sketch.backend!r}")
+    if sketch.growth == "adaptive":
+        backend_code |= _ADAPTIVE_GROWTH_FLAG
     kind, param, sample_size = _encode_policy(sketch.policy)
     counters = list(sketch._store.items())
     header = _HEADER.pack(
@@ -136,7 +144,8 @@ def sketch_from_bytes(blob: bytes) -> FrequentItemsSketch:
     ) = _HEADER.unpack_from(blob, 0)
     if magic != _MAGIC:
         raise SerializationError(f"bad magic {magic!r}")
-    backend = _BACKEND_NAMES.get(backend_code)
+    growth = "adaptive" if backend_code & _ADAPTIVE_GROWTH_FLAG else "fixed"
+    backend = _BACKEND_NAMES.get(backend_code & ~_ADAPTIVE_GROWTH_FLAG)
     if backend is None:
         raise SerializationError(f"unknown backend code {backend_code}")
     expected = _HEADER.size + count * _RECORD.size
@@ -160,7 +169,7 @@ def sketch_from_bytes(blob: bytes) -> FrequentItemsSketch:
     # is vectorized on the columnar backend; the PRNG restarts from the
     # stored seed.
     kernel = SketchKernel.restore(
-        k, policy, backend, seed, items, counts, offset, weight
+        k, policy, backend, seed, items, counts, offset, weight, growth=growth
     )
     return FrequentItemsSketch._from_kernel(kernel)
 

@@ -13,7 +13,8 @@ kernels directly.  See ``docs/extending.md`` for building your own
 consumer.
 """
 
+from repro.engine.grouping import BatchGrouper
 from repro.engine.kernel import SketchKernel
 from repro.engine.query import QueryEngine
 
-__all__ = ["SketchKernel", "QueryEngine"]
+__all__ = ["SketchKernel", "QueryEngine", "BatchGrouper"]

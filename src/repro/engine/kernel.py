@@ -30,6 +30,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.policies import DecrementPolicy, SampleQuantilePolicy
+from repro.engine.grouping import BatchGrouper
 from repro.errors import (
     IncompatibleSketchError,
     InvalidParameterError,
@@ -37,7 +38,7 @@ from repro.errors import (
 )
 from repro.metrics.instrumentation import OpStats
 from repro.prng import Xoroshiro128PlusPlus
-from repro.table import make_store
+from repro.table import GROWTH_MODES, make_store
 from repro.table.base import CounterStore
 from repro.table.columnar import ColumnarCounterStore
 from repro.table.dictstore import DictCounterStore
@@ -65,6 +66,12 @@ class SketchKernel:
         Controls counter sampling, quickselect pivots, merge iteration
         order, and the table hash — two kernels built with the same seed
         and inputs are identical.
+    growth:
+        ``"fixed"`` (default) allocates the full counter table up front;
+        ``"adaptive"`` starts it small and doubles up to ``k`` on
+        overflow, the paper's doubling hash map.  Decrement passes begin
+        only once the table holds ``k`` counters, in either mode — so an
+        adaptive kernel answers queries bit-identically to a fixed one.
     """
 
     __slots__ = (
@@ -72,11 +79,16 @@ class SketchKernel:
         "policy",
         "backend",
         "seed",
+        "growth",
         "store",
         "rng",
         "offset",
         "stream_weight",
         "stats",
+        "_grouper",
+        "_val_arena",
+        "_tracked_arena",
+        "_first_arena",
     )
 
     def __init__(
@@ -85,10 +97,15 @@ class SketchKernel:
         policy: Optional[DecrementPolicy] = None,
         backend: str = "probing",
         seed: int = 0,
+        growth: str = "fixed",
     ) -> None:
         if max_counters < 2:
             raise InvalidParameterError(
                 f"max_counters must be at least 2, got {max_counters}"
+            )
+        if growth not in GROWTH_MODES:
+            raise InvalidParameterError(
+                f"growth must be one of {GROWTH_MODES}, got {growth!r}"
             )
         self.k = max_counters
         self.policy: DecrementPolicy = (
@@ -96,11 +113,21 @@ class SketchKernel:
         )
         self.backend = backend
         self.seed = seed
-        self.store: CounterStore = make_store(backend, max_counters, seed=seed)
+        self.growth = growth
+        self.store: CounterStore = make_store(
+            backend, max_counters, seed=seed, growth=growth
+        )
         self.rng = Xoroshiro128PlusPlus(seed ^ RNG_SEED_MASK)
         self.offset = 0.0
         self.stream_weight = 0.0
         self.stats = OpStats()
+        # Batched-ingest scratch, created lazily on the first batch: the
+        # grouper owns the hash-grouping table, the arenas back the
+        # per-group masks/values so no window reallocates them.
+        self._grouper: Optional[BatchGrouper] = None
+        self._val_arena: Optional[np.ndarray] = None
+        self._tracked_arena: Optional[np.ndarray] = None
+        self._first_arena: Optional[np.ndarray] = None
 
     # -- reconstruction -------------------------------------------------------
 
@@ -117,6 +144,7 @@ class SketchKernel:
         stream_weight: float,
         rng_state: Optional[tuple[int, int]] = None,
         stats: Optional[OpStats] = None,
+        growth: str = "fixed",
     ) -> "SketchKernel":
         """Rebuild a kernel from saved state (the one shared restore path).
 
@@ -127,7 +155,9 @@ class SketchKernel:
         and the PRNG either resumes from ``rng_state`` (copy) or
         restarts from the construction seed (deserialization).
         """
-        kernel = cls(max_counters, policy=policy, backend=backend, seed=seed)
+        kernel = cls(
+            max_counters, policy=policy, backend=backend, seed=seed, growth=growth
+        )
         if len(items):
             kernel.store.insert_many(
                 np.ascontiguousarray(items, dtype=np.uint64),
@@ -155,6 +185,7 @@ class SketchKernel:
             self.stream_weight,
             rng_state=self.rng.getstate(),
             stats=self.stats,
+            growth=self.growth,
         )
 
     # -- scalar ingestion -----------------------------------------------------
@@ -209,8 +240,15 @@ class SketchKernel:
         n = items.shape[0]
         if n == 0:
             return
-        # Integer-valued weights make this sum exact in any order, which
-        # keeps batched and scalar stream weights bit-identical.
+        # Stream-weight exactness contract: for integer-valued weights
+        # (every workload in the paper — unit weights, packet counts,
+        # packet bits) this one bulk sum is exact in any order, so the
+        # batched and scalar stream weights are bit-identical.  For
+        # fractional weights NumPy's pairwise summation bounds the
+        # rounding drift by O(eps * log n) relative — far tighter than a
+        # naive left-to-right loop — but bit-identity with the scalar
+        # ``+=`` sequence is explicitly NOT promised; a regression test
+        # pins the drift bound so it cannot silently widen.
         self.stream_weight += float(weights.sum())
         # Ingest in bounded windows: the segment scan inside
         # ingest_batch walks the remaining window once per decrement
@@ -226,6 +264,21 @@ class SketchKernel:
                 stop = start + window
                 self.ingest_batch(items[start:stop], weights[start:stop])
 
+    def _ensure_arenas(
+        self, num_groups: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The kernel-owned per-group scratch arrays (reused, grown
+        geometrically, never shrunk): ``(val, tracked, first_scratch)``."""
+        val = self._val_arena
+        tracked = self._tracked_arena
+        first = self._first_arena
+        if val is None or tracked is None or first is None or len(val) < num_groups:
+            size = max(4096, 1 << (num_groups - 1).bit_length())
+            val = self._val_arena = np.empty(size, dtype=np.float64)
+            tracked = self._tracked_arena = np.empty(size, dtype=bool)
+            first = self._first_arena = np.empty(size, dtype=np.int64)
+        return val, tracked, first
+
     def ingest_batch(self, items: np.ndarray, weights: np.ndarray) -> None:
         """Grouped counter logic, equivalent to :meth:`ingest` per element.
 
@@ -238,31 +291,33 @@ class SketchKernel:
         overflow the table — the first update whose key is untracked
         once the table is full — and the decrement there replays the
         scalar code path verbatim, PRNG draws included.
+
+        Grouping is hash-based (:class:`~repro.engine.grouping.
+        BatchGrouper`): no ``np.unique`` sort, and the grouping table and
+        per-group masks live in kernel-owned arenas reused across
+        windows, so the steady-state loop allocates almost nothing.
         """
         store = self.store
         stats = self.stats
         k = self.k
         n = len(items)
-        uniq, inverse = np.unique(items, return_inverse=True)
-        num_groups = len(uniq)
+        if n == 0:
+            return
+        grouper = self._grouper
+        if grouper is None:
+            grouper = self._grouper = BatchGrouper()
+        uniq, inverse, num_groups = grouper.group(items)
         if not len(store) and num_groups <= k:
             # Bulk load: every distinct key fits an empty table, so no
             # decrement pass can trigger (weights are positive) and the
             # whole batch collapses to one grouped insert.  This is the
             # hot path for deserialization, merge into a fresh sketch,
             # and the first batch on each shard of a sharded ingest.
+            # ``uniq`` is already in first-occurrence order — exactly the
+            # scalar insert sequence for order-sensitive layouts (the
+            # sorted columnar layout is order-independent anyway).
             sums = np.bincount(inverse, weights=weights, minlength=num_groups)
-            if isinstance(store, ColumnarCounterStore):
-                # Sorted layout is insertion-order independent; ``uniq``
-                # is already sorted and duplicate-free.
-                store.insert_many(uniq, sums)
-            else:
-                # Order-sensitive layouts need first-occurrence order to
-                # stay bit-identical to the scalar insert sequence.
-                first = np.empty(num_groups, dtype=np.int64)
-                first[inverse[::-1]] = np.arange(n - 1, -1, -1, dtype=np.int64)
-                order = np.argsort(first, kind="stable")
-                store.insert_many(uniq[order], sums[order])
+            store.insert_many(uniq, sums)
             stats.updates += n
             stats.inserts += num_groups
             stats.hits += n - num_groups
@@ -270,10 +325,21 @@ class SketchKernel:
         # Per-group live value, mirrored locally so purge survival can be
         # decided with array ops instead of store lookups.  NaN-free:
         # untracked groups carry 0.0 and a False `tracked` flag.
-        initial = store.get_many(uniq)
-        tracked = ~np.isnan(initial)
-        val = np.where(tracked, initial, 0.0)
-        first_scratch = np.empty(num_groups, dtype=np.int64)
+        val_arena, tracked_arena, first_arena = self._ensure_arenas(num_groups)
+        tracked = tracked_arena[:num_groups]
+        val = val_arena[:num_groups]
+        first_scratch = first_arena[:num_groups]
+        if len(store):
+            initial = store.get_many(uniq)
+            np.isnan(initial, out=tracked)
+            np.logical_not(tracked, out=tracked)
+            val[:] = 0.0
+            np.copyto(val, initial, where=tracked)
+        else:
+            # Bulk-load-adjacent (empty table, more groups than k): no
+            # key can be tracked yet — skip the get_many NaN round-trip.
+            tracked[:] = False
+            val[:] = 0.0
         p = 0
         while p < n:
             room = k - len(store)

@@ -10,12 +10,13 @@
 """
 
 from repro.hashing.families import MultiplyShiftFamily, SignHashFamily
-from repro.hashing.mixers import fmix64, hash_u64, item_to_u64
+from repro.hashing.mixers import fmix64, hash_u64, hash_u64_array, item_to_u64
 from repro.hashing.murmur import murmur3_x64_128
 
 __all__ = [
     "fmix64",
     "hash_u64",
+    "hash_u64_array",
     "item_to_u64",
     "murmur3_x64_128",
     "MultiplyShiftFamily",

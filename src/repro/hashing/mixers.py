@@ -57,6 +57,25 @@ def hash_u64(x: int, seed: int = 0) -> int:
     return fmix64(fmix64(x) ^ ((seed * _GOLDEN) & _MASK64))
 
 
+def hash_u64_array(x: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Vectorized :func:`hash_u64` over a uint64 array.
+
+    Bit-identical to the scalar hash element-wise — the batched probing
+    paths of the open-addressing counter stores rely on this to land
+    every key in exactly the slot the scalar loop would probe.
+    """
+    out = fmix64_array(x)
+    if seed:
+        out ^= np.uint64((seed * _GOLDEN) & _MASK64)
+    with np.errstate(over="ignore"):
+        out ^= out >> np.uint64(33)
+        out *= np.uint64(0xFF51AFD7ED558CCD)
+        out ^= out >> np.uint64(33)
+        out *= np.uint64(0xC4CEB9FE1A85EC53)
+        out ^= out >> np.uint64(33)
+    return out
+
+
 def items_to_u64_array(items: object) -> np.ndarray:
     """Coerce a batch of item identifiers to a uint64 array, losslessly.
 

@@ -124,6 +124,7 @@ class ShardedFrequentItemsSketch:
         backend: str = "columnar",
         seed: int = 0,
         max_workers: Optional[int] = None,
+        growth: str = "fixed",
     ) -> None:
         if num_shards < 1:
             raise InvalidParameterError(
@@ -143,6 +144,7 @@ class ShardedFrequentItemsSketch:
                 policy=policy,
                 backend=backend,
                 seed=_shard_seed(seed, index),
+                growth=growth,
             )
             for index in range(num_shards)
         ]
@@ -213,6 +215,11 @@ class ShardedFrequentItemsSketch:
     def seed(self) -> int:
         """The master seed (fixes partition and per-shard seeds)."""
         return self._seed
+
+    @property
+    def growth(self) -> str:
+        """Per-shard table-growth mode (``"fixed"`` or ``"adaptive"``)."""
+        return self._shards[0].growth
 
     @property
     def shards(self) -> tuple[FrequentItemsSketch, ...]:
@@ -704,6 +711,7 @@ class ShardedFrequentItemsSketch:
             backend=self._backend,
             seed=self._seed,
             max_workers=self._max_workers,
+            growth=self.growth,
         )
         return fresh.merge(self)
 

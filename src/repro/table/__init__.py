@@ -33,26 +33,47 @@ __all__ = [
     "probing_table_bytes",
     "make_store",
     "BACKEND_NAMES",
+    "GROWTH_MODES",
+    "ADAPTIVE_INITIAL_CAPACITY",
 ]
 
 #: Every counter-store backend name ``make_store`` accepts.
 BACKEND_NAMES = ("probing", "robinhood", "dict", "columnar")
 
+#: Every table-growth mode ``make_store`` accepts.
+GROWTH_MODES = ("fixed", "adaptive")
 
-def make_store(backend: str, capacity: int, seed: int = 0) -> CounterStore:
+#: Where adaptive-growth stores start: enough room for this many counters,
+#: doubling up to the configured capacity on overflow (the paper's hash
+#: map "initially contains 2^5 slots and doubles in size when full").
+ADAPTIVE_INITIAL_CAPACITY = 16
+
+
+def make_store(
+    backend: str, capacity: int, seed: int = 0, growth: str = "fixed"
+) -> CounterStore:
     """Construct a counter store by backend name.
 
     Backends: ``"probing"`` (the paper's Section 2.3.3 layout),
     ``"robinhood"`` (the displacement variant, for the backend ablation),
     ``"dict"`` (CPython's builtin table), and ``"columnar"`` (sorted
     NumPy parallel arrays with vectorized batch operations).
+
+    ``growth="adaptive"`` starts the store small
+    (:data:`ADAPTIVE_INITIAL_CAPACITY` counters) and doubles it up to
+    ``capacity`` on overflow, mirroring the paper's doubling hash map —
+    early-stream updates never touch full-size arrays.  ``"fixed"``
+    (default) allocates everything up front.
     """
+    if growth not in GROWTH_MODES:
+        raise ValueError(f"unknown growth mode: {growth!r}")
+    initial = ADAPTIVE_INITIAL_CAPACITY if growth == "adaptive" else None
     if backend == "probing":
-        return LinearProbingTable(capacity, hash_seed=seed)
+        return LinearProbingTable(capacity, hash_seed=seed, initial_capacity=initial)
     if backend == "robinhood":
-        return RobinHoodTable(capacity, hash_seed=seed)
+        return RobinHoodTable(capacity, hash_seed=seed, initial_capacity=initial)
     if backend == "dict":
-        return DictCounterStore(capacity)
+        return DictCounterStore(capacity, initial_capacity=initial)
     if backend == "columnar":
-        return ColumnarCounterStore(capacity)
+        return ColumnarCounterStore(capacity, initial_capacity=initial)
     raise ValueError(f"unknown counter-store backend: {backend!r}")

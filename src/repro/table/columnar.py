@@ -40,23 +40,62 @@ import numpy as np
 
 from repro.errors import InvalidParameterError, TableFullError
 from repro.prng import Xoroshiro128PlusPlus
-from repro.table.accounting import probing_table_bytes
+from repro.table.accounting import next_power_of_two, probing_table_bytes
 from repro.table.base import CounterStore
 from repro.types import ItemId
 
 
 class ColumnarCounterStore(CounterStore):
-    """Bounded item -> count map on sorted parallel NumPy arrays."""
+    """Bounded item -> count map on sorted parallel NumPy arrays.
 
-    __slots__ = ("_capacity", "_keys", "_values", "_size")
+    Parameters
+    ----------
+    capacity:
+        Maximum number of counters (the paper's ``k``).
+    initial_capacity:
+        When given, allocate columns for only this many counters (rounded
+        up to a power of two) and double up to ``capacity`` on overflow —
+        the adaptive-growth mode.  The sorted layout is a pure function
+        of the key set, so growth never perturbs anything observable.
+    """
 
-    def __init__(self, capacity: int) -> None:
+    __slots__ = ("_capacity", "_keys", "_values", "_size", "_alloc")
+
+    def __init__(
+        self, capacity: int, initial_capacity: Optional[int] = None
+    ) -> None:
         if capacity <= 0:
             raise InvalidParameterError(f"capacity must be positive, got {capacity}")
         self._capacity = capacity
-        self._keys = np.zeros(capacity, dtype=np.uint64)
-        self._values = np.zeros(capacity, dtype=np.float64)
+        if initial_capacity is None:
+            alloc = capacity
+        else:
+            if initial_capacity <= 0:
+                raise InvalidParameterError(
+                    f"initial_capacity must be positive, got {initial_capacity}"
+                )
+            alloc = min(capacity, next_power_of_two(min(initial_capacity, capacity)))
+        self._alloc = alloc
+        self._keys = np.zeros(alloc, dtype=np.uint64)
+        self._values = np.zeros(alloc, dtype=np.float64)
         self._size = 0
+
+    def _ensure_alloc(self, needed: int) -> None:
+        """Grow the columns by doubling until ``needed`` counters fit."""
+        if needed <= self._alloc:
+            return
+        alloc = self._alloc
+        while alloc < needed:
+            alloc *= 2
+        alloc = min(alloc, self._capacity)
+        keys = np.zeros(alloc, dtype=np.uint64)
+        values = np.zeros(alloc, dtype=np.float64)
+        size = self._size
+        keys[:size] = self._keys[:size]
+        values[:size] = self._values[:size]
+        self._keys = keys
+        self._values = values
+        self._alloc = alloc
 
     @property
     def capacity(self) -> int:
@@ -89,6 +128,10 @@ class ColumnarCounterStore(CounterStore):
         return True
 
     def insert(self, key: ItemId, value: float) -> None:
+        # Exactly one binary search per insert: the same ``searchsorted``
+        # position both rejects duplicates and locates the shift point
+        # (a regression test pins the single-search, one-memmove-per-
+        # column behavior).
         size = self._size
         position = int(np.searchsorted(self._keys[:size], key))
         if position < size and int(self._keys[position]) == key:
@@ -97,8 +140,17 @@ class ColumnarCounterStore(CounterStore):
             raise TableFullError(
                 f"store holds {size} counters, capacity {self._capacity}"
             )
-        # Shift the tail up one slot (NumPy handles the overlap) and drop
-        # the new pair into its sorted position.
+        self._ensure_alloc(size + 1)
+        self._shift_in(position, key, value)
+
+    def _shift_in(self, position: int, key: ItemId, value: float) -> None:
+        """Open ``position`` with one tail shift per column and write the pair.
+
+        NumPy's overlapping basic-slice assignment is a single memmove per
+        column — the cheapest possible O(k) insert for a dense sorted
+        layout.
+        """
+        size = self._size
         self._keys[position + 1 : size + 1] = self._keys[position:size]
         self._values[position + 1 : size + 1] = self._values[position:size]
         self._keys[position] = key
@@ -142,6 +194,7 @@ class ColumnarCounterStore(CounterStore):
                 f"store holds {size} counters, inserting {count} exceeds "
                 f"capacity {self._capacity}"
             )
+        self._ensure_alloc(size + count)
         keys = np.asarray(keys, dtype=np.uint64)
         values = np.asarray(values, dtype=np.float64)
         # The sorted layout is insertion-order independent, so sort the
@@ -221,8 +274,9 @@ class ColumnarCounterStore(CounterStore):
 
     def space_bytes(self) -> int:
         # Same model as the probing table so "equal space" sweeps compare
-        # algorithms, not backends.
-        return probing_table_bytes(self._capacity)
+        # algorithms, not backends; adaptive stores are charged at their
+        # current allocation, which is the point of growing lazily.
+        return probing_table_bytes(self._alloc)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ColumnarCounterStore(size={self._size}, capacity={self._capacity})"

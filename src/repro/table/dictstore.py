@@ -24,13 +24,25 @@ from repro.types import ItemId
 
 
 class DictCounterStore(CounterStore):
-    """Bounded item -> count map on a builtin dict."""
+    """Bounded item -> count map on a builtin dict.
+
+    ``initial_capacity`` is accepted for interface parity with the
+    array-backed stores: CPython's dict already starts tiny and doubles
+    as it fills, so the adaptive-growth mode is its native behavior and
+    the parameter changes nothing observable.
+    """
 
     __slots__ = ("_capacity", "_counts")
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(
+        self, capacity: int, initial_capacity: Optional[int] = None
+    ) -> None:
         if capacity <= 0:
             raise InvalidParameterError(f"capacity must be positive, got {capacity}")
+        if initial_capacity is not None and initial_capacity <= 0:
+            raise InvalidParameterError(
+                f"initial_capacity must be positive, got {initial_capacity}"
+            )
         self._capacity = capacity
         self._counts: dict[ItemId, float] = {}
 
@@ -67,9 +79,17 @@ class DictCounterStore(CounterStore):
     # dict's iteration order — and serialized bytes — match exactly).
 
     def get_many(self, keys: np.ndarray) -> np.ndarray:
+        # One C-level dict probe per key, filled straight into the output
+        # array — no intermediate Python list.  This is the whole batch
+        # query path for the dict backend (``QueryEngine.estimate_batch``
+        # routes through here), so it must not degrade to per-item
+        # Python-object churn.
         get = self._counts.get
-        return np.array(
-            [get(key, np.nan) for key in keys.tolist()], dtype=np.float64
+        nan = np.nan
+        return np.fromiter(
+            (get(key, nan) for key in keys.tolist()),
+            dtype=np.float64,
+            count=len(keys),
         )
 
     def add_many(self, keys: np.ndarray, deltas: np.ndarray) -> None:

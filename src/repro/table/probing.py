@@ -2,7 +2,7 @@
 
 Layout
 ------
-Three parallel arrays of length ``L = next_pow2(4k/3)``:
+Three parallel NumPy arrays of length ``L = next_pow2(4k/3)``:
 
 * ``keys[s]``   — the 64-bit item identifier stored in slot ``s``;
 * ``values[s]`` — its approximate count (a float);
@@ -18,6 +18,30 @@ values forward as necessary" paragraph of Section 2.3.3).  No scratch
 memory is allocated — that is precisely the property that lets the final
 algorithm halve the footprint of the initial proposal.
 
+Batch operations
+----------------
+Because the parallel arrays are NumPy columns, the bulk operations the
+batched ingestion engine calls are *vectorized probe walks*: home slots
+for a whole key block are hashed in one array pass
+(:func:`repro.hashing.mixers.hash_u64_array`), and each probing round
+gathers the states/keys of every still-unresolved key at once, resolving
+the overwhelming majority on the first probe at realistic load factors.
+Only keys still colliding after a round advance (as an ever-shrinking
+index set) to the next.  The walks visit exactly the slots the scalar
+loops would visit, so results — and ``probe_count`` for lookups — are
+bit-identical to the equivalent scalar call sequence.
+
+Adaptive growth
+---------------
+With ``initial_capacity`` set, the table starts at a small power-of-two
+length and *doubles up to* the fixed ``L`` on overflow, mirroring the
+paper's doubling hash map: early-stream updates never pay for the full
+array.  While growing, keys are kept in an insertion log so each rehash
+replays the original insertion order — once the table reaches its final
+length its layout is bit-identical to a fixed-capacity table fed the
+same operations, which keeps counter *sampling* (and therefore every
+decrement decision downstream) identical too.
+
 The table also counts probe steps (``probe_count``) so benchmarks can
 report hardware-independent access costs.
 """
@@ -26,8 +50,10 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
+import numpy as np
+
 from repro.errors import InvalidParameterError, TableFullError
-from repro.hashing.mixers import hash_u64
+from repro.hashing.mixers import hash_u64, hash_u64_array
 from repro.prng import Xoroshiro128PlusPlus
 from repro.table.accounting import BYTES_PER_SLOT, HEADER_BYTES, table_length
 from repro.table.base import CounterStore
@@ -50,6 +76,11 @@ class LinearProbingTable(CounterStore):
         Maximum fill fraction; the array length is the smallest power of
         two with ``capacity / length <= load_factor`` (default 3/4, the
         paper's ``L ~ 4k/3``).
+    initial_capacity:
+        When given, start the arrays small enough for only this many
+        counters and double up to the fixed length on demand (the
+        paper's doubling hash map).  ``None`` (default) allocates the
+        full-size arrays up front.
     """
 
     __slots__ = (
@@ -60,6 +91,10 @@ class LinearProbingTable(CounterStore):
         "_states",
         "_size",
         "_seed",
+        "_load_factor",
+        "_final_length",
+        "_stage_capacity",
+        "_insertion_log",
         "probe_count",
     )
 
@@ -68,19 +103,45 @@ class LinearProbingTable(CounterStore):
         capacity: int,
         hash_seed: int = 0,
         load_factor: float = 0.75,
+        initial_capacity: Optional[int] = None,
     ) -> None:
         if capacity <= 0:
             raise InvalidParameterError(f"capacity must be positive, got {capacity}")
-        length = table_length(capacity, load_factor)
         self._capacity = capacity
-        self._mask = length - 1
-        self._keys = [0] * length
-        self._values = [0.0] * length
-        self._states = [0] * length
-        self._size = 0
         self._seed = hash_seed
+        self._load_factor = load_factor
+        self._final_length = table_length(capacity, load_factor)
+        if initial_capacity is None:
+            length = self._final_length
+        else:
+            if initial_capacity <= 0:
+                raise InvalidParameterError(
+                    f"initial_capacity must be positive, got {initial_capacity}"
+                )
+            length = min(
+                self._final_length,
+                table_length(min(initial_capacity, capacity), load_factor),
+            )
+        self._allocate(length)
         #: Total linear-probing steps taken by lookups and inserts.
         self.probe_count = 0
+
+    def _allocate(self, length: int) -> None:
+        """(Re)allocate empty arrays of ``length`` slots."""
+        self._mask = length - 1
+        self._keys = np.zeros(length, dtype=np.uint64)
+        self._values = np.zeros(length, dtype=np.float64)
+        self._states = np.zeros(length, dtype=np.int64)
+        self._size = 0
+        self._stage_capacity = min(
+            self._capacity, int(length * self._load_factor)
+        )
+        # The insertion log exists only while the table can still grow:
+        # each rehash replays it so the layout stays the one the original
+        # insertion order would have produced at the new length.
+        self._insertion_log: Optional[list[int]] = (
+            [] if length < self._final_length else None
+        )
 
     # -- basic introspection -------------------------------------------------
 
@@ -90,7 +151,7 @@ class LinearProbingTable(CounterStore):
 
     @property
     def length(self) -> int:
-        """Physical array length ``L`` (a power of two)."""
+        """Physical array length ``L`` (a power of two, current stage)."""
         return self._mask + 1
 
     def __len__(self) -> int:
@@ -105,6 +166,64 @@ class LinearProbingTable(CounterStore):
     def _home_slot(self, key: ItemId) -> int:
         return hash_u64(key, self._seed) & self._mask
 
+    def _home_slots_array(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_home_slot`.
+
+        Falls back to the scalar method per key when a subclass overrides
+        ``_home_slot`` (the white-box layout tests rig it), so batch and
+        scalar paths always agree on every home slot.
+        """
+        if type(self)._home_slot is not LinearProbingTable._home_slot:
+            return np.array(
+                [self._home_slot(key) for key in keys.tolist()], dtype=np.int64
+            )
+        return (hash_u64_array(keys, self._seed) & np.uint64(self._mask)).astype(
+            np.int64
+        )
+
+    # -- adaptive growth -----------------------------------------------------
+
+    def _ensure_slot(self) -> None:
+        """Raise at ``k``; double the arrays first when staged growth is on."""
+        if self._size >= self._capacity:
+            raise TableFullError(
+                f"table holds {self._size} counters, capacity {self._capacity}"
+            )
+        if self._size >= self._stage_capacity:
+            self._grow()
+
+    def _grow(self) -> None:
+        """Double the physical arrays and rehash in original insertion order."""
+        length = (self._mask + 1) * 2
+        log = self._insertion_log
+        if log is None:  # pragma: no cover - _ensure_slot never lets this happen
+            raise TableFullError(
+                f"table holds {self._size} counters, capacity {self._capacity}"
+            )
+        occupied = np.flatnonzero(self._states != 0)
+        values_of = dict(
+            zip(self._keys[occupied].tolist(), self._values[occupied].tolist())
+        )
+        self._allocate(length)
+        for key in log:
+            self._rehash_place(key, values_of[key])
+
+    def _rehash_place(self, key: ItemId, value: float) -> None:
+        """Place a key known to be absent (no duplicate check, no probe tax)."""
+        states = self._states
+        keys = self._keys
+        mask = self._mask
+        home = self._home_slot(key)
+        slot = home
+        while states[slot] != 0:
+            slot = (slot + 1) & mask
+        keys[slot] = key
+        self._values[slot] = value
+        states[slot] = ((slot - home) & mask) + 1
+        self._size += 1
+        if self._insertion_log is not None:
+            self._insertion_log.append(key)
+
     # -- lookup / update -----------------------------------------------------
 
     def get(self, key: ItemId) -> Optional[float]:
@@ -117,7 +236,7 @@ class LinearProbingTable(CounterStore):
             probes += 1
             if keys[slot] == key:
                 self.probe_count += probes
-                return self._values[slot]
+                return float(self._values[slot])
             slot = (slot + 1) & mask
         self.probe_count += probes + 1
         return None
@@ -139,10 +258,7 @@ class LinearProbingTable(CounterStore):
         return False
 
     def insert(self, key: ItemId, value: float) -> None:
-        if self._size >= self._capacity:
-            raise TableFullError(
-                f"table holds {self._size} counters, capacity {self._capacity}"
-            )
+        self._ensure_slot()
         states = self._states
         keys = self._keys
         mask = self._mask
@@ -159,59 +275,271 @@ class LinearProbingTable(CounterStore):
         states[slot] = ((slot - home) & mask) + 1
         self._size += 1
         self.probe_count += probes + 1
+        if self._insertion_log is not None:
+            self._insertion_log.append(key)
 
     def put(self, key: ItemId, value: float) -> None:
         """Set ``key`` to ``value``, inserting if absent."""
         states = self._states
         keys = self._keys
         mask = self._mask
-        home = self._home_slot(key)
-        slot = home
+        slot = self._home_slot(key)
         while states[slot] != 0:
             if keys[slot] == key:
                 self._values[slot] = value
                 return
             slot = (slot + 1) & mask
-        if self._size >= self._capacity:
-            raise TableFullError(
-                f"table holds {self._size} counters, capacity {self._capacity}"
+        self._ensure_slot()
+        self._rehash_place(key, value)
+
+    # -- batch operations (vectorized probe walks) ---------------------------
+
+    def _locate_many(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Resolve every key to a slot by gather/scatter probing rounds.
+
+        Returns ``(slots, found)``; ``slots[i]`` is meaningful only where
+        ``found[i]``.  Round ``r`` inspects the distance-``r`` slot of
+        every still-unresolved key at once — at realistic load factors
+        the first round resolves the vast majority, and the active set
+        shrinks geometrically after it.  ``probe_count`` advances by one
+        per slot inspection, exactly as the scalar loops count.
+        """
+        n = len(keys)
+        found = np.zeros(n, dtype=bool)
+        slots = self._home_slots_array(keys)
+        if n == 0 or self._size == 0:
+            self.probe_count += n
+            return slots, found
+        states = self._states
+        table_keys = self._keys
+        mask = self._mask
+        active = np.arange(n)
+        probes = 0
+        while active.size:
+            probes += active.size
+            s = slots[active]
+            st = states[s]
+            occupied = st != 0
+            hit = occupied & (table_keys[s] == keys[active])
+            if hit.any():
+                found[active[hit]] = True
+            nxt = active[occupied & ~hit]
+            if nxt.size:
+                slots[nxt] = (slots[nxt] + 1) & mask
+            active = nxt
+        self.probe_count += probes
+        return slots, found
+
+    def get_many(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        slots, found = self._locate_many(keys)
+        out = np.full(len(keys), np.nan, dtype=np.float64)
+        if found.any():
+            out[found] = self._values[slots[found]]
+        return out
+
+    def add_many(self, keys: np.ndarray, deltas: np.ndarray) -> None:
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        deltas = np.ascontiguousarray(deltas, dtype=np.float64)
+        slots, found = self._locate_many(keys)
+        if not found.all():
+            missing = keys[~found]
+            raise InvalidParameterError(
+                f"add_many: key {int(missing[0])} has no counter assigned"
             )
-        keys[slot] = key
-        self._values[slot] = value
-        states[slot] = ((slot - home) & mask) + 1
-        self._size += 1
+        # Keys are distinct by contract, so plain fancy indexing is a
+        # race-free scatter-add.
+        self._values[slots] += deltas
+
+    def insert_many(self, keys: np.ndarray, values: np.ndarray) -> None:
+        count = len(keys)
+        if count == 0:
+            return
+        if self._size + count > self._capacity:
+            raise TableFullError(
+                f"store holds {self._size} counters, inserting {count} exceeds "
+                f"capacity {self._capacity}"
+            )
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        start = 0
+        while start < count:
+            if self._size >= self._stage_capacity:
+                self._grow()
+            room = self._stage_capacity - self._size
+            stop = min(count, start + room)
+            self._insert_block(keys[start:stop], values[start:stop])
+            start = stop
+
+    def _insert_block(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Insert a block that fits the current stage, scalar-equivalently."""
+        n = len(keys)
+        states = self._states
+        table_keys = self._keys
+        table_values = self._values
+        mask = self._mask
+        homes = self._home_slots_array(keys)
+        # Fast path: every home slot empty and all homes distinct.  The
+        # scalar insert sequence would place each key exactly at its home
+        # regardless of order, so one scatter reproduces it bit-for-bit.
+        if n == 1:
+            distinct = True
+        else:
+            in_order = np.sort(homes)
+            distinct = not (in_order[1:] == in_order[:-1]).any()
+        if distinct and not states[homes].any():
+            table_keys[homes] = keys
+            table_values[homes] = values
+            states[homes] = 1
+            self._size += n
+            self.probe_count += n
+            if self._insertion_log is not None:
+                self._insertion_log.extend(keys.tolist())
+            return
+        # Slow path: replay the scalar insert sequence, but walk a plain
+        # Python occupancy list (NumPy scalar indexing would dominate the
+        # loop) and scatter the placements back in one vectorized pass.
+        # FCFS probing places each key at the first free slot of its
+        # probe path, so positions depend only on occupancy.
+        occupancy = states.tolist()
+        stored_keys = table_keys.tolist()
+        positions = []
+        append = positions.append
+        for key, home in zip(keys.tolist(), homes.tolist()):
+            slot = home
+            while occupancy[slot]:
+                if stored_keys[slot] == key:
+                    raise InvalidParameterError(
+                        f"key {key} is already assigned a counter"
+                    )
+                slot = (slot + 1) & mask
+            occupancy[slot] = 1
+            stored_keys[slot] = key
+            append(slot)
+        pos = np.array(positions, dtype=np.int64)
+        distances = (pos - homes) & mask
+        table_keys[pos] = keys
+        table_values[pos] = values
+        states[pos] = distances + 1
+        self._size += n
+        # Scalar parity: each insert scans its probe distance in occupied
+        # slots plus the final empty one.
+        self.probe_count += int(distances.sum()) + n
+        if self._insertion_log is not None:
+            self._insertion_log.extend(keys.tolist())
 
     # -- bulk decrement ------------------------------------------------------
 
     def adjust_all(self, delta: float) -> None:
-        states = self._states
-        values = self._values
-        for slot in range(len(states)):
-            if states[slot] != 0:
-                values[slot] += delta
+        np.add(
+            self._values, delta, out=self._values, where=self._states != 0
+        )
 
     def scale_all(self, factor: float) -> None:
-        states = self._states
-        values = self._values
-        for slot in range(len(states)):
-            if states[slot] != 0:
-                values[slot] *= factor
+        np.multiply(
+            self._values, factor, out=self._values, where=self._states != 0
+        )
 
     def purge_nonpositive(self) -> int:
         states = self._states
         values = self._values
-        removed = 0
-        slot = 0
-        length = len(states)
-        while slot < length:
-            if states[slot] != 0 and values[slot] <= 0.0:
-                self._remove_at(slot)
-                removed += 1
-                # Backward shifting may have moved another counter into
-                # this slot; re-examine it before advancing.
-            else:
-                slot += 1
-        return removed
+        # Vectorized victim prescan decides the strategy.  Either way the
+        # result is bit-identical (live cells) to the scalar 0..L-1
+        # backward-shift sweep; an exhaustive layout test pins that.
+        occupied = states != 0
+        victims = np.flatnonzero(occupied & (values <= 0.0))
+        if victims.size == 0:
+            return 0
+        if victims.size * 4 >= self._size:
+            # Dense victims — the decrement-pass regime, which frees
+            # about half the counters: rebuilding from the survivors
+            # (bulk-hashed, replayed in cyclic run order) is much cheaper
+            # than one backward shift per victim.
+            self._purge_rebuild(occupied)
+        else:
+            # Sparse victims: backward-shift in place, walking only the
+            # runs that contain victims.  Each walk covers the originally
+            # occupied extent of its run — shifts free cells mid-run and
+            # move victims past them, but they can never carry a counter
+            # across a cell that started out empty.
+            length = self._mask + 1
+            positions = victims.tolist()
+            i = 0
+            while i < len(positions):
+                slot = positions[i]
+                while slot < length and occupied[slot]:
+                    if states[slot] != 0 and values[slot] <= 0.0:
+                        self._remove_at(slot)
+                        # Backward shifting may have moved another counter
+                        # into this slot; re-examine it before advancing.
+                    else:
+                        slot += 1
+                i += 1
+                while i < len(positions) and positions[i] <= slot:
+                    i += 1
+        if self._insertion_log is not None:
+            live = set(self._keys[self._states != 0].tolist())
+            self._insertion_log = [
+                key for key in self._insertion_log if key in live
+            ]
+        # Values never change during a purge and shifts cannot carry a
+        # victim past the sweep (they only move counters toward their
+        # homes), so exactly the prescanned victims get freed.
+        return int(victims.size)
+
+    def _purge_rebuild(self, occupied: np.ndarray) -> None:
+        """Drop non-positive counters by re-placing the survivors.
+
+        Survivors are replayed in *cyclic run order* — ascending slots
+        starting just past the first empty cell, so every probe run is
+        visited start to end even when it wraps — which reproduces the
+        backward-shift sweep's final layout exactly: both place each
+        survivor at the first free slot of its probe sequence, in the
+        same order.
+        """
+        first_empty = int(np.flatnonzero(~occupied)[0])
+        length = self._mask + 1
+        order = np.concatenate(
+            (
+                np.arange(first_empty + 1, length, dtype=np.int64),
+                np.arange(0, first_empty, dtype=np.int64),
+            )
+        )
+        live_slots = order[occupied[order]]
+        live_values = self._values[live_slots]
+        keep = live_values > 0.0
+        keys = self._keys[live_slots[keep]]
+        values = live_values[keep]
+        self._states[:] = 0
+        self._size = 0
+        homes = self._home_slots_array(keys)
+        self._rebuild_place(keys, values, homes)
+
+    def _rebuild_place(
+        self, keys: np.ndarray, values: np.ndarray, homes: np.ndarray
+    ) -> None:
+        """Re-place purge survivors (probe tax not charged: the in-place
+        sweep it replaces never counted its shifts either).
+
+        The table is empty here, so FCFS positions follow from a pure
+        occupancy walk on a Python list; the placements scatter back in
+        one vectorized pass per column.
+        """
+        mask = self._mask
+        occupancy = [0] * (mask + 1)
+        positions = []
+        append = positions.append
+        for home in homes.tolist():
+            slot = home
+            while occupancy[slot]:
+                slot = (slot + 1) & mask
+            occupancy[slot] = 1
+            append(slot)
+        pos = np.array(positions, dtype=np.int64)
+        self._keys[pos] = keys
+        self._values[pos] = values
+        self._states[pos] = ((pos - homes) & mask) + 1
+        self._size = len(positions)
 
     def _remove_at(self, slot: int) -> None:
         """Empty ``slot`` and backward-shift the rest of its probe run.
@@ -246,17 +574,17 @@ class LinearProbingTable(CounterStore):
     # -- iteration / sampling ------------------------------------------------
 
     def items(self) -> Iterator[tuple[ItemId, float]]:
-        states = self._states
-        keys = self._keys
-        values = self._values
-        for slot in range(len(states)):
-            if states[slot] != 0:
-                yield keys[slot], values[slot]
+        occupied = np.flatnonzero(self._states != 0)
+        return iter(
+            zip(self._keys[occupied].tolist(), self._values[occupied].tolist())
+        )
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        occupied = np.flatnonzero(self._states != 0)
+        return self._keys[occupied], self._values[occupied]
 
     def values_list(self) -> list[float]:
-        states = self._states
-        values = self._values
-        return [values[s] for s in range(len(states)) if states[s] != 0]
+        return self._values[self._states != 0].tolist()
 
     def sample_values(self, count: int, rng: Xoroshiro128PlusPlus) -> list[float]:
         """Uniform with-replacement sample of live counter values.
@@ -267,8 +595,8 @@ class LinearProbingTable(CounterStore):
         """
         if self._size == 0:
             raise InvalidParameterError("cannot sample from an empty table")
-        states = self._states
-        values = self._values
+        states = self._states.tolist()
+        values = self._values.tolist()
         length = len(states)
         out = []
         while len(out) < count:
@@ -278,15 +606,13 @@ class LinearProbingTable(CounterStore):
         return out
 
     def clear(self) -> None:
-        length = self._mask + 1
-        self._keys = [0] * length
-        self._values = [0.0] * length
-        self._states = [0] * length
-        self._size = 0
+        self._allocate(self._mask + 1)
 
     # -- accounting ----------------------------------------------------------
 
     def space_bytes(self) -> int:
+        # Charged at the *current* stage length: the adaptive-growth mode
+        # exists precisely so early-stream tables occupy less.
         return BYTES_PER_SLOT * self.length + HEADER_BYTES
 
     def max_state(self) -> int:
@@ -295,7 +621,7 @@ class LinearProbingTable(CounterStore):
         Section 2.3.3 argues 2-byte states suffice because distances stay
         tiny at load 3/4; tests use this to confirm the claim empirically.
         """
-        return max(self._states)
+        return int(self._states.max())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -10,16 +10,21 @@ high load factors; at the paper's 3/4 load plain linear probing's simpler
 inner loop wins — which the backend ablation lets you measure rather than
 take on faith.
 
-Shares all bulk operations (adjust, purge, sampling, accounting) with
+Shares all bulk operations (adjust, purge, sampling, accounting, the
+vectorized probe walks, and the adaptive-growth machinery) with
 :class:`~repro.table.probing.LinearProbingTable`; only the probe
-discipline differs.
+discipline differs.  The batched lookups keep the Robin Hood early exit:
+a probing round retires a key as absent the moment the gathered
+resident is richer than the probe is poor.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import InvalidParameterError, TableFullError
+import numpy as np
+
+from repro.errors import InvalidParameterError
 from repro.table.probing import LinearProbingTable
 from repro.types import ItemId
 
@@ -48,7 +53,7 @@ class RobinHoodTable(LinearProbingTable):
                 return None
             if keys[slot] == key:
                 self.probe_count += probes
-                return self._values[slot]
+                return float(self._values[slot])
             slot = (slot + 1) & mask
             distance += 1
 
@@ -72,17 +77,48 @@ class RobinHoodTable(LinearProbingTable):
             slot = (slot + 1) & mask
             distance += 1
 
+    # -- batch lookup (vectorized, early exit preserved) ----------------------
+
+    def _locate_many(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        n = len(keys)
+        found = np.zeros(n, dtype=bool)
+        slots = self._home_slots_array(keys)
+        if n == 0:
+            return slots, found
+        states = self._states
+        table_keys = self._keys
+        mask = self._mask
+        active = np.arange(n)
+        probes = 0
+        distance = 0
+        while active.size:
+            probes += active.size
+            s = slots[active]
+            st = states[s]
+            # Absent the moment the slot is empty or its resident is
+            # closer to home than the probe is (the early exit).
+            alive = (st != 0) & (st - 1 >= distance)
+            hit = alive & (table_keys[s] == keys[active])
+            if hit.any():
+                found[active[hit]] = True
+            nxt = active[alive & ~hit]
+            if nxt.size:
+                slots[nxt] = (slots[nxt] + 1) & mask
+            active = nxt
+            distance += 1
+        self.probe_count += probes
+        return slots, found
+
     # -- insertion with displacement -------------------------------------------
 
     def insert(self, key: ItemId, value: float) -> None:
-        if self._size >= self._capacity:
-            raise TableFullError(
-                f"table holds {self._size} counters, capacity {self._capacity}"
-            )
+        self._ensure_slot()
         if self.get(key) is not None:
             raise InvalidParameterError(f"key {key} is already assigned a counter")
         self._place(key, value)
         self._size += 1
+        if self._insertion_log is not None:
+            self._insertion_log.append(key)
 
     def put(self, key: ItemId, value: float) -> None:
         """Set ``key`` to ``value``, inserting if absent."""
@@ -96,20 +132,98 @@ class RobinHoodTable(LinearProbingTable):
                 slot = (slot + 1) & mask
             self._values[slot] = value
             return
-        if self._size >= self._capacity:
-            raise TableFullError(
-                f"table holds {self._size} counters, capacity {self._capacity}"
-            )
+        self._ensure_slot()
         self._place(key, value)
         self._size += 1
+        if self._insertion_log is not None:
+            self._insertion_log.append(key)
 
-    def _place(self, key: ItemId, value: float) -> None:
+    def _rehash_place(self, key: ItemId, value: float) -> None:
+        self._place(key, value)
+        self._size += 1
+        if self._insertion_log is not None:
+            self._insertion_log.append(key)
+
+    def _insert_block(self, keys: np.ndarray, values: np.ndarray) -> None:
+        n = len(keys)
+        states = self._states
+        homes = self._home_slots_array(keys)
+        if not states[homes].any():
+            if n == 1:
+                distinct = True
+            else:
+                in_order = np.sort(homes)
+                distinct = not (in_order[1:] == in_order[:-1]).any()
+            if distinct:
+                # Every key lands in its empty home slot: no displacement
+                # can occur, so one scatter equals the scalar sequence.
+                self._keys[homes] = keys
+                self._values[homes] = values
+                states[homes] = 1
+                self._size += n
+                self.probe_count += n
+                if self._insertion_log is not None:
+                    self._insertion_log.extend(keys.tolist())
+                return
+        # Slow path: the scalar displacement sequence, simulated on plain
+        # Python lists (NumPy scalar indexing would dominate the loop),
+        # then scattered back only to the slots the walk touched.  A
+        # duplicate is always reached before any steal could hide it (the
+        # Robin Hood invariant: a present key sits before the first
+        # richer resident on its probe path), so the walk doubles as the
+        # scalar insert's duplicate check.
+        states_list = states.tolist()
+        keys_list = self._keys.tolist()
+        values_list = self._values.tolist()
+        mask = self._mask
+        probes_total = 0
+        dirty: list[int] = []
+        mark = dirty.append
+        for key, value, home in zip(keys.tolist(), values.tolist(), homes.tolist()):
+            slot = home
+            distance = 0
+            probes = 0
+            while True:
+                state = states_list[slot]
+                probes += 1
+                if state == 0:
+                    keys_list[slot] = key
+                    values_list[slot] = value
+                    states_list[slot] = distance + 1
+                    mark(slot)
+                    break
+                if keys_list[slot] == key:
+                    raise InvalidParameterError(
+                        f"key {key} is already assigned a counter"
+                    )
+                resident_distance = state - 1
+                if resident_distance < distance:
+                    key, keys_list[slot] = keys_list[slot], key
+                    value, values_list[slot] = values_list[slot], value
+                    states_list[slot] = distance + 1
+                    distance = resident_distance
+                    mark(slot)
+                slot = (slot + 1) & mask
+                distance += 1
+            probes_total += probes
+        touched = np.array(dirty, dtype=np.int64)
+        # Duplicate indices all carry the same post-simulation value, so
+        # scatter order cannot matter.
+        states[touched] = [states_list[s] for s in dirty]
+        self._keys[touched] = [keys_list[s] for s in dirty]
+        self._values[touched] = [values_list[s] for s in dirty]
+        self._size += n
+        self.probe_count += probes_total
+        if self._insertion_log is not None:
+            self._insertion_log.extend(keys.tolist())
+
+    def _place(self, key: ItemId, value: float, home: Optional[int] = None) -> None:
         """Robin Hood displacement walk (key must be absent)."""
         states = self._states
         keys = self._keys
         values = self._values
         mask = self._mask
-        slot = self._home_slot(key)
+        slot = self._home_slot(key) if home is None else home
         distance = 0
         probes = 0
         while True:
@@ -130,6 +244,49 @@ class RobinHoodTable(LinearProbingTable):
                 distance = resident_distance
             slot = (slot + 1) & mask
             distance += 1
+
+    def _rebuild_place(
+        self, keys: np.ndarray, values: np.ndarray, homes: np.ndarray
+    ) -> None:
+        """Re-place purge survivors with Robin Hood displacement (no probe
+        tax, matching the in-place backward shift it replaces).
+
+        The table is empty here: the displacement walk runs on fresh
+        Python lists and the result lands in one bulk assignment per
+        column (which also wipes any stale cells).
+        """
+        length = self._mask + 1
+        mask = self._mask
+        states_list = [0] * length
+        keys_list = [0] * length
+        values_list = [0.0] * length
+        dirty: list[int] = []
+        mark = dirty.append
+        for key, value, home in zip(keys.tolist(), values.tolist(), homes.tolist()):
+            slot = home
+            distance = 0
+            while True:
+                state = states_list[slot]
+                if state == 0:
+                    keys_list[slot] = key
+                    values_list[slot] = value
+                    states_list[slot] = distance + 1
+                    mark(slot)
+                    break
+                resident_distance = state - 1
+                if resident_distance < distance:
+                    key, keys_list[slot] = keys_list[slot], key
+                    value, values_list[slot] = values_list[slot], value
+                    states_list[slot] = distance + 1
+                    distance = resident_distance
+                    mark(slot)
+                slot = (slot + 1) & mask
+                distance += 1
+        touched = np.array(dirty, dtype=np.int64)
+        self._states[touched] = [states_list[s] for s in dirty]
+        self._keys[touched] = [keys_list[s] for s in dirty]
+        self._values[touched] = [values_list[s] for s in dirty]
+        self._size = len(keys)
 
     # -- deletion: canonical Robin Hood backward shift ---------------------------
 

@@ -59,5 +59,28 @@ def test_experiments_registry_matches_readme_surface():
     assert set(cli.EXPERIMENTS) == {
         "fig1", "fig2", "fig3", "fig4", "claims", "space",
         "context", "bounds", "adversarial", "batch", "shard", "decay",
-        "ablations",
+        "ingest-profile", "ablations",
     }
+
+
+def test_ingest_profile_writes_json(tmp_path, monkeypatch, capsys):
+    import json
+
+    monkeypatch.chdir(tmp_path)
+    assert cli.main(["ingest-profile", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "Ingest profile" in out
+    document = json.loads((tmp_path / "BENCH_ingest.json").read_text())
+    assert document["bench"] == "ingest-profile"
+    assert document["gates"]["probing_batch_speedup_alpha1.05"] > 0
+    backends = {row["backend"] for row in document["rows"]}
+    assert backends == {"dict", "probing", "robinhood", "columnar"}
+
+
+def test_quick_flag_is_scale_alias(monkeypatch, tmp_path, capsys):
+    # --quick must parse and select the quick scale; use the cheapest
+    # experiment so the test stays fast.
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setitem(SCALES, "quick", TINY)
+    assert cli.main(["space", "--quick"]) == 0
+    assert "space" in capsys.readouterr().out.lower()

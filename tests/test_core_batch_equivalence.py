@@ -189,3 +189,89 @@ def test_update_all_accepts_bare_items_pairs_and_updates():
     assert sketch.estimate(9) == 1.5
     with pytest.raises(InvalidUpdateError):
         sketch.update_all([(1, -2.0)])
+
+
+# -- window boundaries -------------------------------------------------------
+# update_batch_validated splits big batches into windows of
+# max(4096, 8k); the split must be invisible: batches of exactly
+# `window`, `window + 1`, and `2 * window` updates land bit-identically
+# to the unwindowed scalar loop — serialized bytes AND the PRNG state,
+# so every future sampling decision agrees too.
+
+
+def _window_workload(total, seed):
+    stream = ZipfianStream(
+        total, universe=total // 4, alpha=1.05, seed=seed,
+        weight_low=1, weight_high=500,
+    )
+    items, weights = [], []
+    for batch_items, batch_weights in stream.batches(batch_size=total):
+        items.append(batch_items)
+        weights.append(batch_weights)
+    return np.concatenate(items), np.concatenate(weights)
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+@pytest.mark.parametrize("extra", [0, 1, 4096])
+def test_window_boundary_bit_identical(backend, extra):
+    k = 16  # window = max(4096, 8 * 16) = 4096
+    window = 4096
+    total = window + extra
+    items, weights = _window_workload(total, seed=31 + extra)
+    scalar = FrequentItemsSketch(k, backend=backend, seed=6)
+    for item, weight in zip(items.tolist(), weights.tolist()):
+        scalar.update(item, weight)
+    assert scalar.stats.decrements > 0  # boundary straddles decrements
+    batched = FrequentItemsSketch(k, backend=backend, seed=6)
+    batched.update_batch(items, weights)
+    assert scalar.to_bytes() == batched.to_bytes()
+    assert scalar._rng.getstate() == batched._rng.getstate()
+    assert scalar.stats.as_dict() == batched.stats.as_dict()
+
+
+# -- stream-weight accumulation ---------------------------------------------
+# The exactness contract: integer-representable weights sum exactly (any
+# order), so batch and scalar stream weights are bit-identical; for
+# fractional weights the batch path promises pairwise-summation accuracy
+# (O(eps log n) relative error vs. the exact sum), never the naive
+# left-to-right drift.
+
+
+def test_stream_weight_exact_for_integer_weights_near_2_53():
+    items = np.arange(4_000, dtype=np.uint64)
+    weights = np.full(4_000, 1.0)
+    weights[0] = float(1 << 50)  # huge + many small, still integer-exact
+    sketch = FrequentItemsSketch(64, backend="columnar", seed=2)
+    sketch.update_batch(items, weights)
+    scalar = FrequentItemsSketch(64, backend="columnar", seed=2)
+    for item, weight in zip(items.tolist(), weights.tolist()):
+        scalar.update(item, weight)
+    assert sketch.stream_weight == scalar.stream_weight == float((1 << 50) + 3_999)
+
+
+def test_stream_weight_fractional_drift_is_bounded():
+    """Rejects silent drift: the batched sum must stay within the
+    documented pairwise-summation bound of the exactly-rounded sum, on a
+    workload built to expose naive left-to-right accumulation."""
+    import math
+
+    n = 4_096
+    items = np.arange(n, dtype=np.uint64)
+    # One huge weight followed by many tiny ones: a naive running sum
+    # absorbs none of the tail; pairwise summation keeps it.
+    weights = np.full(n, 0.125)
+    weights[0] = 2.0**53
+    sketch = FrequentItemsSketch(64, backend="columnar", seed=2)
+    sketch.update_batch(items, weights)
+    exact = math.fsum(weights.tolist())
+    naive = 0.0
+    for w in weights.tolist():
+        naive += w
+    assert naive != exact  # the workload really is adversarial
+    assert sketch.stream_weight == pytest.approx(exact, rel=1e-12, abs=0.0)
+    # And across windows the per-window sums accumulate without widening
+    # the bound catastrophically.
+    big = FrequentItemsSketch(64, backend="columnar", seed=2)
+    reps = np.tile(weights, 4)
+    big.update_batch(np.tile(items, 4), reps)
+    assert big.stream_weight == pytest.approx(math.fsum(reps.tolist()), rel=1e-12)

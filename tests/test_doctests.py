@@ -13,6 +13,7 @@ MODULES_WITH_DOCTESTS = [
     "repro",
     "repro.core.frequent_items",
     "repro.core.merge",
+    "repro.engine.grouping",
     "repro.engine.kernel",
     "repro.engine.query",
     "repro.extensions.decayed",

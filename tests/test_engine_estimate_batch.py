@@ -105,3 +105,35 @@ def test_estimate_batch_windowed_and_decayed_consumers():
         decayed.estimate_batch(queries),
         np.array([decayed.estimate(item) for item in queries]),
     )
+
+
+def test_dict_estimate_batch_routes_through_get_many(monkeypatch):
+    """The dict backend's batch estimates must take the store's bulk
+    ``get_many`` probe (one C-level dict hit per key straight into the
+    output array), not a per-item Python estimate loop."""
+    sketch = FrequentItemsSketch(16, backend="dict", seed=4)
+    sketch.update_all([(1, 5.0), (2, 3.0), (3, 1.0)])
+    store = sketch._store
+    calls = []
+    original = store.get_many
+
+    def counting(keys):
+        calls.append(len(keys))
+        return original(keys)
+
+    monkeypatch.setattr(store, "get_many", counting)
+    queries = np.array([1, 2, 99, 1, 3], dtype=np.uint64)
+    batch = sketch.estimate_batch(queries)
+    assert calls == [5]  # exactly one bulk probe
+    expected = np.array([sketch.estimate(int(q)) for q in queries.tolist()])
+    np.testing.assert_array_equal(batch, expected)
+
+
+def test_dict_get_many_fills_array_directly():
+    """get_many on the dict store returns float64 with NaN for misses and
+    no intermediate Python list (np.fromiter contract: exact count)."""
+    sketch = FrequentItemsSketch(16, backend="dict", seed=4)
+    sketch.update_all([(7, 2.0), (8, 4.0)])
+    out = sketch._store.get_many(np.array([7, 9, 8], dtype=np.uint64))
+    assert out.dtype == np.float64
+    assert out[0] == 2.0 and np.isnan(out[1]) and out[2] == 4.0

@@ -1,0 +1,100 @@
+"""BatchGrouper: sort-free grouping must match the dict-based reference.
+
+The grouper replaces ``np.unique(..., return_inverse=True)`` in the
+batch ingest kernel; these tests pin the exact contract the kernel
+depends on — first-occurrence group order (which fixes insertion order
+on order-sensitive stores), ``uniq[inverse] == items``, and scratch
+reuse across calls of wildly different sizes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.grouping import BatchGrouper
+
+
+def _reference(items):
+    seen = {}
+    uniq = []
+    inverse = []
+    for key in items.tolist():
+        if key not in seen:
+            seen[key] = len(uniq)
+            uniq.append(key)
+        inverse.append(seen[key])
+    return uniq, inverse
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    raw=st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1), max_size=300)
+)
+def test_grouping_matches_reference(raw):
+    items = np.array(raw, dtype=np.uint64)
+    uniq, inverse, num_groups = BatchGrouper().group(items)
+    ref_uniq, ref_inverse = _reference(items)
+    assert uniq.tolist() == ref_uniq
+    assert inverse.tolist() == ref_inverse
+    assert num_groups == len(ref_uniq)
+    if len(items):
+        assert (uniq[inverse] == items).all()
+
+
+def test_scratch_reuse_across_varied_batches():
+    grouper = BatchGrouper()
+    rng = np.random.default_rng(17)
+    for trial in range(50):
+        n = int(rng.integers(0, 12_000))
+        items = rng.integers(0, max(1, n // 3 + 1), size=n, dtype=np.uint64)
+        uniq, inverse, num_groups = grouper.group(items)
+        ref_uniq, ref_inverse = _reference(items)
+        assert uniq.tolist() == ref_uniq
+        assert inverse.tolist() == ref_inverse
+        assert num_groups == len(ref_uniq)
+
+
+def test_grouping_is_sort_free(monkeypatch):
+    """The whole point: no comparison sort on the key batch."""
+    def forbidden(*args, **kwargs):  # pragma: no cover - failure path
+        raise AssertionError("BatchGrouper must not sort")
+
+    monkeypatch.setattr(np, "sort", forbidden)
+    monkeypatch.setattr(np, "argsort", forbidden)
+    monkeypatch.setattr(np, "unique", forbidden)
+    items = np.array([5, 3, 5, 9, 3, 1], dtype=np.uint64)
+    uniq, inverse, num_groups = BatchGrouper().group(items)
+    assert uniq.tolist() == [5, 3, 9, 1]
+    assert inverse.tolist() == [0, 1, 0, 2, 1, 3]
+    assert num_groups == 4
+
+
+def test_empty_batch():
+    uniq, inverse, num_groups = BatchGrouper().group(np.empty(0, dtype=np.uint64))
+    assert len(uniq) == 0 and len(inverse) == 0 and num_groups == 0
+
+
+def test_adversarial_same_hash_prefix():
+    """Dense sequential keys and giant keys both survive probing rounds."""
+    items = np.concatenate(
+        [
+            np.arange(2_000, dtype=np.uint64),
+            np.arange(2_000, dtype=np.uint64),
+            np.array([(1 << 64) - 1, 0, (1 << 63)], dtype=np.uint64),
+        ]
+    )
+    uniq, inverse, num_groups = BatchGrouper().group(items)
+    assert num_groups == 2_002
+    assert (uniq[inverse] == items).all()
+
+
+@pytest.mark.parametrize("seed", [0, 5, 99])
+def test_hash_u64_array_matches_scalar(seed):
+    from repro.hashing.mixers import hash_u64, hash_u64_array
+
+    keys = np.array(
+        [0, 1, 2, 12345, (1 << 53) + 7, (1 << 64) - 1], dtype=np.uint64
+    )
+    vectorized = hash_u64_array(keys, seed)
+    for key, hashed in zip(keys.tolist(), vectorized.tolist()):
+        assert hashed == hash_u64(key, seed)

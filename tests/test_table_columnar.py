@@ -118,3 +118,59 @@ def test_64bit_keys_round_trip():
     store.insert(0, 1.0)
     assert store.get(big) == 7.0
     assert list(store.items()) == [(0, 1.0), (big, 7.0)]
+
+
+# -- scalar insert: one binary search, one memmove per column ---------------
+
+
+class _CountingArray(np.ndarray):
+    """ndarray that records every __setitem__ (slice writes = memmoves)."""
+
+    writes: list = []
+
+    def __setitem__(self, index, value):
+        type(self).writes.append(index)
+        super().__setitem__(index, value)
+
+
+def test_insert_uses_single_searchsorted(monkeypatch):
+    """Regression: the scalar insert must not pay a second binary search
+    (the old double lookup through _position)."""
+    store = ColumnarCounterStore(16)
+    for key in (10, 30, 50):
+        store.insert(key, 1.0)
+    calls = []
+    original = np.searchsorted
+
+    def counting(*args, **kwargs):
+        calls.append(args)
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(np, "searchsorted", counting)
+    store.insert(20, 2.0)
+    assert len(calls) == 1
+    calls.clear()
+    assert store.get(20) == 2.0
+    assert len(calls) == 1
+    calls.clear()
+    assert store.add_to(20, 1.0) is True
+    assert len(calls) == 1
+
+
+def test_insert_is_one_memmove_per_column():
+    """The tail shift is a single overlapping slice assignment per column
+    plus the scalar write of the new pair — nothing element-wise."""
+    store = ColumnarCounterStore(16)
+    for key in (10, 30, 50, 70):
+        store.insert(key, float(key))
+    _CountingArray.writes = []
+    store._keys = store._keys.view(_CountingArray)
+    store._values = store._values.view(_CountingArray)
+    store.insert(20, 2.0)
+    slice_writes = [w for w in _CountingArray.writes if isinstance(w, slice)]
+    scalar_writes = [w for w in _CountingArray.writes if not isinstance(w, slice)]
+    assert len(slice_writes) == 2  # one shift per column
+    assert len(scalar_writes) == 2  # one new key, one new value
+    # And the store is still correct afterwards.
+    assert store._keys[:5].tolist() == [10, 20, 30, 50, 70]
+    assert store.get(20) == 2.0 and store.get(70) == 70.0

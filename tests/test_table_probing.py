@@ -238,3 +238,81 @@ class TableVsDictMachine(RuleBasedStateMachine):
 
 TestTableVsDict = TableVsDictMachine.TestCase
 TestTableVsDict.settings = settings(max_examples=60, stateful_step_count=60, deadline=None)
+
+
+# -- vectorized batch operations --------------------------------------------
+# get_many/add_many/insert_many are gather/scatter probe walks; they must
+# visit the same slots as the scalar loops — same layout, same values,
+# and (for lookups) the same probe_count, slot for slot.
+
+
+def _table_pair(cls, capacity, seed, keys, values):
+    vectorized = cls(capacity, hash_seed=seed)
+    scalar = cls(capacity, hash_seed=seed)
+    vectorized.insert_many(keys, values)
+    for key, value in zip(keys.tolist(), values.tolist()):
+        scalar.insert(key, value)
+    return vectorized, scalar
+
+
+def test_vectorized_ops_match_scalar_probing():
+    import numpy as np
+
+    rng = np.random.default_rng(11)
+    for trial in range(25):
+        capacity = int(rng.integers(2, 64))
+        keys = rng.choice(500, size=capacity, replace=False).astype(np.uint64)
+        values = rng.uniform(1.0, 9.0, size=capacity)
+        vectorized, scalar = _table_pair(
+            LinearProbingTable, capacity, trial, keys, values
+        )
+        assert vectorized._keys.tolist() == scalar._keys.tolist()
+        assert vectorized._states.tolist() == scalar._states.tolist()
+        assert vectorized._values.tolist() == scalar._values.tolist()
+        assert vectorized.probe_count == scalar.probe_count
+
+        queries = rng.integers(0, 600, size=80).astype(np.uint64)
+        before_vec = vectorized.probe_count
+        got = vectorized.get_many(queries)
+        probes_vec = vectorized.probe_count - before_vec
+        before_ref = scalar.probe_count
+        for index, key in enumerate(queries.tolist()):
+            expected = scalar.get(key)
+            if expected is None:
+                assert got[index] != got[index]  # NaN
+            else:
+                assert got[index] == expected
+        assert probes_vec == scalar.probe_count - before_ref
+
+        present = keys[: min(8, capacity)]
+        deltas = rng.uniform(0.5, 2.0, size=len(present))
+        vectorized.add_many(present, deltas)
+        for key, delta in zip(present.tolist(), deltas.tolist()):
+            assert scalar.add_to(key, delta)
+        assert vectorized._values.tolist() == scalar._values.tolist()
+
+        amount = float(np.median(values))
+        assert vectorized.decrement_and_purge(amount) == scalar.decrement_and_purge(
+            amount
+        )
+        assert vectorized._keys.tolist() == scalar._keys.tolist()
+        assert vectorized._states.tolist() == scalar._states.tolist()
+
+
+def test_add_many_missing_key_raises():
+    import numpy as np
+
+    table = LinearProbingTable(8, hash_seed=1)
+    table.insert(1, 1.0)
+    with pytest.raises(InvalidParameterError):
+        table.add_many(np.array([1, 99], dtype=np.uint64), np.ones(2))
+
+
+def test_insert_many_overflow_raises_before_mutation():
+    import numpy as np
+
+    table = LinearProbingTable(3, hash_seed=1)
+    table.insert(1, 1.0)
+    with pytest.raises(TableFullError):
+        table.insert_many(np.arange(10, 13, dtype=np.uint64), np.ones(3))
+    assert len(table) == 1

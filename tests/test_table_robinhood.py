@@ -149,3 +149,61 @@ def test_early_exit_lookup_counts_fewer_probes_on_misses():
         rh.get(key)
         lp.get(key)
     assert rh.probe_count <= lp.probe_count
+
+
+def test_vectorized_ops_match_scalar_robinhood():
+    import numpy as np
+
+    rng = np.random.default_rng(23)
+    for trial in range(25):
+        capacity = int(rng.integers(2, 64))
+        keys = rng.choice(500, size=capacity, replace=False).astype(np.uint64)
+        values = rng.uniform(1.0, 9.0, size=capacity)
+        vectorized = RobinHoodTable(capacity, hash_seed=trial)
+        scalar = RobinHoodTable(capacity, hash_seed=trial)
+        vectorized.insert_many(keys, values)
+        for key, value in zip(keys.tolist(), values.tolist()):
+            scalar.insert(key, value)
+        # Displacement layouts must agree slot for slot.
+        assert vectorized._keys.tolist() == scalar._keys.tolist()
+        assert vectorized._states.tolist() == scalar._states.tolist()
+        assert vectorized._values.tolist() == scalar._values.tolist()
+        assert vectorized.check_invariant()
+
+        queries = rng.integers(0, 600, size=80).astype(np.uint64)
+        before_vec = vectorized.probe_count
+        got = vectorized.get_many(queries)
+        probes_vec = vectorized.probe_count - before_vec
+        before_ref = scalar.probe_count
+        for index, key in enumerate(queries.tolist()):
+            expected = scalar.get(key)
+            if expected is None:
+                assert got[index] != got[index]  # NaN
+            else:
+                assert got[index] == expected
+        # The early-exit lookup inspects the same slots batched or not.
+        assert probes_vec == scalar.probe_count - before_ref
+
+        present = keys[: min(8, capacity)]
+        deltas = rng.uniform(0.5, 2.0, size=len(present))
+        vectorized.add_many(present, deltas)
+        for key, delta in zip(present.tolist(), deltas.tolist()):
+            assert scalar.add_to(key, delta)
+        assert vectorized._values.tolist() == scalar._values.tolist()
+
+        amount = float(np.median(values))
+        assert vectorized.decrement_and_purge(amount) == scalar.decrement_and_purge(
+            amount
+        )
+        assert vectorized._keys.tolist() == scalar._keys.tolist()
+        assert vectorized._states.tolist() == scalar._states.tolist()
+        assert vectorized.check_invariant()
+
+
+def test_insert_many_duplicate_detected():
+    import numpy as np
+
+    table = RobinHoodTable(8, hash_seed=2)
+    table.insert(5, 1.0)
+    with pytest.raises(InvalidParameterError):
+        table.insert_many(np.array([7, 5], dtype=np.uint64), np.ones(2))
