@@ -1,0 +1,130 @@
+"""Streaming ingest service: sustained throughput under concurrency.
+
+pytest-benchmark timings for the asyncio :class:`~repro.service.
+pipeline.IngestPipeline` under 1 and 4 concurrent producers, a report
+benchmark regenerating the full service table
+(``benchmarks/out/serve.txt``), and the subsystem's acceptance gates:
+
+* **throughput** — the pipeline must sustain at least 1M applied
+  updates/sec from 4 concurrent producers on the quick Zipf workload
+  (the ISSUE-5 acceptance figure; measured ~2.5M/s on one CI core).
+* **fidelity** — the served sketch must be bit-identical to a direct
+  ``update_batch`` feed of the same stream: the service repackages the
+  stream, it must not change it.
+* **durability overhead** — with WAL + snapshots enabled the pipeline
+  must keep at least half its no-durability throughput (the log is an
+  append + CRC per micro-batch, not a per-update cost).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.bench.figures import (
+    serve_pipeline_config,
+    serve_throughput_table,
+    serve_workload,
+)
+from repro.core.frequent_items import FrequentItemsSketch
+from repro.service.pipeline import IngestPipeline
+from repro.service.snapshot import SnapshotManager
+
+GATE_UPDATES_PER_SEC = 1_000_000
+
+#: The gate measures exactly the configuration the published figure
+#: (BENCH_serve.json) reports — both come from repro.bench.figures.
+_workload = serve_workload
+_pipe_config = serve_pipeline_config
+
+
+async def _run(sketch, slices, num_producers, snapshots=None):
+    pipeline = IngestPipeline(sketch, config=_pipe_config(), snapshots=snapshots)
+    async with pipeline:
+        async def producer():
+            for items, weights in slices:
+                await pipeline.submit(items, weights)
+
+        await asyncio.gather(*(producer() for _ in range(num_producers)))
+        await pipeline.drain()
+    return pipeline
+
+
+@pytest.mark.parametrize("num_producers", (1, 4))
+def test_pipeline_throughput(benchmark, config, num_producers):
+    slices, per_producer = _workload(config)
+    k = config.k_values[-1]
+    benchmark.group = f"ingest service, k={k}"
+    benchmark.extra_info["producers"] = num_producers
+    total = num_producers * per_producer
+    benchmark.extra_info["updates"] = total
+
+    # Warm-up outside the timed region.
+    warm = FrequentItemsSketch(k, backend="columnar", seed=0)
+    asyncio.run(_run(warm, slices[:2], 1))
+
+    def run():
+        sketch = FrequentItemsSketch(k, backend="columnar", seed=config.seed)
+        asyncio.run(_run(sketch, slices, num_producers))
+        return sketch
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.stream_weight > 0
+    seconds = benchmark.stats.stats.mean
+    updates_per_sec = total / seconds
+    benchmark.extra_info["updates_per_sec"] = updates_per_sec
+    if num_producers == 4:
+        # The ISSUE-5 acceptance gate.
+        assert updates_per_sec >= GATE_UPDATES_PER_SEC, (
+            f"4-producer service throughput {updates_per_sec:,.0f}/s "
+            f"below the {GATE_UPDATES_PER_SEC:,}/s gate"
+        )
+
+
+def test_service_feed_bit_identical(config):
+    slices, _per_producer = _workload(config)
+    k = config.k_values[-1]
+    sketch = FrequentItemsSketch(k, backend="columnar", seed=config.seed)
+    asyncio.run(_run(sketch, slices, 1))
+    reference = FrequentItemsSketch(k, backend="columnar", seed=config.seed)
+    for items, weights in slices:
+        reference.update_batch(items, weights)
+    assert sketch.to_bytes() == reference.to_bytes()
+
+
+def test_durability_overhead_bounded(benchmark, config, tmp_path):
+    slices, per_producer = _workload(config)
+    k = config.k_values[-1]
+    benchmark.group = f"ingest service, k={k}"
+
+    import time
+
+    warm = FrequentItemsSketch(k, backend="columnar", seed=0)
+    asyncio.run(_run(warm, slices[:2], 1))
+
+    plain = FrequentItemsSketch(k, backend="columnar", seed=config.seed)
+    start = time.perf_counter()
+    asyncio.run(_run(plain, slices, 4))
+    plain_seconds = time.perf_counter() - start
+
+    def run():
+        sketch = FrequentItemsSketch(k, backend="columnar", seed=config.seed)
+        manager = SnapshotManager(str(tmp_path / "wal"))
+        asyncio.run(_run(sketch, slices, 4, snapshots=manager))
+        return sketch
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    wal_seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["overhead"] = wal_seconds / plain_seconds
+    assert wal_seconds <= 2.0 * plain_seconds, (
+        f"durability costs {wal_seconds / plain_seconds:.2f}x "
+        "(gate: <= 2x the in-memory pipeline)"
+    )
+
+
+def test_report_table(benchmark, config, write_report):
+    table = benchmark.pedantic(
+        lambda: serve_throughput_table(config), rounds=1, iterations=1
+    )
+    write_report("serve", table)
+    gate = table.cell({"mode": "pipeline-4p"}, "updates_per_sec")
+    assert gate >= GATE_UPDATES_PER_SEC

@@ -45,6 +45,10 @@ Package map
   turnstile support.
 - :mod:`repro.sharded` — sharded parallel ingestion with merge-on-query
   (:class:`~repro.sharded.sketch.ShardedFrequentItemsSketch`).
+- :mod:`repro.service` — the always-on asyncio ingest service:
+  micro-batching pipeline with backpressure, snapshot/WAL durability
+  with bit-identical recovery, and a TCP line-protocol server
+  (``python -m repro.service``).
 - :mod:`repro.streams` — workload generators (synthetic CAIDA-like
   trace, Zipf), exact ground truth, IO, partitioning.
 - :mod:`repro.table`, :mod:`repro.selection`, :mod:`repro.hashing`,
@@ -73,7 +77,10 @@ from repro.errors import (
     SerializationError,
     TableFullError,
 )
+from repro.errors import ServiceClosedError
 from repro.extensions.decayed import DecayedFrequentItemsSketch
+from repro.service.pipeline import IngestPipeline, PipelineConfig
+from repro.service.snapshot import SnapshotManager
 from repro.sharded.sketch import ShardedFrequentItemsSketch
 from repro.streams.exact import ExactCounter
 from repro.types import StreamUpdate
@@ -93,6 +100,10 @@ __all__ = [
     "HeavyHitterRow",
     "StreamUpdate",
     "ExactCounter",
+    "IngestPipeline",
+    "PipelineConfig",
+    "SnapshotManager",
+    "ServiceClosedError",
     "merge_linear",
     "merge_pairwise_tree",
     "ReproError",

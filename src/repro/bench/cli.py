@@ -63,6 +63,12 @@ def _decay(config) -> Iterable[ResultTable]:
     return [figures.decay_throughput_table(config)]
 
 
+def _serve(config) -> Iterable[ResultTable]:
+    # The streaming-service throughput trajectory: also writes
+    # BENCH_serve.json (the CI artifact next to BENCH_ingest.json).
+    return [figures.serve_throughput_table(config, json_path="BENCH_serve.json")]
+
+
 def _ingest_profile(config) -> Iterable[ResultTable]:
     # The canonical perf trajectory: also writes BENCH_ingest.json in the
     # working directory (the repo root in CI) for cross-PR comparison.
@@ -89,6 +95,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "bounds": _bounds,
     "adversarial": _adversarial,
     "batch": _batch,
+    "serve": _serve,
     "shard": _shard,
     "decay": _decay,
     "ingest-profile": _ingest_profile,

@@ -949,3 +949,199 @@ def ingest_profile_table(
             json.dump(document, handle, indent=2)
             handle.write("\n")
     return table
+
+
+#: Producer-side submission size for the service benchmarks.  The gate
+#: suite (benchmarks/bench_serve_throughput.py) and the figure below
+#: must measure the same configuration, so both import these.
+SERVE_SUBMIT_SIZE = 8_192
+
+
+def serve_workload(config: BenchConfig):
+    """``(producer_slices, per_producer)`` — one producer's submission
+    stream for the service benchmarks (shared with the gate suite)."""
+    import numpy as np
+
+    per_producer = max(config.num_updates, 150_000)
+    base = zipf_weighted_batches(
+        per_producer, config.unique_sources, 1.05, config.seed
+    )
+    items = np.concatenate([b[0] for b in base])[:per_producer]
+    weights = np.concatenate([b[1] for b in base])[:per_producer]
+    slices = [
+        (items[lo : lo + SERVE_SUBMIT_SIZE], weights[lo : lo + SERVE_SUBMIT_SIZE])
+        for lo in range(0, per_producer, SERVE_SUBMIT_SIZE)
+    ]
+    return slices, per_producer
+
+
+def serve_pipeline_config():
+    """The pipeline tuning the service benchmarks run (shared with the
+    gate suite)."""
+    from repro.service.pipeline import PipelineConfig
+
+    return PipelineConfig(
+        max_batch_items=16_384, flush_interval=0.005, max_pending_items=262_144
+    )
+
+
+def serve_throughput_table(
+    config: BenchConfig, json_path: str | None = None
+) -> ResultTable:
+    """Sustained ingest-service throughput under concurrent producers.
+
+    The Section 4.5 Zipf workload is pushed through the asyncio
+    :class:`~repro.service.pipeline.IngestPipeline` by concurrent
+    producer coroutines submitting array batches; the timed region spans
+    first submit to full drain, so the figure is *applied* updates/sec,
+    queue overhead included.  Five configurations:
+
+    * ``pipeline-1p`` / ``pipeline-4p`` — flat columnar sketch, 1 vs 4
+      producers (the 4-producer row is the CI gate: >= 1M updates/sec).
+    * ``pipeline-4p-sharded`` — the 4-shard sketch behind the pipeline.
+    * ``pipeline-4p-wal`` — durability on: every micro-batch WAL-logged
+      and periodic snapshots, measuring the write-ahead overhead.
+    * ``tcp-bin`` — end to end over a loopback socket with the binary
+      frame protocol (one client, request/response per 8k-update frame).
+
+    The single-producer run is asserted bit-identical to a direct
+    ``update_batch`` feed — the service may only repackage, not change,
+    the stream.
+    """
+    import asyncio
+    import json
+    import shutil
+    import tempfile
+
+    import numpy as np
+
+    from repro.service.client import ServiceClient
+    from repro.service.pipeline import IngestPipeline
+    from repro.service.server import StreamServer
+    from repro.service.snapshot import SnapshotManager
+    from repro.sharded.sketch import ShardedFrequentItemsSketch
+
+    k = config.k_values[-1]
+    # The service amortizes per-batch overhead; give each producer enough
+    # stream to measure steady state even at the quick scale.
+    producer_slices, per_producer = serve_workload(config)
+    pipe_config = serve_pipeline_config()
+
+    async def run_pipeline(sketch, num_producers, snapshots=None):
+        pipeline = IngestPipeline(
+            sketch, config=pipe_config, snapshots=snapshots
+        )
+        async with pipeline:
+            async def producer():
+                for part_items, part_weights in producer_slices:
+                    await pipeline.submit(part_items, part_weights)
+
+            start = time.perf_counter()
+            await asyncio.gather(*(producer() for _ in range(num_producers)))
+            await pipeline.drain()
+            seconds = time.perf_counter() - start
+        return seconds, num_producers * per_producer, pipeline
+
+    async def run_tcp(sketch):
+        pipeline = IngestPipeline(sketch, config=pipe_config)
+        async with pipeline:
+            server = StreamServer(pipeline)
+            async with server:
+                client = await ServiceClient.connect("127.0.0.1", server.port)
+                start = time.perf_counter()
+                for part_items, part_weights in producer_slices:
+                    await client.send_batch(part_items, part_weights)
+                await pipeline.drain()
+                seconds = time.perf_counter() - start
+                await client.close()
+        return seconds, per_producer, pipeline
+
+    # Warm-up (numpy lazy imports + asyncio machinery out of timed code).
+    async def warm_up():
+        warm = FrequentItemsSketch(max(2, k // 8), backend="columnar", seed=0)
+        pipeline = IngestPipeline(warm, config=pipe_config)
+        warm_items, warm_weights = producer_slices[0]
+        async with pipeline:
+            await pipeline.submit(warm_items[:256], warm_weights[:256])
+            await pipeline.drain()
+
+    asyncio.run(warm_up())
+
+    table = ResultTable(
+        f"Streaming service: sustained applied updates/sec (Zipf 1.05, k={k})",
+        [
+            "mode", "producers", "updates", "seconds", "updates_per_sec",
+            "micro_batches", "wal_bytes",
+        ],
+    )
+    rows: list[dict] = []
+
+    def record(mode, producers, seconds, total, pipeline):
+        stats = pipeline.stats
+        row = {
+            "mode": mode,
+            "producers": producers,
+            "updates": total,
+            "seconds": seconds,
+            "updates_per_sec": total / seconds,
+            "micro_batches": stats.applied_batches,
+            "wal_bytes": stats.wal_bytes,
+        }
+        rows.append(row)
+        table.add_row(**row)
+
+    # pipeline-1p, asserted bit-identical to the direct feed.
+    sketch = FrequentItemsSketch(k, backend="columnar", seed=config.seed)
+    seconds, total, pipeline = asyncio.run(run_pipeline(sketch, 1))
+    reference = FrequentItemsSketch(k, backend="columnar", seed=config.seed)
+    for part_items, part_weights in producer_slices:
+        reference.update_batch(part_items, part_weights)
+    if sketch.to_bytes() != reference.to_bytes():  # pragma: no cover
+        raise AssertionError("service feed diverged from direct update_batch")
+    record("pipeline-1p", 1, seconds, total, pipeline)
+
+    sketch = FrequentItemsSketch(k, backend="columnar", seed=config.seed)
+    seconds, total, pipeline = asyncio.run(run_pipeline(sketch, 4))
+    record("pipeline-4p", 4, seconds, total, pipeline)
+
+    sharded = ShardedFrequentItemsSketch(
+        k, num_shards=4, seed=config.seed, backend="columnar"
+    )
+    seconds, total, pipeline = asyncio.run(run_pipeline(sharded, 4))
+    sharded.close()
+    record("pipeline-4p-sharded", 4, seconds, total, pipeline)
+
+    wal_dir = tempfile.mkdtemp(prefix="repro-bench-wal-")
+    try:
+        sketch = FrequentItemsSketch(k, backend="columnar", seed=config.seed)
+        seconds, total, pipeline = asyncio.run(
+            run_pipeline(sketch, 4, snapshots=SnapshotManager(wal_dir))
+        )
+        record("pipeline-4p-wal", 4, seconds, total, pipeline)
+    finally:
+        shutil.rmtree(wal_dir, ignore_errors=True)
+
+    sketch = FrequentItemsSketch(k, backend="columnar", seed=config.seed)
+    seconds, total, pipeline = asyncio.run(run_tcp(sketch))
+    record("tcp-bin", 1, seconds, total, pipeline)
+
+    if json_path is not None:
+        document = {
+            "bench": "serve",
+            "k": k,
+            "per_producer_updates": per_producer,
+            "unique_sources": config.unique_sources,
+            "seed": config.seed,
+            "rows": rows,
+            "gates": {
+                "pipeline_4p_updates_per_sec": next(
+                    row["updates_per_sec"]
+                    for row in rows
+                    if row["mode"] == "pipeline-4p"
+                ),
+            },
+        }
+        with open(json_path, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+    return table

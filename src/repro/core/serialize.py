@@ -52,7 +52,7 @@ from repro.core.policies import (
     SampleQuantilePolicy,
 )
 from repro.engine.kernel import SketchKernel
-from repro.errors import SerializationError
+from repro.errors import ReproError, SerializationError
 
 _MAGIC = b"RFI1"
 _HEADER = struct.Struct("<4sIBBdIQddI")
@@ -72,6 +72,13 @@ _BACKEND_NAMES = {code: name for name, code in _BACKEND_CODES.items()}
 #: the pre-flag format, so existing golden hashes stay valid.
 _ADAPTIVE_GROWTH_FLAG = 0x80
 
+#: Decode-time sanity cap on ``k``.  Counter tables are pre-allocated,
+#: so a corrupt (or hostile) header with ``k`` in the billions would
+#: commit gigabytes before any later validation could object; 2**26
+#: counters (~a 1.5 GB probing table) is far beyond any configuration
+#: the paper or this repo's benchmarks reach.
+MAX_DECODE_COUNTERS = 1 << 26
+
 
 def _encode_policy(policy) -> tuple[int, float, int]:
     if isinstance(policy, SampleQuantilePolicy):
@@ -86,12 +93,17 @@ def _encode_policy(policy) -> tuple[int, float, int]:
 
 
 def _decode_policy(kind: int, param: float, sample_size: int):
-    if kind == 0:
-        return SampleQuantilePolicy(param, sample_size)
-    if kind == 1:
-        return ExactKthLargestPolicy(param)
-    if kind == 2:
-        return GlobalMinPolicy()
+    try:
+        if kind == 0:
+            return SampleQuantilePolicy(param, sample_size)
+        if kind == 1:
+            return ExactKthLargestPolicy(param)
+        if kind == 2:
+            return GlobalMinPolicy()
+    except ReproError as exc:
+        # A known policy kind with parameters outside its domain: the
+        # blob is corrupt, not the caller's arguments.
+        raise SerializationError(f"invalid policy parameters: {exc}") from exc
     raise SerializationError(f"unknown policy kind {kind}")
 
 
@@ -144,6 +156,11 @@ def sketch_from_bytes(blob: bytes) -> FrequentItemsSketch:
     ) = _HEADER.unpack_from(blob, 0)
     if magic != _MAGIC:
         raise SerializationError(f"bad magic {magic!r}")
+    if k > MAX_DECODE_COUNTERS:
+        raise SerializationError(
+            f"header claims k={k} counters, beyond the decode cap "
+            f"{MAX_DECODE_COUNTERS} (corrupt blob?)"
+        )
     growth = "adaptive" if backend_code & _ADAPTIVE_GROWTH_FLAG else "fixed"
     backend = _BACKEND_NAMES.get(backend_code & ~_ADAPTIVE_GROWTH_FLAG)
     if backend is None:
@@ -168,9 +185,14 @@ def sketch_from_bytes(blob: bytes) -> FrequentItemsSketch:
     # bulk insert preserves record order on order-sensitive layouts and
     # is vectorized on the columnar backend; the PRNG restarts from the
     # stored seed.
-    kernel = SketchKernel.restore(
-        k, policy, backend, seed, items, counts, offset, weight, growth=growth
-    )
+    try:
+        kernel = SketchKernel.restore(
+            k, policy, backend, seed, items, counts, offset, weight, growth=growth
+        )
+    except ReproError as exc:
+        # e.g. a flipped k below the minimum, or more records than the
+        # stored capacity admits: corrupt state, reported as such.
+        raise SerializationError(f"blob decodes to invalid state: {exc}") from exc
     return FrequentItemsSketch._from_kernel(kernel)
 
 

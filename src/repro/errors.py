@@ -40,3 +40,8 @@ class SerializationError(ReproError, ValueError):
 
 class IncompatibleSketchError(ReproError, ValueError):
     """Two sketches cannot be merged (e.g. mismatched item encodings)."""
+
+
+class ServiceClosedError(ReproError, RuntimeError):
+    """An ingest-service operation was attempted on a stopped pipeline,
+    or recovery was requested from a directory holding no checkpoint."""

@@ -1,0 +1,37 @@
+"""Always-on streaming ingest service over the sketch engine.
+
+The paper positions the sketch for continuously-running telemetry
+pipelines; this package turns the in-process library into that
+deployment shape:
+
+- :class:`~repro.service.pipeline.IngestPipeline` — an asyncio ingest
+  loop: concurrent producers submit array batches through a bounded
+  queue with backpressure, the pipeline coalesces them into micro-
+  batches (size- and time-triggered) and applies them through the
+  vectorized ``update_batch`` engine, while queries read a consistent
+  between-batches view without stalling ingest.
+- :class:`~repro.service.snapshot.SnapshotManager` — durability:
+  periodic atomic-rename checkpoints of the sketch (wire format plus
+  PRNG state) and a write-ahead log of applied micro-batches, able to
+  recover to a state *bit-identical* to an uninterrupted run.
+- :class:`~repro.service.server.StreamServer` /
+  :class:`~repro.service.client.ServiceClient` — a TCP line-protocol
+  front end (``python -m repro.service`` runs one).
+
+See ``docs/service.md`` for the lifecycle, backpressure, and recovery
+guarantees.
+"""
+
+from repro.service.pipeline import IngestPipeline, PipelineConfig, ServiceStats
+from repro.service.snapshot import SnapshotManager
+from repro.service.server import StreamServer
+from repro.service.client import ServiceClient
+
+__all__ = [
+    "IngestPipeline",
+    "PipelineConfig",
+    "ServiceStats",
+    "SnapshotManager",
+    "StreamServer",
+    "ServiceClient",
+]

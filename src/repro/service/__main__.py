@@ -1,0 +1,108 @@
+"""Run a streaming ingest server: ``python -m repro.service``.
+
+Builds the sketch (flat or sharded), wires an
+:class:`~repro.service.pipeline.IngestPipeline` — recovering from the
+data directory's newest checkpoint when one exists — and serves the
+line protocol until interrupted.  A clean shutdown takes a final
+checkpoint, so restarting resumes bit-identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import sys
+
+from repro.core.frequent_items import FrequentItemsSketch
+from repro.service.pipeline import IngestPipeline, PipelineConfig
+from repro.service.server import StreamServer
+from repro.service.snapshot import SnapshotManager
+from repro.sharded.sketch import ShardedFrequentItemsSketch
+from repro.table import BACKEND_NAMES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve a frequent-items sketch over TCP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9471)
+    parser.add_argument("--k", type=int, default=4096, help="counters per sketch")
+    parser.add_argument("--backend", choices=sorted(BACKEND_NAMES), default="columnar")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--shards", type=int, default=0,
+        help="shard the sketch this many ways (0 = flat sketch)",
+    )
+    parser.add_argument(
+        "--data-dir", default=None,
+        help="snapshot/WAL directory; omitting it disables durability",
+    )
+    parser.add_argument("--snapshot-every", type=int, default=256,
+                        help="checkpoint every N applied micro-batches")
+    parser.add_argument("--max-batch", type=int, default=8192,
+                        help="micro-batch size trigger (updates)")
+    parser.add_argument("--flush-interval", type=float, default=0.01,
+                        help="micro-batch time trigger (seconds)")
+    return parser
+
+
+def build_pipeline(args: argparse.Namespace) -> IngestPipeline:
+    config = PipelineConfig(
+        max_batch_items=args.max_batch,
+        flush_interval=args.flush_interval,
+        snapshot_every_batches=args.snapshot_every,
+    )
+    if args.data_dir is not None:
+        snapshots = SnapshotManager(args.data_dir)
+        if snapshots.latest_snapshot_seq() is not None:
+            # The checkpoint defines the sketch: flags that only shape a
+            # *fresh* sketch are ignored, and silently honoring them
+            # would corrupt the recovered state — say so.
+            print(
+                f"recovering sketch from {args.data_dir!r}; "
+                "--k/--backend/--shards/--seed describe a fresh sketch "
+                "and are ignored on recovery",
+                flush=True,
+            )
+            return IngestPipeline.recover(snapshots, config=config)
+    else:
+        snapshots = None
+    if args.shards > 0:
+        sketch = ShardedFrequentItemsSketch(
+            args.k, num_shards=args.shards, backend=args.backend, seed=args.seed
+        )
+    else:
+        sketch = FrequentItemsSketch(args.k, backend=args.backend, seed=args.seed)
+    return IngestPipeline(sketch, config=config, snapshots=snapshots)
+
+
+async def run(args: argparse.Namespace) -> int:
+    pipeline = build_pipeline(args)
+    async with pipeline:
+        server = StreamServer(pipeline, host=args.host, port=args.port)
+        async with server:
+            print(
+                f"serving {type(pipeline.sketch).__name__} "
+                f"on {args.host}:{server.port} "
+                f"(seq={pipeline.applied_seq}, durability="
+                f"{'on' if args.data_dir else 'off'})",
+                flush=True,
+            )
+            with contextlib.suppress(asyncio.CancelledError):
+                await asyncio.Event().wait()  # until cancelled (Ctrl-C)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(run(args))
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

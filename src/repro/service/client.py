@@ -1,0 +1,147 @@
+"""A small asyncio client for the streaming service's line protocol.
+
+Mirrors :mod:`repro.service.protocol` command for command; every method
+awaits the server's response line, so callers inherit the service's
+backpressure (a full ingest queue delays the ``OK``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+
+from repro.errors import ServiceClosedError
+from repro.service import protocol
+
+
+class ServiceError(ValueError):
+    """The server answered ``ERR <reason>``."""
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.service.server.StreamServer`.
+
+    Use :meth:`connect`::
+
+        client = await ServiceClient.connect("127.0.0.1", port)
+        await client.update(7, 2.0)
+        estimate = await client.estimate(7)
+        await client.close()
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=protocol.MAX_LINE_BYTES
+        )
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        """Send ``QUIT`` and close the connection."""
+        if self._writer.is_closing():
+            return
+        try:
+            await self._request(b"QUIT\n")
+        except (ConnectionError, ServiceClosedError):  # pragma: no cover
+            pass
+        self._writer.close()
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    # -- plumbing --------------------------------------------------------------
+
+    async def _request(self, payload: bytes) -> str:
+        self._writer.write(payload)
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ServiceClosedError("server closed the connection")
+        text = line.decode("ascii").rstrip("\n")
+        if text.startswith("ERR"):
+            raise ServiceError(text[4:] or "unspecified server error")
+        return text
+
+    @staticmethod
+    def _ok_args(text: str) -> list[str]:
+        parts = text.split()
+        if not parts or parts[0] != "OK":
+            raise ServiceError(f"unexpected response {text!r}")
+        return parts[1:]
+
+    # -- commands --------------------------------------------------------------
+
+    async def ping(self) -> bool:
+        return await self._request(b"PING\n") == "PONG"
+
+    async def update(self, item: int, weight: float = 1.0) -> None:
+        # repr() is the shortest round-trip form: '%g'-style formatting
+        # would silently truncate weights to 6 significant digits.
+        await self._request(f"UPDATE {int(item)} {weight!r}\n".encode("ascii"))
+
+    async def send_batch(self, items, weights=None, *, binary: bool = True) -> int:
+        """Ship one update batch; returns the server-acknowledged count.
+
+        ``binary=True`` (default) uses the ``BIN`` frame — arrays travel
+        verbatim; the text ``BATCH`` form exists for debugging by hand.
+        Batches beyond the protocol's per-frame cap are chunked
+        transparently; an empty batch is a no-op (matching
+        ``IngestPipeline.submit``).
+        """
+        items = np.ascontiguousarray(items, dtype=np.uint64)
+        if weights is None:
+            weights = np.ones(len(items), dtype=np.float64)
+        weights = np.ascontiguousarray(weights, dtype=np.float64)
+        acknowledged = 0
+        # Text pairs are ~25 bytes each; keep BATCH lines far inside the
+        # server's MAX_LINE_BYTES.
+        chunk = protocol.MAX_BIN_ITEMS if binary else 10_000
+        for lo in range(0, len(items), chunk):
+            part_items = items[lo : lo + chunk]
+            part_weights = weights[lo : lo + chunk]
+            if binary:
+                payload = protocol.encode_bin_frame(part_items, part_weights)
+            else:
+                payload = protocol.encode_batch_line(part_items, part_weights)
+            reply = self._ok_args(await self._request(payload))
+            acknowledged += int(reply[0])
+        return acknowledged
+
+    async def estimate(self, item: int) -> float:
+        reply = self._ok_args(await self._request(f"EST {int(item)}\n".encode()))
+        return float(reply[0])
+
+    async def bounds(self, item: int) -> tuple[float, float, float]:
+        """``(lower_bound, estimate, upper_bound)`` for one item."""
+        reply = self._ok_args(await self._request(f"BOUNDS {int(item)}\n".encode()))
+        return float(reply[0]), float(reply[1]), float(reply[2])
+
+    async def heavy_hitters(self, phi: float) -> list[tuple[int, float]]:
+        """``(item, estimate)`` pairs, sorted by estimate descending."""
+        reply = self._ok_args(await self._request(f"HH {phi:g}\n".encode()))
+        count = int(reply[0])
+        pairs = []
+        for token in reply[1 : 1 + count]:
+            item_text, _sep, estimate_text = token.partition(":")
+            pairs.append((int(item_text), float(estimate_text)))
+        return pairs
+
+    async def stats(self) -> dict:
+        text = await self._request(b"STATS\n")
+        return json.loads(text[3:])
+
+    async def snapshot(self) -> int:
+        """Force a checkpoint; returns the checkpointed sequence number."""
+        reply = self._ok_args(await self._request(b"SNAPSHOT\n"))
+        return int(reply[0])

@@ -1,0 +1,82 @@
+"""The line protocol the streaming service speaks over TCP.
+
+Requests are single ASCII lines terminated by ``\\n``; responses are one
+line starting with ``OK``, ``ERR``, ``PONG``, or ``BYE``.  Item ids are
+decimal 64-bit unsigned integers, weights decimal floats.
+
+=========================  =============================================
+request                    response
+=========================  =============================================
+``PING``                   ``PONG``
+``UPDATE <item> [w]``      ``OK`` (weight defaults to 1)
+``BATCH <i>:<w> ...``      ``OK <n>`` — n pairs ingested as one batch
+``BIN <n>``                ``OK <n>`` — the line is followed by exactly
+                           ``16 * n`` bytes of payload: n little-endian
+                           uint64 items, then n little-endian float64
+                           weights (the high-throughput path)
+``EST <item>``             ``OK <estimate>``
+``BOUNDS <item>``          ``OK <lower> <estimate> <upper>``
+``HH <phi>``               ``OK <n> <item>:<estimate> ...``
+``STATS``                  ``OK <json>`` — pipeline + sketch counters
+``SNAPSHOT``               ``OK <seq>`` — force a checkpoint now
+``QUIT``                   ``BYE``, then the connection closes
+=========================  =============================================
+
+Malformed requests get ``ERR <reason>`` and the connection stays open;
+update batches are validated atomically (a rejected batch ingests
+nothing).  The binary framing exists because parsing decimal text caps
+throughput far below the sketch engine — ``BIN`` moves arrays verbatim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Hard cap on one BIN frame (1M updates = 16 MiB); oversized length
+#: prefixes are rejected before any allocation happens.
+MAX_BIN_ITEMS = 1_000_000
+
+#: Hard cap on one request line (BATCH lines grow with their payload).
+MAX_LINE_BYTES = 1 << 20
+
+
+def encode_bin_frame(items: np.ndarray, weights: np.ndarray) -> bytes:
+    """The ``BIN`` command line plus its binary payload, ready to send."""
+    n = len(items)
+    return (
+        f"BIN {n}\n".encode("ascii")
+        + np.ascontiguousarray(items, dtype="<u8").tobytes()
+        + np.ascontiguousarray(weights, dtype="<f8").tobytes()
+    )
+
+
+def decode_bin_payload(payload: bytes, count: int) -> tuple[np.ndarray, np.ndarray]:
+    """Split a ``BIN`` payload back into writable (items, weights) arrays."""
+    items = np.frombuffer(payload, dtype="<u8", count=count).astype(np.uint64)
+    weights = np.frombuffer(
+        payload, dtype="<f8", count=count, offset=8 * count
+    ).astype(np.float64)
+    return items, weights
+
+
+def encode_batch_line(items, weights) -> bytes:
+    """The text ``BATCH`` form (debuggable, slow) of one update batch."""
+    pairs = " ".join(
+        # repr() round-trips exactly; '%g' would truncate to 6 digits.
+        f"{int(item)}:{float(weight)!r}" for item, weight in zip(items, weights)
+    )
+    return f"BATCH {pairs}\n".encode("ascii")
+
+
+def parse_batch_args(args: list[str]) -> tuple[np.ndarray, np.ndarray]:
+    """Parse ``<item>:<weight>`` tokens into (items, weights) arrays."""
+    items = np.empty(len(args), dtype=np.uint64)
+    weights = np.empty(len(args), dtype=np.float64)
+    for index, token in enumerate(args):
+        item_text, _sep, weight_text = token.partition(":")
+        value = int(item_text)
+        if not 0 <= value < 1 << 64:
+            raise ValueError(f"item id {value} outside the uint64 range")
+        items[index] = value
+        weights[index] = float(weight_text) if weight_text else 1.0
+    return items, weights

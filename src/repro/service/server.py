@@ -1,0 +1,215 @@
+"""The asyncio TCP front end over one :class:`IngestPipeline`.
+
+One :class:`StreamServer` accepts any number of concurrent connections;
+each connection is a coroutine reading line-protocol requests (see
+:mod:`repro.service.protocol`) and answering from the shared pipeline.
+Updates flow through ``pipeline.submit`` — when the pipeline's bounded
+queue is full the handler awaits, the handler stops reading its socket,
+and TCP flow control pushes the backpressure all the way to the
+producer.  Queries are answered inline from the consistent
+between-batches view.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.service import protocol
+from repro.service.pipeline import IngestPipeline
+
+
+class StreamServer:
+    """Serve one ingest pipeline over a TCP line protocol.
+
+    Parameters
+    ----------
+    pipeline:
+        The (started) :class:`IngestPipeline` to serve.
+    host, port:
+        Bind address.  Port 0 (the default) picks a free port; read the
+        bound one from :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(
+        self, pipeline: IngestPipeline, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self._pipeline = pipeline
+        self._host = host
+        self._requested_port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set[asyncio.StreamWriter] = set()
+
+    @property
+    def pipeline(self) -> IngestPipeline:
+        return self._pipeline
+
+    @property
+    def port(self) -> int:
+        """The bound port (valid after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> "StreamServer":
+        """Bind and begin accepting connections; returns self."""
+        if self._server is None:
+            self._server = await asyncio.start_server(
+                self._handle, self._host, self._requested_port,
+                limit=protocol.MAX_LINE_BYTES,
+            )
+        return self
+
+    async def stop(self) -> None:
+        """Stop accepting and close active connections (pipeline untouched).
+
+        Open connections are closed explicitly: ``Server.close()`` only
+        stops *accepting*, and on Python >= 3.12 ``wait_closed()`` waits
+        for every connection handler — an idle client blocked in
+        ``readline`` would hang shutdown forever otherwise.
+        """
+        if self._server is not None:
+            self._server.close()
+            for writer in list(self._connections):
+                writer.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "StreamServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(b"ERR request line too long\n")
+                    break
+                if not line:
+                    break
+                reply, close = await self._dispatch(line, reader)
+                writer.write(reply)
+                await writer.drain()
+                if close:
+                    break
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            self._connections.discard(writer)
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+            writer.close()
+
+    async def _dispatch(
+        self, line: bytes, reader: asyncio.StreamReader
+    ) -> tuple[bytes, bool]:
+        """One request in, ``(response line, close connection?)`` out.
+
+        Most errors leave the connection open.  ``BIN`` framing errors
+        close it: once the client has started shipping a binary payload
+        the server cannot tell where the next command begins, so
+        resynchronizing is impossible — better a clean close than
+        parsing payload bytes as commands.
+        """
+        pipeline = self._pipeline
+        try:
+            text = line.decode("ascii").strip()
+        except UnicodeDecodeError:
+            return b"ERR request is not ASCII\n", False
+        if not text:
+            return b"ERR empty request\n", False
+        command, *args = text.split()
+        command = command.upper()
+        try:
+            if command == "PING":
+                return b"PONG\n", False
+            if command == "QUIT":
+                return b"BYE\n", True
+            if command == "UPDATE":
+                if len(args) not in (1, 2):
+                    return b"ERR usage: UPDATE <item> [weight]\n", False
+                weight = float(args[1]) if len(args) == 2 else 1.0
+                await pipeline.update(int(args[0]), weight)
+                return b"OK\n", False
+            if command == "BATCH":
+                if not args:
+                    return b"ERR usage: BATCH <item>:<weight> ...\n", False
+                items, weights = protocol.parse_batch_args(args)
+                await pipeline.submit(items, weights)
+                return f"OK {len(items)}\n".encode("ascii"), False
+            if command == "BIN":
+                try:
+                    count = int(args[0]) if len(args) == 1 else -1
+                except ValueError:
+                    count = -1
+                if not 0 < count <= protocol.MAX_BIN_ITEMS:
+                    # The payload may already be in flight and cannot be
+                    # skipped safely (its length is untrusted): close.
+                    return (
+                        f"ERR BIN count must be in "
+                        f"[1, {protocol.MAX_BIN_ITEMS}]; closing\n"
+                        .encode("ascii"),
+                        True,
+                    )
+                payload = await reader.readexactly(16 * count)
+                try:
+                    items, weights = protocol.decode_bin_payload(payload, count)
+                    await pipeline.submit(items, weights)
+                except (ReproError, ValueError, OverflowError) as exc:
+                    # Payload fully consumed: the stream is still in
+                    # sync, the connection can live on.
+                    return f"ERR {exc}\n".encode("ascii", "replace"), False
+                return f"OK {count}\n".encode("ascii"), False
+            if command == "EST":
+                if len(args) != 1:
+                    return b"ERR usage: EST <item>\n", False
+                estimate = pipeline.estimate(int(args[0]))
+                return f"OK {estimate:.17g}\n".encode("ascii"), False
+            if command == "BOUNDS":
+                if len(args) != 1:
+                    return b"ERR usage: BOUNDS <item>\n", False
+                item = int(args[0])
+                return (
+                    f"OK {pipeline.lower_bound(item):.17g} "
+                    f"{pipeline.estimate(item):.17g} "
+                    f"{pipeline.upper_bound(item):.17g}\n"
+                ).encode("ascii"), False
+            if command == "HH":
+                if len(args) != 1:
+                    return b"ERR usage: HH <phi>\n", False
+                rows = pipeline.heavy_hitters(float(args[0]))
+                body = " ".join(f"{row.item}:{row.estimate:.17g}" for row in rows)
+                sep = " " if body else ""
+                return f"OK {len(rows)}{sep}{body}\n".encode("ascii"), False
+            if command == "STATS":
+                sketch = pipeline.sketch
+                payload = {
+                    "applied_seq": pipeline.applied_seq,
+                    "pending_items": pipeline.pending_items,
+                    "stream_weight": sketch.stream_weight,
+                    "num_active": getattr(sketch, "num_active", None),
+                    "maximum_error": sketch.maximum_error,
+                    **pipeline.stats.as_dict(),
+                }
+                return f"OK {json.dumps(payload)}\n".encode("ascii"), False
+            if command == "SNAPSHOT":
+                pipeline.snapshot_now()
+                return f"OK {pipeline.applied_seq}\n".encode("ascii"), False
+            return f"ERR unknown command {command}\n".encode("ascii"), False
+        except asyncio.IncompleteReadError:
+            raise ConnectionResetError("client vanished mid BIN frame")
+        except (ReproError, ValueError, OverflowError) as exc:
+            return f"ERR {exc}\n".encode("ascii", errors="replace"), False

@@ -1,0 +1,87 @@
+"""Shared test utilities: exact oracles, golden hashes, canned workloads.
+
+These were previously duplicated (with drift) across
+``test_core_batch_equivalence.py``, ``test_extensions_rebase.py``,
+``test_sharded_sketch.py``, and ``test_sharded_merge.py``; the service
+and differential-fuzz suites use them too.  Import as a plain module
+(``from helpers import ...``) — pytest puts each test's directory on
+``sys.path``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.core.frequent_items import FrequentItemsSketch
+from repro.streams.exact import ExactCounter
+from repro.streams.zipf import ZipfianStream
+
+
+def sha256_hex(blob: bytes) -> str:
+    """Hex digest used for golden-state pinning."""
+    return hashlib.sha256(blob).hexdigest()
+
+
+def zipf_batch(n=20_000, universe=4_000, seed=5, alpha=1.05,
+               weight_low=1, weight_high=100):
+    """One ``(items, weights)`` array pair of a canned Zipf workload."""
+    stream = ZipfianStream(
+        n, universe=universe, alpha=alpha, seed=seed,
+        weight_low=weight_low, weight_high=weight_high,
+    )
+    batches = list(stream.batches(batch_size=n))
+    assert len(batches) == 1
+    return batches[0]
+
+
+def exact_of(*batches) -> ExactCounter:
+    """An :class:`ExactCounter` oracle over ``(items, weights)`` pairs."""
+    exact = ExactCounter()
+    for items, weights in batches:
+        for item, weight in zip(items.tolist(), weights.tolist()):
+            exact.update(item, weight)
+    return exact
+
+
+def exact_of_updates(updates) -> ExactCounter:
+    """An oracle over an iterable of ``(item, weight)`` updates."""
+    exact = ExactCounter()
+    for item, weight in updates:
+        exact.update(item, weight)
+    return exact
+
+
+def scalar_feed(k, backend, seed, updates, **kwargs) -> FrequentItemsSketch:
+    """A sketch fed through the scalar ``update`` loop."""
+    sketch = FrequentItemsSketch(k, backend=backend, seed=seed, **kwargs)
+    for item, weight in updates:
+        sketch.update(item, weight)
+    return sketch
+
+
+def batch_feed(k, backend, seed, updates, chunk, **kwargs) -> FrequentItemsSketch:
+    """The same workload fed through ``update_batch`` in ``chunk``-sized slices."""
+    sketch = FrequentItemsSketch(k, backend=backend, seed=seed, **kwargs)
+    for start in range(0, len(updates), chunk):
+        part = updates[start : start + chunk]
+        items = np.array([item for item, _weight in part], dtype=np.uint64)
+        weights = np.array([weight for _item, weight in part], dtype=np.float64)
+        sketch.update_batch(items, weights)
+    return sketch
+
+
+def assert_bounds_valid(sketch, exact, tolerance=1e-9) -> None:
+    """Every deterministic guarantee of Section 2.3.1, against an oracle:
+    ``lower <= f <= upper``, ``|estimate - f| <= maximum_error``, and the
+    stream weights agree."""
+    assert abs(sketch.stream_weight - exact.total_weight) <= max(
+        tolerance, tolerance * abs(exact.total_weight)
+    )
+    for item, frequency in exact.items():
+        assert sketch.lower_bound(item) <= frequency + tolerance
+        assert sketch.upper_bound(item) >= frequency - tolerance
+        assert abs(sketch.estimate(item) - frequency) <= (
+            sketch.maximum_error + tolerance
+        )

@@ -59,7 +59,7 @@ def test_experiments_registry_matches_readme_surface():
     assert set(cli.EXPERIMENTS) == {
         "fig1", "fig2", "fig3", "fig4", "claims", "space",
         "context", "bounds", "adversarial", "batch", "shard", "decay",
-        "ingest-profile", "ablations",
+        "serve", "ingest-profile", "ablations",
     }
 
 

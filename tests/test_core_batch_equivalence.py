@@ -14,29 +14,13 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from helpers import batch_feed, scalar_feed
 from repro.core.frequent_items import FrequentItemsSketch
 from repro.errors import InvalidUpdateError
 from repro.streams.zipf import ZipfianStream
 from repro.table import BACKEND_NAMES
 
 pytestmark = pytest.mark.filterwarnings("error::RuntimeWarning")
-
-
-def _scalar_feed(k, backend, seed, updates):
-    sketch = FrequentItemsSketch(k, backend=backend, seed=seed)
-    for item, weight in updates:
-        sketch.update(item, weight)
-    return sketch
-
-
-def _batch_feed(k, backend, seed, updates, chunk):
-    sketch = FrequentItemsSketch(k, backend=backend, seed=seed)
-    for start in range(0, len(updates), chunk):
-        part = updates[start : start + chunk]
-        items = np.array([item for item, _weight in part], dtype=np.uint64)
-        weights = np.array([weight for _item, weight in part], dtype=np.float64)
-        sketch.update_batch(items, weights)
-    return sketch
 
 
 updates_strategy = st.lists(
@@ -54,8 +38,8 @@ updates_strategy = st.lists(
 @given(updates=updates_strategy, k=st.integers(2, 12), chunk=st.integers(1, 97))
 def test_batch_equals_scalar_bytes(backend, updates, k, chunk):
     updates = [(item, float(weight)) for item, weight in updates]
-    scalar = _scalar_feed(k, backend, seed=5, updates=updates)
-    batched = _batch_feed(k, backend, seed=5, updates=updates, chunk=chunk)
+    scalar = scalar_feed(k, backend, seed=5, updates=updates)
+    batched = batch_feed(k, backend, seed=5, updates=updates, chunk=chunk)
     assert scalar.to_bytes() == batched.to_bytes()
     assert scalar.stats.as_dict() == batched.stats.as_dict()
 

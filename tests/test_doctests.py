@@ -19,6 +19,7 @@ MODULES_WITH_DOCTESTS = [
     "repro.extensions.decayed",
     "repro.prng.splitmix",
     "repro.prng.xoroshiro",
+    "repro.service.pipeline",
     "repro.sharded.partition",
     "repro.sharded.sketch",
     "repro.types",

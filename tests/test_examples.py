@@ -89,6 +89,15 @@ def test_decayed_trending():
             assert line.rstrip().endswith("#1")
 
 
+@pytest.mark.slow
+def test_streaming_service():
+    out = _run("streaming_service.py")
+    assert "TCP producers" in out
+    assert "recall vs exact oracle = 1.00" in out
+    assert "bytes identical: True, PRNG identical: True" in out
+    assert "recovered service keeps ingesting" in out
+
+
 def test_all_examples_are_covered():
     scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
     covered = {
@@ -99,5 +108,6 @@ def test_all_examples_are_covered():
         "quantile_tradeoff.py",
         "sharded_ingest.py",
         "decayed_trending.py",
+        "streaming_service.py",
     }
     assert scripts == covered

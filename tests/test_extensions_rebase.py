@@ -9,11 +9,10 @@ exactly — and their new ``update_batch`` paths must land in the same
 state as their scalar loops.
 """
 
-import hashlib
-
 import numpy as np
 import pytest
 
+from helpers import sha256_hex as _sha
 from repro.extensions.sampled_mg import SampledFrequentItems
 from repro.extensions.windowed import SlidingWindowHeavyHitters
 from repro.streams.adversarial import rbmc_killer_stream
@@ -38,10 +37,6 @@ GOLDEN_SAMPLED_ADVERSARIAL = (
 )
 GOLDEN_SAMPLED_ADVERSARIAL_COUNT = 8_502
 GOLDEN_SAMPLED_ADVERSARIAL_SKIP = 1.0
-
-
-def _sha(blob: bytes) -> str:
-    return hashlib.sha256(blob).hexdigest()
 
 
 @pytest.fixture(scope="module")

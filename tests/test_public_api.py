@@ -43,6 +43,12 @@ SUBMODULES = [
     "repro.sharded",
     "repro.sharded.partition",
     "repro.sharded.sketch",
+    "repro.service",
+    "repro.service.pipeline",
+    "repro.service.snapshot",
+    "repro.service.protocol",
+    "repro.service.server",
+    "repro.service.client",
     "repro.baselines",
     "repro.extensions",
     "repro.streams",

@@ -1,0 +1,345 @@
+"""IngestPipeline: concurrency stress, backpressure, coalescing, queries.
+
+The central correctness property is *no lost, no duplicated updates*:
+whatever interleaving the event loop produces, the weight that reaches
+the sketch must be exactly the weight the producers submitted.  In the
+no-decrement regime (``k`` at least the number of distinct items) the
+sketch is itself exact, so every per-item count can be checked against
+an :class:`ExactCounter` oracle to the last bit.
+"""
+
+import asyncio
+import random
+
+import numpy as np
+import pytest
+
+from helpers import assert_bounds_valid, exact_of, zipf_batch
+from repro import (
+    ExactCounter,
+    FrequentItemsSketch,
+    IngestPipeline,
+    InvalidParameterError,
+    InvalidUpdateError,
+    PipelineConfig,
+    ServiceClosedError,
+    ShardedFrequentItemsSketch,
+)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+# -- configuration ------------------------------------------------------------
+
+
+def test_config_validation():
+    for bad in (
+        dict(max_batch_items=0),
+        dict(flush_interval=0.0),
+        dict(flush_interval=-1.0),
+        dict(max_pending_items=0),
+        dict(snapshot_every_batches=0),
+    ):
+        with pytest.raises(InvalidParameterError):
+            PipelineConfig(**bad)
+
+
+# -- concurrency stress -------------------------------------------------------
+
+
+def test_many_producers_lose_and_duplicate_nothing():
+    """8 interleaved producers, random batch sizes, random yields: every
+    submitted update must be applied exactly once."""
+    num_producers = 8
+    rng = random.Random(17)
+    streams = []
+    for producer in range(num_producers):
+        updates = [
+            (rng.randrange(500), float(rng.randint(1, 100)))
+            for _ in range(rng.randint(300, 900))
+        ]
+        streams.append(updates)
+    oracle = ExactCounter()
+    for updates in streams:
+        for item, weight in updates:
+            oracle.update(item, weight)
+
+    async def main():
+        sketch = FrequentItemsSketch(1024, backend="columnar", seed=3)
+        config = PipelineConfig(max_batch_items=256, flush_interval=0.002,
+                                max_pending_items=1024)
+        pipeline = IngestPipeline(sketch, config=config)
+
+        async def producer(updates, seed):
+            prng = random.Random(seed)
+            position = 0
+            while position < len(updates):
+                take = prng.randint(1, 64)
+                chunk = updates[position : position + take]
+                position += take
+                items = np.array([i for i, _w in chunk], dtype=np.uint64)
+                weights = np.array([w for _i, w in chunk], dtype=np.float64)
+                await pipeline.submit(
+                    items, weights, wait_applied=prng.random() < 0.2
+                )
+                if prng.random() < 0.5:
+                    await asyncio.sleep(0)
+
+        async with pipeline:
+            await asyncio.gather(
+                *(producer(stream, 100 + index)
+                  for index, stream in enumerate(streams))
+            )
+            await pipeline.drain()
+            assert pipeline.pending_items == 0
+        return pipeline
+
+    pipeline = run(main())
+    sketch = pipeline.sketch
+    # k=1024 > 500 distinct items: the sketch is exact, so any lost or
+    # duplicated update would show up in some per-item count.
+    assert sketch.maximum_error == 0.0
+    assert sketch.stream_weight == oracle.total_weight
+    assert sketch.num_active == oracle.num_items
+    for item, frequency in oracle.items():
+        assert sketch.estimate(item) == frequency
+    stats = pipeline.stats
+    assert stats.submitted_items == stats.applied_items == oracle.num_updates
+    assert stats.applied_batches <= stats.submitted_batches  # coalescing
+
+
+def test_concurrent_result_bit_identical_to_direct_feed():
+    """Micro-batch boundaries are whatever timing produced, but integer
+    weights make the engine boundary-invariant — the served columnar
+    sketch must serialize identically to a direct update_batch feed."""
+    items, weights = zipf_batch(n=6_000, universe=400, seed=23)
+    reference = FrequentItemsSketch(64, backend="columnar", seed=9)
+    reference.update_batch(items, weights)
+
+    async def main():
+        sketch = FrequentItemsSketch(64, backend="columnar", seed=9)
+        pipeline = IngestPipeline(
+            sketch,
+            config=PipelineConfig(max_batch_items=512, flush_interval=0.001),
+        )
+        async with pipeline:
+            for start in range(0, len(items), 777):
+                await pipeline.submit(
+                    items[start : start + 777], weights[start : start + 777]
+                )
+            await pipeline.drain()
+        return sketch
+
+    served = run(main())
+    assert served.stats.decrements > 0  # the interesting regime
+    assert served.to_bytes() == reference.to_bytes()
+
+
+def test_sharded_sketch_rides_the_pipeline():
+    items, weights = zipf_batch(n=5_000, universe=600, seed=31)
+    oracle = exact_of((items, weights))
+
+    async def main():
+        sketch = ShardedFrequentItemsSketch(64, num_shards=2, seed=5)
+        pipeline = IngestPipeline(sketch)
+        async with pipeline:
+            await pipeline.submit(items, weights)
+            await pipeline.drain()
+        sketch.close()
+        return sketch
+
+    sketch = run(main())
+    assert_bounds_valid(sketch, oracle)
+
+
+# -- backpressure -------------------------------------------------------------
+
+
+def test_backpressure_bounds_the_queue():
+    async def main():
+        sketch = FrequentItemsSketch(256, backend="columnar", seed=1)
+        config = PipelineConfig(
+            max_batch_items=128, flush_interval=0.001, max_pending_items=256
+        )
+        pipeline = IngestPipeline(sketch, config=config)
+        async with pipeline:
+            async def producer():
+                for _ in range(60):
+                    await pipeline.submit(
+                        np.arange(64, dtype=np.uint64),
+                        np.ones(64, dtype=np.float64),
+                    )
+            await asyncio.gather(producer(), producer(), producer())
+            await pipeline.drain()
+        return pipeline
+
+    pipeline = run(main())
+    stats = pipeline.stats
+    assert stats.applied_items == 3 * 60 * 64
+    # Admission control: the buffered backlog never exceeded the bound
+    # (every submission here is smaller than the bound).
+    assert stats.peak_pending_items <= 256
+    assert stats.backpressure_waits > 0
+
+
+# -- coalescing triggers ------------------------------------------------------
+
+
+def test_size_trigger_coalesces_small_submissions():
+    async def main():
+        pipeline = IngestPipeline(
+            FrequentItemsSketch(128, backend="columnar", seed=2),
+            config=PipelineConfig(max_batch_items=512, flush_interval=5.0),
+        )
+        async with pipeline:
+            for index in range(64):  # 64 x 16 = 2 x 512
+                await pipeline.submit(
+                    np.full(16, index, dtype=np.uint64),
+                    np.ones(16, dtype=np.float64),
+                )
+            await pipeline.drain()
+        return pipeline
+
+    pipeline = run(main())
+    stats = pipeline.stats
+    assert stats.applied_items == 64 * 16
+    assert stats.size_flushes >= 1
+    assert stats.applied_batches < stats.submitted_batches
+
+
+def test_time_trigger_flushes_without_reaching_size():
+    async def main():
+        pipeline = IngestPipeline(
+            FrequentItemsSketch(128, seed=2),
+            config=PipelineConfig(max_batch_items=1 << 20,
+                                  flush_interval=0.005),
+        )
+        async with pipeline:
+            await pipeline.submit(np.array([7, 7], dtype=np.uint64))
+            await asyncio.sleep(0.08)
+            applied_mid_flight = pipeline.applied_seq
+            assert pipeline.estimate(7) == 2.0  # visible before any drain
+        return applied_mid_flight
+
+    assert run(main()) == 1
+
+
+# -- validation and lifecycle -------------------------------------------------
+
+
+def test_rejected_batch_is_a_noop():
+    async def main():
+        pipeline = IngestPipeline(FrequentItemsSketch(16, seed=0))
+        async with pipeline:
+            with pytest.raises(InvalidUpdateError):
+                await pipeline.submit(
+                    np.array([1, 2], dtype=np.uint64), np.array([1.0, -1.0])
+                )
+            await pipeline.submit(np.array([], dtype=np.uint64))  # no-op
+            await pipeline.drain()
+            assert pipeline.sketch.is_empty()
+            assert pipeline.stats.submitted_items == 0
+
+    run(main())
+
+
+def test_submit_after_stop_raises():
+    async def main():
+        pipeline = IngestPipeline(FrequentItemsSketch(16, seed=0))
+        await pipeline.start()
+        await pipeline.update(5, 2.0)
+        await pipeline.stop()
+        assert pipeline.estimate(5) == 2.0  # queries outlive the loop
+        with pytest.raises(ServiceClosedError):
+            await pipeline.submit(np.array([1], dtype=np.uint64))
+
+    run(main())
+
+
+def test_stop_applies_queued_work():
+    async def main():
+        pipeline = IngestPipeline(
+            FrequentItemsSketch(64, seed=4),
+            config=PipelineConfig(max_batch_items=1 << 20, flush_interval=60.0),
+        )
+        await pipeline.start()
+        await pipeline.submit(np.array([1, 1, 2], dtype=np.uint64))
+        # Stop before any trigger fires: the drain loop must still apply
+        # everything before shutting down.
+        await pipeline.stop()
+        assert pipeline.estimate(1) == 2.0
+        assert pipeline.pending_items == 0
+
+    run(main())
+
+
+def test_drain_never_started_raises_cleanly():
+    async def main():
+        pipeline = IngestPipeline(FrequentItemsSketch(16, seed=0))
+        with pytest.raises(ServiceClosedError):
+            await pipeline.drain()
+
+    run(main())
+
+
+def test_drain_task_fault_fails_fast_and_loud():
+    """An exception inside apply (disk full, closed sharded executor...)
+    must not wedge the pipeline: submits start failing, waiters wake
+    with the fault, and stop() re-raises it."""
+
+    class ExplodingSketch(FrequentItemsSketch):
+        __slots__ = ("detonated",)
+
+        def update_batch(self, items, weights=None):
+            raise OSError("disk full")
+
+    async def main():
+        pipeline = IngestPipeline(
+            ExplodingSketch(16, seed=0),
+            config=PipelineConfig(flush_interval=0.001),
+        )
+        await pipeline.start()
+        with pytest.raises(ServiceClosedError, match="disk full"):
+            await pipeline.submit(
+                np.array([1], dtype=np.uint64), wait_applied=True
+            )
+        assert not pipeline.is_running
+        with pytest.raises(ServiceClosedError):
+            await pipeline.submit(np.array([2], dtype=np.uint64))
+        with pytest.raises(ServiceClosedError, match="disk full"):
+            await pipeline.drain()
+        assert pipeline.pending_items == 0
+        with pytest.raises(OSError, match="disk full"):
+            await pipeline.stop()
+
+    run(main())
+
+
+def test_queries_between_micro_batches_are_consistent():
+    """A reader woken between submissions sees a sketch whose stream
+    weight is always a whole number of applied micro-batches."""
+    async def main():
+        pipeline = IngestPipeline(
+            FrequentItemsSketch(64, backend="columnar", seed=8),
+            config=PipelineConfig(max_batch_items=100, flush_interval=0.001),
+        )
+        observed = []
+
+        async def reader():
+            for _ in range(50):
+                observed.append(pipeline.sketch.stream_weight)
+                await asyncio.sleep(0)
+
+        async with pipeline:
+            writer = asyncio.gather(
+                *(pipeline.submit(np.full(100, i, dtype=np.uint64))
+                  for i in range(20))
+            )
+            await asyncio.gather(writer, reader())
+            await pipeline.drain()
+        return observed
+
+    observed = run(main())
+    assert all(weight % 100 == 0 for weight in observed)

@@ -11,28 +11,12 @@ from repro import (
 )
 from repro.streams.zipf import ZipfianStream
 
+from helpers import assert_bounds_valid, exact_of
+from helpers import zipf_batch as _shared_zipf_batch
+
 
 def zipf_batch(n=12_000, universe=3_000, seed=5):
-    stream = ZipfianStream(
-        n, universe=universe, alpha=1.05, seed=seed, weight_low=1, weight_high=100
-    )
-    return list(stream.batches(batch_size=n))[0]
-
-
-def exact_of(*batches):
-    exact = ExactCounter()
-    for items, weights in batches:
-        for item, weight in zip(items.tolist(), weights.tolist()):
-            exact.update(item, weight)
-    return exact
-
-
-def assert_bounds_valid(sketch, exact):
-    assert sketch.stream_weight == pytest.approx(exact.total_weight)
-    for item, frequency in exact.items():
-        assert sketch.lower_bound(item) <= frequency + 1e-9
-        assert sketch.upper_bound(item) >= frequency - 1e-9
-        assert abs(sketch.estimate(item) - frequency) <= sketch.maximum_error + 1e-9
+    return _shared_zipf_batch(n=n, universe=universe, seed=seed)
 
 
 # -- shard-wise (equally sharded) ---------------------------------------------

@@ -9,18 +9,10 @@ from repro import (
     InvalidParameterError,
     ShardedFrequentItemsSketch,
 )
+from helpers import zipf_batch
 from repro.core.row import ErrorType
 from repro.sharded.partition import partition_salt, shard_ids, shard_of
 from repro.streams.zipf import ZipfianStream
-
-
-def zipf_batch(n=20_000, universe=4_000, seed=5):
-    stream = ZipfianStream(
-        n, universe=universe, alpha=1.05, seed=seed, weight_low=1, weight_high=100
-    )
-    batches = list(stream.batches(batch_size=n))
-    assert len(batches) == 1
-    return batches[0]
 
 
 # -- partition ----------------------------------------------------------------
