@@ -38,19 +38,37 @@ def test_ingest_profile(benchmark, config, write_report):
 
     document = json.loads(JSON_PATH.read_text())
     gates = document["gates"]
-    # The tentpole acceptance bars.  Measured on one core of a shared CI
-    # runner: probing/robinhood land ~8-15x, columnar ~10x, so 4x/5x
-    # leave generous noise margin.
-    assert gates["probing_batch_speedup_alpha1.05"] >= 4.0, gates
-    assert gates["robinhood_batch_speedup_alpha1.05"] >= 4.0, gates
+    # The acceptance bars.  Measured on one core of a shared CI runner:
+    # with the NumPy paths probing/robinhood land ~8-15x and columnar
+    # ~10x, so 4x/5x leave generous noise margin.  With the compiled
+    # kernels active the hash backends land ~30-50x; gate them at 10x
+    # (the native-PR acceptance bar) so a silently broken dispatch —
+    # falling back to NumPy while claiming native — fails loudly.
+    from repro import native
+
+    hash_backend_bar = 10.0 if native.enabled() else 4.0
+    assert document["metadata"]["ingest_path"] == (
+        "native" if native.enabled() else "numpy"
+    ), document["metadata"]
+    assert gates["probing_batch_speedup_alpha1.05"] >= hash_backend_bar, gates
+    assert gates["robinhood_batch_speedup_alpha1.05"] >= hash_backend_bar, gates
     assert gates["columnar_batch_speedup_alpha1.05"] >= 5.0, gates
-    # Adaptive growth may trail fixed slightly (it pays rehashes early)
-    # but must stay in the same league on every backend.
+    # The dict backend is scalar-bound (its point ops are already C-coded
+    # dict probes), so batching can't approach the array backends' ratios
+    # — but the inlined batch loop must clearly beat per-update dispatch.
+    assert gates["dict_batch_speedup_alpha1.05"] >= 1.75, gates
+    # Adaptive growth may trail fixed (it pays rehashes early, and its
+    # staged prefix runs the NumPy path until the table reaches final
+    # length — only then does dispatch flip to the compiled kernels, so
+    # the native bar is looser) but must stay in the same league.
+    adaptive_bar = 0.35 if native.enabled() else 0.5
     for row in document["rows"]:
         if row["alpha"] == 1.05 and row["batch"] == max(
             r["batch"] for r in document["rows"]
         ):
-            assert row["adaptive_per_sec"] >= 0.5 * row["batch_per_sec"], row
+            assert (
+                row["adaptive_per_sec"] >= adaptive_bar * row["batch_per_sec"]
+            ), row
 
 
 @pytest.mark.parametrize("backend", ["probing", "robinhood"])

@@ -1,11 +1,36 @@
-"""Setup shim.
+"""Build script — including the optional native kernels.
 
-Metadata lives in pyproject.toml; this file exists so the package can be
-installed editable (``pip install -e .``) in offline environments whose
-setuptools/pip combination lacks the ``wheel`` package required by the
-PEP 517 editable path.
+The package is pure Python + NumPy and needs no build step to run
+(``PYTHONPATH=src`` suffices).  When a C compiler is available, the
+optional extension ``repro._native._kernels`` — compiled hot paths for
+batch ingest, bit-identical to the NumPy fallback — is built in place
+with::
+
+    python setup.py build_ext --inplace
+
+A failed or skipped build leaves the package fully functional on the
+NumPy paths (``repro.native`` dispatches on the extension's presence).
 """
 
-from setuptools import setup
+import os
+import sys
 
-setup()
+import numpy
+from setuptools import Extension, setup
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "src"))
+
+from repro._native import EXTRA_COMPILE_ARGS  # noqa: E402
+
+setup(
+    name="repro-frequent-items",
+    package_dir={"": "src"},
+    ext_modules=[
+        Extension(
+            "repro._native._kernels",
+            sources=["src/repro/_native/_kernels.c"],
+            include_dirs=[numpy.get_include()],
+            extra_compile_args=EXTRA_COMPILE_ARGS,
+        )
+    ],
+)

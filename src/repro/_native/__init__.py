@@ -1,0 +1,20 @@
+"""Loader for the optional compiled kernels.
+
+The extension is built in place by ``python setup.py build_ext --inplace``
+(see ``docs/performance.md``).  When the shared object is absent — no
+compiler, or a pure-NumPy checkout — ``kernels`` is ``None`` and every
+caller falls back to the NumPy paths through :mod:`repro.native`.
+"""
+
+from __future__ import annotations
+
+#: Flags the extension is compiled with; recorded in bench metadata so
+#: perf rows are interpretable across environments.
+EXTRA_COMPILE_ARGS = ["-O3"]
+
+try:
+    from repro._native import _kernels as kernels  # type: ignore[attr-defined]
+except ImportError:  # pragma: no cover - exercised by the no-compiler CI job
+    kernels = None  # type: ignore[assignment]
+
+__all__ = ["kernels", "EXTRA_COMPILE_ARGS"]

@@ -1,0 +1,872 @@
+/* Compiled hot paths for the repro counter tables and ingest kernel.
+ *
+ * Every routine in this file is a line-for-line port of an interpreted
+ * loop elsewhere in the package, constrained to be *bit-identical* to
+ * it: same IEEE-754 operation sequence, same xoroshiro128++ word
+ * sequence, same table layouts, same probe accounting as the scalar
+ * call sequence.  The Python sources remain the executable
+ * specification — the golden-hash and differential-fuzz suites run
+ * against both paths and must agree exactly.
+ *
+ * Ported loops:
+ *   - repro.hashing.mixers.fmix64 / hash_u64        -> fmix64, hash_seeded
+ *   - repro.prng.xoroshiro.Xoroshiro128PlusPlus     -> xoro_next/xoro_randrange
+ *   - repro.table.probing scalar get/add_to/insert  -> lp_find/lp_insert_absent
+ *   - repro.table.robinhood scalar walks            -> rh_find/rh_place
+ *   - LinearProbingTable/RobinHoodTable purge       -> purge_sweep (the
+ *     canonical ascending backward-shift sweep both NumPy strategies
+ *     are proven layout-identical to)
+ *   - SampleQuantilePolicy.decrement_value          -> sq_decrement
+ *   - SketchKernel.ingest (the scalar loop the segmented batch path is
+ *     defined to be per-update-equivalent to)        -> py_ingest_batch
+ *   - BatchGrouper.group                            -> py_group
+ */
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#define NPY_NO_DEPRECATED_API NPY_1_7_API_VERSION
+#include <numpy/arrayobject.h>
+
+#include <math.h>
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* ---------------------------------------------------------------------------
+ * array access helpers
+ * ------------------------------------------------------------------------- */
+
+static void *
+arr_data(PyObject *obj, int typenum, int writeable, const char *name)
+{
+    PyArrayObject *arr;
+    if (!PyArray_Check(obj)) {
+        PyErr_Format(PyExc_TypeError, "%s must be a numpy array", name);
+        return NULL;
+    }
+    arr = (PyArrayObject *)obj;
+    if (PyArray_TYPE(arr) != typenum || PyArray_NDIM(arr) != 1 ||
+        !(writeable ? PyArray_ISCARRAY(arr) : PyArray_ISCARRAY_RO(arr))) {
+        PyErr_Format(PyExc_TypeError,
+                     "%s must be a 1-D C-contiguous array of the expected "
+                     "dtype", name);
+        return NULL;
+    }
+    return PyArray_DATA(arr);
+}
+
+static npy_intp
+arr_len(PyObject *obj)
+{
+    return PyArray_DIM((PyArrayObject *)obj, 0);
+}
+
+/* ---------------------------------------------------------------------------
+ * hashing (repro.hashing.mixers, bit-identical)
+ * ------------------------------------------------------------------------- */
+
+static inline uint64_t
+fmix64(uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDULL;
+    x ^= x >> 33;
+    x *= 0xC4CEB9FE1A85EC53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+/* hash_u64(key, seed) with the seed already folded to
+ * (seed * GOLDEN) & MASK64 on the Python side. */
+static inline uint64_t
+hash_seeded(uint64_t key, uint64_t seedmix)
+{
+    return fmix64(fmix64(key) ^ seedmix);
+}
+
+/* ---------------------------------------------------------------------------
+ * xoroshiro128++ (repro.prng.xoroshiro, bit-identical word sequence)
+ * ------------------------------------------------------------------------- */
+
+typedef struct {
+    uint64_t s0;
+    uint64_t s1;
+} xoro_t;
+
+static inline uint64_t
+rotl64(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+static inline uint64_t
+xoro_next(xoro_t *rng)
+{
+    uint64_t s0 = rng->s0;
+    uint64_t s1 = rng->s1;
+    uint64_t result = rotl64(s0 + s1, 17) + s0;
+    s1 ^= s0;
+    rng->s0 = rotl64(s0, 49) ^ s1 ^ (s1 << 21);
+    rng->s1 = rotl64(s1, 28);
+    return result;
+}
+
+/* randrange(n): rejection sampling on the top of the 64-bit range,
+ * consuming exactly the draws the Python implementation consumes. */
+static inline uint64_t
+xoro_randrange(xoro_t *rng, uint64_t n)
+{
+    /* 2**64 mod n, computed in uint64 arithmetic. */
+    uint64_t rem = ((uint64_t)0 - n) % n;
+    for (;;) {
+        uint64_t draw = xoro_next(rng);
+        /* Python accepts draw < 2**64 - rem (always, when rem == 0). */
+        if (rem == 0 || draw < ((uint64_t)0 - rem)) {
+            return draw % n;
+        }
+    }
+}
+
+/* ---------------------------------------------------------------------------
+ * scalar probe walks (ports of the Python scalar methods, including the
+ * exact probe_count accounting of the scalar call sequence)
+ * ------------------------------------------------------------------------- */
+
+/* Linear-probing lookup; returns 1 and *slot_out when found.  Charges
+ * probes exactly like LinearProbingTable.get / add_to. */
+static inline int
+lp_find(const uint64_t *tk, const int64_t *ts, uint64_t mask, uint64_t seedmix,
+        uint64_t key, uint64_t *slot_out, int64_t *probe_total)
+{
+    uint64_t slot = hash_seeded(key, seedmix) & mask;
+    int64_t probes = 0;
+    while (ts[slot] != 0) {
+        probes += 1;
+        if (tk[slot] == key) {
+            *probe_total += probes;
+            *slot_out = slot;
+            return 1;
+        }
+        slot = (slot + 1) & mask;
+    }
+    *probe_total += probes + 1;
+    return 0;
+}
+
+/* Robin Hood lookup with the early exit; charges probes exactly like
+ * RobinHoodTable.get / add_to. */
+static inline int
+rh_find(const uint64_t *tk, const int64_t *ts, uint64_t mask, uint64_t seedmix,
+        uint64_t key, uint64_t *slot_out, int64_t *probe_total)
+{
+    uint64_t slot = hash_seeded(key, seedmix) & mask;
+    int64_t distance = 0;
+    int64_t probes = 0;
+    for (;;) {
+        int64_t state = ts[slot];
+        probes += 1;
+        if (state == 0 || state - 1 < distance) {
+            *probe_total += probes;
+            return 0;
+        }
+        if (tk[slot] == key) {
+            *probe_total += probes;
+            *slot_out = slot;
+            return 1;
+        }
+        slot = (slot + 1) & mask;
+        distance += 1;
+    }
+}
+
+/* FCFS insert of a key known to be absent (the ingest path guarantees
+ * it: add_to just missed).  Charges probes like the scalar insert. */
+static inline void
+lp_insert_absent(uint64_t *tk, double *tv, int64_t *ts, uint64_t mask,
+                 uint64_t seedmix, uint64_t key, double value,
+                 int64_t *probe_total)
+{
+    uint64_t home = hash_seeded(key, seedmix) & mask;
+    uint64_t slot = home;
+    int64_t probes = 0;
+    while (ts[slot] != 0) {
+        probes += 1;
+        slot = (slot + 1) & mask;
+    }
+    tk[slot] = key;
+    tv[slot] = value;
+    ts[slot] = (int64_t)((slot - home) & mask) + 1;
+    *probe_total += probes + 1;
+}
+
+/* Robin Hood displacement walk (key known absent); charges probes like
+ * RobinHoodTable._place. */
+static inline void
+rh_place(uint64_t *tk, double *tv, int64_t *ts, uint64_t mask,
+         uint64_t key, double value, uint64_t home, int64_t *probe_total)
+{
+    uint64_t slot = home;
+    int64_t distance = 0;
+    int64_t probes = 0;
+    for (;;) {
+        int64_t state = ts[slot];
+        probes += 1;
+        if (state == 0) {
+            tk[slot] = key;
+            tv[slot] = value;
+            ts[slot] = distance + 1;
+            *probe_total += probes;
+            return;
+        }
+        int64_t resident_distance = state - 1;
+        if (resident_distance < distance) {
+            uint64_t evicted_key = tk[slot];
+            double evicted_value = tv[slot];
+            tk[slot] = key;
+            tv[slot] = value;
+            ts[slot] = distance + 1;
+            key = evicted_key;
+            value = evicted_value;
+            distance = resident_distance;
+        }
+        slot = (slot + 1) & mask;
+        distance += 1;
+    }
+}
+
+/* Scalar-equivalent insert dispatch for the ingest loop.  The Robin
+ * Hood scalar insert runs a duplicate-check get() before placing, and
+ * that lookup's probes are charged; the key is absent here, so the
+ * check is a guaranteed-miss walk replayed for probe parity only. */
+static inline void
+table_insert_absent(uint64_t *tk, double *tv, int64_t *ts, uint64_t mask,
+                    uint64_t seedmix, int robinhood, uint64_t key,
+                    double value, int64_t *probe_total)
+{
+    if (robinhood) {
+        uint64_t dummy;
+        (void)rh_find(tk, ts, mask, seedmix, key, &dummy, probe_total);
+        rh_place(tk, tv, ts, mask, key, value,
+                 hash_seeded(key, seedmix) & mask, probe_total);
+    }
+    else {
+        lp_insert_absent(tk, tv, ts, mask, seedmix, key, value, probe_total);
+    }
+}
+
+/* ---------------------------------------------------------------------------
+ * deletion + purge (ports of _remove_at and the canonical ascending
+ * backward-shift sweep both NumPy purge strategies reproduce)
+ * ------------------------------------------------------------------------- */
+
+static void
+lp_remove_at(uint64_t *tk, double *tv, int64_t *ts, uint64_t mask,
+             uint64_t slot)
+{
+    ts[slot] = 0;
+    uint64_t free_slot = slot;
+    uint64_t scan = (slot + 1) & mask;
+    while (ts[scan] != 0) {
+        uint64_t distance = (uint64_t)(ts[scan] - 1);
+        uint64_t home = (scan - distance) & mask;
+        uint64_t free_distance = (free_slot - home) & mask;
+        if (free_distance < distance) {
+            tk[free_slot] = tk[scan];
+            tv[free_slot] = tv[scan];
+            ts[free_slot] = (int64_t)free_distance + 1;
+            ts[scan] = 0;
+            free_slot = scan;
+        }
+        scan = (scan + 1) & mask;
+    }
+}
+
+static void
+rh_remove_at(uint64_t *tk, double *tv, int64_t *ts, uint64_t mask,
+             uint64_t slot)
+{
+    ts[slot] = 0;
+    uint64_t previous = slot;
+    uint64_t current = (slot + 1) & mask;
+    while (ts[current] > 1) {
+        tk[previous] = tk[current];
+        tv[previous] = tv[current];
+        ts[previous] = ts[current] - 1;
+        ts[current] = 0;
+        previous = current;
+        current = (current + 1) & mask;
+    }
+}
+
+/* The canonical scalar purge: sweep slots 0..L-1 ascending, removing
+ * every non-positive counter with the backward shift and re-examining
+ * the slot after each removal (shifting may move another counter in).
+ * Values never change during the sweep and shifts only move counters
+ * toward their homes, so exactly the non-positive counters are freed —
+ * the same contract the two vectorized strategies satisfy. */
+static int64_t
+purge_sweep(uint64_t *tk, double *tv, int64_t *ts, uint64_t mask,
+            int robinhood)
+{
+    int64_t length = (int64_t)mask + 1;
+    int64_t freed = 0;
+    for (int64_t slot = 0; slot < length; slot++) {
+        while (ts[slot] != 0 && tv[slot] <= 0.0) {
+            if (robinhood) {
+                rh_remove_at(tk, tv, ts, mask, (uint64_t)slot);
+            }
+            else {
+                lp_remove_at(tk, tv, ts, mask, (uint64_t)slot);
+            }
+            freed += 1;
+        }
+    }
+    return freed;
+}
+
+/* ---------------------------------------------------------------------------
+ * SampleQuantilePolicy.decrement_value (selector="auto"), bit-identical
+ * ------------------------------------------------------------------------- */
+
+static int
+cmp_double(const void *pa, const void *pb)
+{
+    double a = *(const double *)pa;
+    double b = *(const double *)pb;
+    return (a > b) - (a < b);
+}
+
+static double
+sq_decrement(const double *tv, const int64_t *ts, int64_t length,
+             int64_t size, int64_t sample_size, double quantile,
+             xoro_t *rng, double *scratch)
+{
+    int64_t n;
+    if (size <= sample_size) {
+        /* values_list(): live values in ascending slot order. */
+        n = 0;
+        for (int64_t slot = 0; slot < length; slot++) {
+            if (ts[slot] != 0) {
+                scratch[n++] = tv[slot];
+            }
+        }
+    }
+    else {
+        /* sample_values(): rejection-sample physical slots, consuming
+         * exactly the Python draw sequence. */
+        n = sample_size;
+        for (int64_t j = 0; j < n; j++) {
+            for (;;) {
+                uint64_t slot = xoro_randrange(rng, (uint64_t)length);
+                if (ts[slot] != 0) {
+                    scratch[j] = tv[slot];
+                    break;
+                }
+            }
+        }
+    }
+    /* sample_quantile(..., selector="auto"): min/max at the extremes,
+     * full sort otherwise; rank = int(quantile * (n - 1)) truncated. */
+    if (quantile == 0.0) {
+        double minimum = scratch[0];
+        for (int64_t j = 1; j < n; j++) {
+            if (scratch[j] < minimum) {
+                minimum = scratch[j];
+            }
+        }
+        return minimum;
+    }
+    if (quantile == 1.0) {
+        double maximum = scratch[0];
+        for (int64_t j = 1; j < n; j++) {
+            if (scratch[j] > maximum) {
+                maximum = scratch[j];
+            }
+        }
+        return maximum;
+    }
+    qsort(scratch, (size_t)n, sizeof(double), cmp_double);
+    int64_t rank = (int64_t)(quantile * (double)(n - 1));
+    return scratch[rank];
+}
+
+/* ---------------------------------------------------------------------------
+ * get_many / add_many / insert_many / purge_nonpositive entry points
+ * ------------------------------------------------------------------------- */
+
+static PyObject *
+py_get_many(PyObject *Py_UNUSED(self), PyObject *args)
+{
+    PyObject *keys_o, *tk_o, *tv_o, *ts_o;
+    unsigned long long seedmix_ull;
+    int robinhood;
+    if (!PyArg_ParseTuple(args, "OOOOKi", &keys_o, &tk_o, &tv_o, &ts_o,
+                          &seedmix_ull, &robinhood)) {
+        return NULL;
+    }
+    const uint64_t *keys = arr_data(keys_o, NPY_UINT64, 0, "keys");
+    const uint64_t *tk = arr_data(tk_o, NPY_UINT64, 0, "table keys");
+    const double *tv = arr_data(tv_o, NPY_DOUBLE, 0, "table values");
+    const int64_t *ts = arr_data(ts_o, NPY_INT64, 0, "table states");
+    if (!keys || !tk || !tv || !ts) {
+        return NULL;
+    }
+    npy_intp n = arr_len(keys_o);
+    uint64_t mask = (uint64_t)arr_len(ts_o) - 1;
+    uint64_t seedmix = (uint64_t)seedmix_ull;
+
+    npy_intp dims[1] = {n};
+    PyObject *out_o = PyArray_SimpleNew(1, dims, NPY_DOUBLE);
+    if (out_o == NULL) {
+        return NULL;
+    }
+    double *out = PyArray_DATA((PyArrayObject *)out_o);
+    int64_t probes = 0;
+
+    Py_BEGIN_ALLOW_THREADS
+    for (npy_intp i = 0; i < n; i++) {
+        uint64_t slot;
+        int found = robinhood
+            ? rh_find(tk, ts, mask, seedmix, keys[i], &slot, &probes)
+            : lp_find(tk, ts, mask, seedmix, keys[i], &slot, &probes);
+        out[i] = found ? tv[slot] : (double)NAN;
+    }
+    Py_END_ALLOW_THREADS
+
+    return Py_BuildValue("(NL)", out_o, (long long)probes);
+}
+
+static PyObject *
+py_add_many(PyObject *Py_UNUSED(self), PyObject *args)
+{
+    PyObject *keys_o, *deltas_o, *tk_o, *tv_o, *ts_o;
+    unsigned long long seedmix_ull;
+    int robinhood;
+    if (!PyArg_ParseTuple(args, "OOOOOKi", &keys_o, &deltas_o, &tk_o, &tv_o,
+                          &ts_o, &seedmix_ull, &robinhood)) {
+        return NULL;
+    }
+    const uint64_t *keys = arr_data(keys_o, NPY_UINT64, 0, "keys");
+    const double *deltas = arr_data(deltas_o, NPY_DOUBLE, 0, "deltas");
+    const uint64_t *tk = arr_data(tk_o, NPY_UINT64, 0, "table keys");
+    double *tv = arr_data(tv_o, NPY_DOUBLE, 1, "table values");
+    const int64_t *ts = arr_data(ts_o, NPY_INT64, 0, "table states");
+    if (!keys || !deltas || !tk || !tv || !ts) {
+        return NULL;
+    }
+    npy_intp n = arr_len(keys_o);
+    uint64_t mask = (uint64_t)arr_len(ts_o) - 1;
+    uint64_t seedmix = (uint64_t)seedmix_ull;
+
+    uint64_t *slots = PyMem_Malloc((size_t)(n > 0 ? n : 1) * sizeof(uint64_t));
+    if (slots == NULL) {
+        return PyErr_NoMemory();
+    }
+    int64_t probes = 0;
+    npy_intp missing = -1;
+
+    Py_BEGIN_ALLOW_THREADS
+    /* Locate every key first (charging probes for all of them, as the
+     * vectorized walk does), then scatter — the table is untouched when
+     * any key is missing. */
+    for (npy_intp i = 0; i < n; i++) {
+        int found = robinhood
+            ? rh_find(tk, ts, mask, seedmix, keys[i], &slots[i], &probes)
+            : lp_find(tk, ts, mask, seedmix, keys[i], &slots[i], &probes);
+        if (!found && missing < 0) {
+            missing = i;
+        }
+    }
+    if (missing < 0) {
+        for (npy_intp i = 0; i < n; i++) {
+            tv[slots[i]] += deltas[i];
+        }
+    }
+    Py_END_ALLOW_THREADS
+
+    PyMem_Free(slots);
+    return Py_BuildValue("(Ln)", (long long)probes, (Py_ssize_t)missing);
+}
+
+static PyObject *
+py_insert_many(PyObject *Py_UNUSED(self), PyObject *args)
+{
+    PyObject *keys_o, *values_o, *tk_o, *tv_o, *ts_o;
+    unsigned long long seedmix_ull;
+    int robinhood;
+    if (!PyArg_ParseTuple(args, "OOOOOKi", &keys_o, &values_o, &tk_o, &tv_o,
+                          &ts_o, &seedmix_ull, &robinhood)) {
+        return NULL;
+    }
+    const uint64_t *keys = arr_data(keys_o, NPY_UINT64, 0, "keys");
+    const double *values = arr_data(values_o, NPY_DOUBLE, 0, "values");
+    uint64_t *tk = arr_data(tk_o, NPY_UINT64, 1, "table keys");
+    double *tv = arr_data(tv_o, NPY_DOUBLE, 1, "table values");
+    int64_t *ts = arr_data(ts_o, NPY_INT64, 1, "table states");
+    if (!keys || !values || !tk || !tv || !ts) {
+        return NULL;
+    }
+    npy_intp n = arr_len(keys_o);
+    int64_t length = (int64_t)arr_len(ts_o);
+    uint64_t mask = (uint64_t)length - 1;
+    uint64_t seedmix = (uint64_t)seedmix_ull;
+    int64_t probes = 0;
+    uint64_t duplicate_key = 0;
+    int duplicate = 0;
+
+    if (robinhood) {
+        /* Simulate the displacement walks on copies (the NumPy slow
+         * path simulates on Python lists), then commit — a duplicate
+         * leaves the table untouched. */
+        int64_t *scopy = PyMem_Malloc((size_t)length * sizeof(int64_t));
+        uint64_t *kcopy = PyMem_Malloc((size_t)length * sizeof(uint64_t));
+        double *vcopy = PyMem_Malloc((size_t)length * sizeof(double));
+        if (scopy == NULL || kcopy == NULL || vcopy == NULL) {
+            PyMem_Free(scopy);
+            PyMem_Free(kcopy);
+            PyMem_Free(vcopy);
+            return PyErr_NoMemory();
+        }
+        Py_BEGIN_ALLOW_THREADS
+        memcpy(scopy, ts, (size_t)length * sizeof(int64_t));
+        memcpy(kcopy, tk, (size_t)length * sizeof(uint64_t));
+        memcpy(vcopy, tv, (size_t)length * sizeof(double));
+        for (npy_intp j = 0; j < n && !duplicate; j++) {
+            uint64_t key = keys[j];
+            double value = values[j];
+            uint64_t slot = hash_seeded(key, seedmix) & mask;
+            int64_t distance = 0;
+            for (;;) {
+                int64_t state = scopy[slot];
+                probes += 1;
+                if (state == 0) {
+                    kcopy[slot] = key;
+                    vcopy[slot] = value;
+                    scopy[slot] = distance + 1;
+                    break;
+                }
+                if (kcopy[slot] == key) {
+                    duplicate = 1;
+                    duplicate_key = key;
+                    break;
+                }
+                int64_t resident_distance = state - 1;
+                if (resident_distance < distance) {
+                    uint64_t evicted_key = kcopy[slot];
+                    double evicted_value = vcopy[slot];
+                    kcopy[slot] = key;
+                    vcopy[slot] = value;
+                    scopy[slot] = distance + 1;
+                    key = evicted_key;
+                    value = evicted_value;
+                    distance = resident_distance;
+                }
+                slot = (slot + 1) & mask;
+                distance += 1;
+            }
+        }
+        if (!duplicate) {
+            memcpy(ts, scopy, (size_t)length * sizeof(int64_t));
+            memcpy(tk, kcopy, (size_t)length * sizeof(uint64_t));
+            memcpy(tv, vcopy, (size_t)length * sizeof(double));
+        }
+        Py_END_ALLOW_THREADS
+        PyMem_Free(scopy);
+        PyMem_Free(kcopy);
+        PyMem_Free(vcopy);
+    }
+    else {
+        /* FCFS placement depends only on occupancy: walk an occupancy
+         * overlay, record the placements, scatter on success. */
+        char *occ = PyMem_Malloc((size_t)length);
+        uint64_t *kcopy = PyMem_Malloc((size_t)length * sizeof(uint64_t));
+        uint64_t *pos = PyMem_Malloc((size_t)(n > 0 ? n : 1) * sizeof(uint64_t));
+        int64_t *dist = PyMem_Malloc((size_t)(n > 0 ? n : 1) * sizeof(int64_t));
+        if (occ == NULL || kcopy == NULL || pos == NULL || dist == NULL) {
+            PyMem_Free(occ);
+            PyMem_Free(kcopy);
+            PyMem_Free(pos);
+            PyMem_Free(dist);
+            return PyErr_NoMemory();
+        }
+        Py_BEGIN_ALLOW_THREADS
+        for (int64_t slot = 0; slot < length; slot++) {
+            occ[slot] = ts[slot] != 0;
+        }
+        memcpy(kcopy, tk, (size_t)length * sizeof(uint64_t));
+        for (npy_intp j = 0; j < n && !duplicate; j++) {
+            uint64_t key = keys[j];
+            uint64_t home = hash_seeded(key, seedmix) & mask;
+            uint64_t slot = home;
+            while (occ[slot]) {
+                if (kcopy[slot] == key) {
+                    duplicate = 1;
+                    duplicate_key = key;
+                    break;
+                }
+                slot = (slot + 1) & mask;
+            }
+            if (duplicate) {
+                break;
+            }
+            occ[slot] = 1;
+            kcopy[slot] = key;
+            pos[j] = slot;
+            dist[j] = (int64_t)((slot - home) & mask);
+        }
+        if (!duplicate) {
+            for (npy_intp j = 0; j < n; j++) {
+                tk[pos[j]] = keys[j];
+                tv[pos[j]] = values[j];
+                ts[pos[j]] = dist[j] + 1;
+                probes += dist[j] + 1;
+            }
+        }
+        Py_END_ALLOW_THREADS
+        PyMem_Free(occ);
+        PyMem_Free(kcopy);
+        PyMem_Free(pos);
+        PyMem_Free(dist);
+    }
+
+    if (duplicate) {
+        PyErr_Format(PyExc_ValueError,
+                     "key %llu is already assigned a counter",
+                     (unsigned long long)duplicate_key);
+        return NULL;
+    }
+    return PyLong_FromLongLong((long long)probes);
+}
+
+static PyObject *
+py_purge_nonpositive(PyObject *Py_UNUSED(self), PyObject *args)
+{
+    PyObject *tk_o, *tv_o, *ts_o;
+    int robinhood;
+    if (!PyArg_ParseTuple(args, "OOOi", &tk_o, &tv_o, &ts_o, &robinhood)) {
+        return NULL;
+    }
+    uint64_t *tk = arr_data(tk_o, NPY_UINT64, 1, "table keys");
+    double *tv = arr_data(tv_o, NPY_DOUBLE, 1, "table values");
+    int64_t *ts = arr_data(ts_o, NPY_INT64, 1, "table states");
+    if (!tk || !tv || !ts) {
+        return NULL;
+    }
+    uint64_t mask = (uint64_t)arr_len(ts_o) - 1;
+    int64_t freed;
+
+    Py_BEGIN_ALLOW_THREADS
+    freed = purge_sweep(tk, tv, ts, mask, robinhood);
+    Py_END_ALLOW_THREADS
+
+    return PyLong_FromLongLong((long long)freed);
+}
+
+/* ---------------------------------------------------------------------------
+ * the ingest kernel (scalar SketchKernel.ingest loop over a batch)
+ * ------------------------------------------------------------------------- */
+
+static PyObject *
+py_ingest_batch(PyObject *Py_UNUSED(self), PyObject *args)
+{
+    PyObject *items_o, *weights_o, *tk_o, *tv_o, *ts_o;
+    long long size_ll, capacity_ll, sample_size_ll;
+    unsigned long long seedmix_ull, s0_ull, s1_ull;
+    int robinhood;
+    double offset, quantile;
+    if (!PyArg_ParseTuple(args, "OOOOOLLKiKKddL", &items_o, &weights_o, &tk_o,
+                          &tv_o, &ts_o, &size_ll, &capacity_ll, &seedmix_ull,
+                          &robinhood, &s0_ull, &s1_ull, &offset, &quantile,
+                          &sample_size_ll)) {
+        return NULL;
+    }
+    const uint64_t *items = arr_data(items_o, NPY_UINT64, 0, "items");
+    const double *weights = arr_data(weights_o, NPY_DOUBLE, 0, "weights");
+    uint64_t *tk = arr_data(tk_o, NPY_UINT64, 1, "table keys");
+    double *tv = arr_data(tv_o, NPY_DOUBLE, 1, "table values");
+    int64_t *ts = arr_data(ts_o, NPY_INT64, 1, "table states");
+    if (!items || !weights || !tk || !tv || !ts) {
+        return NULL;
+    }
+    npy_intp n = arr_len(items_o);
+    int64_t length = (int64_t)arr_len(ts_o);
+    uint64_t mask = (uint64_t)length - 1;
+    uint64_t seedmix = (uint64_t)seedmix_ull;
+    int64_t size = (int64_t)size_ll;
+    int64_t capacity = (int64_t)capacity_ll;
+    int64_t sample_size = (int64_t)sample_size_ll;
+    xoro_t rng = {(uint64_t)s0_ull, (uint64_t)s1_ull};
+
+    int64_t scratch_len = capacity > sample_size ? capacity : sample_size;
+    double *scratch = PyMem_Malloc((size_t)scratch_len * sizeof(double));
+    if (scratch == NULL) {
+        return PyErr_NoMemory();
+    }
+
+    int64_t probes = 0;
+    int64_t hits = 0;
+    int64_t inserts = 0;
+    int64_t decrements = 0;
+    int64_t scanned = 0;
+    int64_t freed_total = 0;
+
+    Py_BEGIN_ALLOW_THREADS
+    for (npy_intp i = 0; i < n; i++) {
+        uint64_t key = items[i];
+        double weight = weights[i];
+        uint64_t slot;
+        int found = robinhood
+            ? rh_find(tk, ts, mask, seedmix, key, &slot, &probes)
+            : lp_find(tk, ts, mask, seedmix, key, &slot, &probes);
+        if (found) {
+            tv[slot] += weight;
+            hits += 1;
+            continue;
+        }
+        if (size < capacity) {
+            table_insert_absent(tk, tv, ts, mask, seedmix, robinhood, key,
+                                weight, &probes);
+            size += 1;
+            inserts += 1;
+            continue;
+        }
+        /* Table full: DecrementCounters(), scalar code path verbatim. */
+        double c_star = sq_decrement(tv, ts, length, size, sample_size,
+                                     quantile, &rng, scratch);
+        scanned += size;
+        double neg = -c_star;
+        for (int64_t s = 0; s < length; s++) {
+            if (ts[s] != 0) {
+                tv[s] += neg;
+            }
+        }
+        int64_t freed = purge_sweep(tk, tv, ts, mask, robinhood);
+        size -= freed;
+        freed_total += freed;
+        decrements += 1;
+        offset += c_star;
+        if (weight > c_star) {
+            table_insert_absent(tk, tv, ts, mask, seedmix, robinhood, key,
+                                weight - c_star, &probes);
+            size += 1;
+            inserts += 1;
+        }
+    }
+    Py_END_ALLOW_THREADS
+
+    PyMem_Free(scratch);
+    return Py_BuildValue("(LKKdLLLLLL)",
+                         (long long)size,
+                         (unsigned long long)rng.s0,
+                         (unsigned long long)rng.s1,
+                         offset,
+                         (long long)probes,
+                         (long long)hits,
+                         (long long)inserts,
+                         (long long)decrements,
+                         (long long)scanned,
+                         (long long)freed_total);
+}
+
+/* ---------------------------------------------------------------------------
+ * BatchGrouper.group (scalar claim walk; identical outputs)
+ * ------------------------------------------------------------------------- */
+
+static PyObject *
+py_group(PyObject *Py_UNUSED(self), PyObject *args)
+{
+    PyObject *items_o, *gk_o, *stamps_o, *gid_o, *inverse_o, *uniq_o;
+    long long epoch_ll;
+    if (!PyArg_ParseTuple(args, "OOOOOOL", &items_o, &gk_o, &stamps_o, &gid_o,
+                          &inverse_o, &uniq_o, &epoch_ll)) {
+        return NULL;
+    }
+    const uint64_t *items = arr_data(items_o, NPY_UINT64, 0, "items");
+    uint64_t *gk = arr_data(gk_o, NPY_UINT64, 1, "group table keys");
+    int64_t *stamps = arr_data(stamps_o, NPY_INT64, 1, "stamps");
+    int64_t *gid = arr_data(gid_o, NPY_INT64, 1, "group ids");
+    int64_t *inverse = arr_data(inverse_o, NPY_INT64, 1, "inverse");
+    uint64_t *uniq = arr_data(uniq_o, NPY_UINT64, 1, "uniq");
+    if (!items || !gk || !stamps || !gid || !inverse || !uniq) {
+        return NULL;
+    }
+    npy_intp n = arr_len(items_o);
+    uint64_t mask = (uint64_t)arr_len(stamps_o) - 1;
+    int64_t epoch = (int64_t)epoch_ll;
+    int64_t num_groups = 0;
+
+    Py_BEGIN_ALLOW_THREADS
+    for (npy_intp i = 0; i < n; i++) {
+        uint64_t key = items[i];
+        uint64_t slot = fmix64(key) & mask;
+        for (;;) {
+            if (stamps[slot] != epoch) {
+                stamps[slot] = epoch;
+                gk[slot] = key;
+                gid[slot] = num_groups;
+                uniq[num_groups] = key;
+                inverse[i] = num_groups;
+                num_groups += 1;
+                break;
+            }
+            if (gk[slot] == key) {
+                inverse[i] = gid[slot];
+                break;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+    Py_END_ALLOW_THREADS
+
+    return PyLong_FromLongLong((long long)num_groups);
+}
+
+/* ---------------------------------------------------------------------------
+ * module definition
+ * ------------------------------------------------------------------------- */
+
+static PyMethodDef kernel_methods[] = {
+    {"get_many", py_get_many, METH_VARARGS,
+     "Scalar-equivalent batched lookup on a probing table."},
+    {"add_many", py_add_many, METH_VARARGS,
+     "Scalar-equivalent batched increment on a probing table."},
+    {"insert_many", py_insert_many, METH_VARARGS,
+     "Scalar-equivalent batched insert on a probing table."},
+    {"purge_nonpositive", py_purge_nonpositive, METH_VARARGS,
+     "Canonical ascending backward-shift purge sweep."},
+    {"ingest_batch", py_ingest_batch, METH_VARARGS,
+     "The scalar SketchKernel.ingest loop over a whole batch."},
+    {"group", py_group, METH_VARARGS,
+     "BatchGrouper.group claim walk (first-occurrence order)."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef kernels_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro._native._kernels",
+    "Compiled probe/decrement kernels, bit-identical to the NumPy paths.",
+    -1,
+    kernel_methods,
+    NULL,
+    NULL,
+    NULL,
+    NULL,
+};
+
+PyMODINIT_FUNC
+PyInit__kernels(void)
+{
+    PyObject *module;
+    import_array();
+    module = PyModule_Create(&kernels_module);
+    if (module == NULL) {
+        return NULL;
+    }
+#if defined(__clang__)
+    PyModule_AddStringConstant(module, "COMPILER", "clang " __VERSION__);
+#elif defined(__GNUC__)
+    PyModule_AddStringConstant(module, "COMPILER", "gcc " __VERSION__);
+#else
+    PyModule_AddStringConstant(module, "COMPILER", "unknown");
+#endif
+    return module;
+}

@@ -927,17 +927,24 @@ def ingest_profile_table(
                 for row in rows
                 if row["backend"] == backend and row["alpha"] == 1.05
             )
+        from repro import native
+
         document = {
             "bench": "ingest-profile",
             "k": k,
             "num_updates": config.num_updates,
             "unique_sources": config.unique_sources,
             "seed": config.seed,
+            # Which ingest path produced these rows (native C kernels vs
+            # NumPy fallback) — absolute rows are not comparable across
+            # paths, so the provenance must travel with the numbers.
+            "metadata": native.runtime_metadata(),
             "rows": rows,
             "gates": {
                 "probing_batch_speedup_alpha1.05": best_speedup("probing"),
                 "robinhood_batch_speedup_alpha1.05": best_speedup("robinhood"),
                 "columnar_batch_speedup_alpha1.05": best_speedup("columnar"),
+                "dict_batch_speedup_alpha1.05": best_speedup("dict"),
                 "columnar_batch_per_sec_alpha1.05": max(
                     row["batch_per_sec"]
                     for row in rows
@@ -1126,12 +1133,15 @@ def serve_throughput_table(
     record("tcp-bin", 1, seconds, total, pipeline)
 
     if json_path is not None:
+        from repro import native
+
         document = {
             "bench": "serve",
             "k": k,
             "per_producer_updates": per_producer,
             "unique_sources": config.unique_sources,
             "seed": config.seed,
+            "metadata": native.runtime_metadata(),
             "rows": rows,
             "gates": {
                 "pipeline_4p_updates_per_sec": next(

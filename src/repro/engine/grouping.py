@@ -35,6 +35,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hashing.mixers import fmix64_array
+from repro.native import kernels_if_enabled
 
 #: Smallest per-item buffer size; keeps tiny batches from reallocating.
 _MIN_CAPACITY = 4096
@@ -98,6 +99,24 @@ class BatchGrouper:
         self._ensure(n)
         self._epoch += 1
         epoch = self._epoch
+        kernels = kernels_if_enabled()
+        if kernels is not None:
+            # One scalar claim walk in C.  Slot choices may differ from
+            # the vectorized race below, but the outputs cannot: both
+            # assign group ids by first occurrence in the batch.
+            items = np.require(items, dtype=np.uint64, requirements=("C", "A"))
+            inverse = np.empty(n, dtype=np.int64)
+            uniq_buf = np.empty(n, dtype=np.uint64)
+            num_groups = kernels.group(
+                items,
+                self._table_keys,
+                self._stamps,
+                self._first,
+                inverse,
+                uniq_buf,
+                epoch,
+            )
+            return uniq_buf[:num_groups], inverse, num_groups
         table_keys = self._table_keys
         stamps = self._stamps
         mask = self._table_mask

@@ -37,6 +37,7 @@ from repro.errors import (
     InvalidUpdateError,
 )
 from repro.metrics.instrumentation import OpStats
+from repro.native import seed_mix, table_kernels
 from repro.prng import Xoroshiro128PlusPlus
 from repro.table import GROWTH_MODES, make_store
 from repro.table.base import CounterStore
@@ -303,6 +304,16 @@ class SketchKernel:
         n = len(items)
         if n == 0:
             return
+        if type(store) is DictCounterStore:
+            # CPython's dict probe is already a compiled hash lookup, so
+            # the grouped orchestration below only adds overhead on this
+            # backend; inline the scalar loop over raw dict ops instead.
+            self._ingest_batch_dict_fast(items, weights)
+            return
+        native = self._native_ingest_spec()
+        if native is not None:
+            self._ingest_batch_native(items, weights, *native)
+            return
         grouper = self._grouper
         if grouper is None:
             grouper = self._grouper = BatchGrouper()
@@ -408,6 +419,126 @@ class SketchKernel:
                 val[trigger_group] = trigger_weight - c_star
             p = trigger + 1
 
+    # -- native (compiled) ingestion ------------------------------------------
+
+    def _native_ingest_spec(self) -> Optional[tuple]:
+        """``(kernels, robinhood)`` when the whole ingest loop can run in C.
+
+        Requires the stock sampled-quantile policy with the ``"auto"``
+        selector (the compiled decrement replicates exactly that order
+        statistic and its PRNG draw sequence) on a native-servable,
+        fully-grown probing table.
+        """
+        policy = self.policy
+        if type(policy) is not SampleQuantilePolicy or policy.selector != "auto":
+            return None
+        return table_kernels(self.store)
+
+    def _ingest_batch_native(
+        self, items: np.ndarray, weights: np.ndarray, kernels, robinhood: int
+    ) -> None:
+        """Run the scalar :meth:`ingest` loop over the batch in C.
+
+        ``ingest_batch`` is defined to be per-update-equivalent to the
+        scalar loop, so the compiled loop — a literal port of
+        :meth:`ingest`, PRNG steps included — is bit-identical to both
+        Python paths.  Only ``probe_count`` follows the scalar (not the
+        segmented) accounting, matching what a scalar replay would
+        charge.
+        """
+        items = np.require(items, dtype=np.uint64, requirements=("C", "A"))
+        weights = np.require(weights, dtype=np.float64, requirements=("C", "A"))
+        store = self.store
+        policy = self.policy
+        s0, s1 = self.rng.getstate()
+        (
+            size,
+            s0,
+            s1,
+            offset,
+            probes,
+            hits,
+            inserts,
+            decrements,
+            scanned,
+            freed,
+        ) = kernels.ingest_batch(
+            items,
+            weights,
+            store._keys,
+            store._values,
+            store._states,
+            store._size,
+            self.k,
+            seed_mix(store._seed),
+            robinhood,
+            s0,
+            s1,
+            self.offset,
+            policy.quantile,
+            policy.sample_size,
+        )
+        store._size = size
+        store.probe_count += probes
+        self.rng.setstate((s0, s1))
+        self.offset = offset
+        stats = self.stats
+        stats.updates += len(items)
+        stats.hits += hits
+        stats.inserts += inserts
+        stats.decrements += decrements
+        stats.counters_scanned += scanned
+        stats.counters_freed += freed
+
+    # -- dict-backend fast path ------------------------------------------------
+
+    def _ingest_batch_dict_fast(self, items: np.ndarray, weights: np.ndarray) -> None:
+        """Inlined scalar ingest loop over raw dict operations.
+
+        Identical in every observable to calling :meth:`ingest` per
+        element — same dict insertion order (hence iteration order and
+        serialized bytes), same PRNG draws, and ``value - c*`` is
+        bit-equal to the scalar path's ``value + (-c*)`` — while skipping
+        the per-update method dispatch and the grouped path's per-window
+        array work, neither of which helps a backend whose point lookups
+        are already C-coded.
+        """
+        store = self.store
+        counts = store._counts  # type: ignore[attr-defined]
+        k = self.k
+        stats = self.stats
+        policy = self.policy
+        rng = self.rng
+        hits = 0
+        inserts = 0
+        for item, weight in zip(items.tolist(), weights.tolist()):
+            current = counts.get(item)
+            if current is not None:
+                counts[item] = current + weight
+                hits += 1
+                continue
+            if len(counts) < k:
+                counts[item] = weight
+                inserts += 1
+                continue
+            c_star = policy.decrement_value(store, rng)
+            stats.decrements += 1
+            stats.counters_scanned += len(counts)
+            survivors = {
+                key: value - c_star
+                for key, value in counts.items()
+                if value > c_star
+            }
+            stats.counters_freed += len(counts) - len(survivors)
+            counts = store._counts = survivors  # type: ignore[attr-defined]
+            self.offset += c_star
+            if weight > c_star:
+                counts[item] = weight - c_star
+                inserts += 1
+        stats.updates += len(items)
+        stats.hits += hits
+        stats.inserts += inserts
+
     # -- merging --------------------------------------------------------------
 
     def absorb(self, other: "SketchKernel") -> "SketchKernel":
@@ -433,10 +564,14 @@ class SketchKernel:
             entries = [entries[index] for index in order]
         if isinstance(self.store, DictCounterStore):
             self._merge_entries_dict_fast(entries)
-        elif isinstance(self.store, ColumnarCounterStore) and entries:
-            # The batch ingest is defined to equal the per-entry loop,
-            # and on the columnar store it replaces per-entry O(k)
-            # insert shifts with bulk sorted merges.
+        elif entries and (
+            isinstance(self.store, ColumnarCounterStore)
+            or self._native_ingest_spec() is not None
+        ):
+            # The batch ingest is defined to equal the per-entry loop;
+            # on the columnar store it replaces per-entry O(k) insert
+            # shifts with bulk sorted merges, and on native-servable
+            # probing tables the whole replay runs in C.
             self.ingest_batch(
                 np.array([item for item, _count in entries], dtype=np.uint64),
                 np.array([count for _item, count in entries], dtype=np.float64),

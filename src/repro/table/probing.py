@@ -54,6 +54,7 @@ import numpy as np
 
 from repro.errors import InvalidParameterError, TableFullError
 from repro.hashing.mixers import hash_u64, hash_u64_array
+from repro.native import register_table, seed_mix, table_kernels
 from repro.prng import Xoroshiro128PlusPlus
 from repro.table.accounting import BYTES_PER_SLOT, HEADER_BYTES, table_length
 from repro.table.base import CounterStore
@@ -330,8 +331,27 @@ class LinearProbingTable(CounterStore):
         self.probe_count += probes
         return slots, found
 
+    # Kernel-input coercion: contiguous AND aligned (deserialized blobs
+    # arrive as unaligned ``frombuffer`` views), for both dispatch paths.
+    @staticmethod
+    def _as_input(arr: np.ndarray, dtype: type) -> np.ndarray:
+        return np.require(arr, dtype=dtype, requirements=("C", "A"))
+
     def get_many(self, keys: np.ndarray) -> np.ndarray:
-        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        keys = self._as_input(keys, np.uint64)
+        native = table_kernels(self)
+        if native is not None:
+            kernels, robinhood = native
+            out, probes = kernels.get_many(
+                keys,
+                self._keys,
+                self._values,
+                self._states,
+                seed_mix(self._seed),
+                robinhood,
+            )
+            self.probe_count += probes
+            return out
         slots, found = self._locate_many(keys)
         out = np.full(len(keys), np.nan, dtype=np.float64)
         if found.any():
@@ -339,13 +359,33 @@ class LinearProbingTable(CounterStore):
         return out
 
     def add_many(self, keys: np.ndarray, deltas: np.ndarray) -> None:
-        keys = np.ascontiguousarray(keys, dtype=np.uint64)
-        deltas = np.ascontiguousarray(deltas, dtype=np.float64)
+        keys = self._as_input(keys, np.uint64)
+        deltas = self._as_input(deltas, np.float64)
+        native = table_kernels(self)
+        if native is not None:
+            kernels, robinhood = native
+            probes, missing = kernels.add_many(
+                keys,
+                deltas,
+                self._keys,
+                self._values,
+                self._states,
+                seed_mix(self._seed),
+                robinhood,
+            )
+            # The walk charges every key's probes even when one is
+            # missing, exactly like the vectorized rounds below.
+            self.probe_count += probes
+            if missing >= 0:
+                raise InvalidParameterError(
+                    f"add_many: key {int(keys[missing])} has no counter assigned"
+                )
+            return
         slots, found = self._locate_many(keys)
         if not found.all():
-            missing = keys[~found]
+            missing_keys = keys[~found]
             raise InvalidParameterError(
-                f"add_many: key {int(missing[0])} has no counter assigned"
+                f"add_many: key {int(missing_keys[0])} has no counter assigned"
             )
         # Keys are distinct by contract, so plain fancy indexing is a
         # race-free scatter-add.
@@ -360,8 +400,29 @@ class LinearProbingTable(CounterStore):
                 f"store holds {self._size} counters, inserting {count} exceeds "
                 f"capacity {self._capacity}"
             )
-        keys = np.ascontiguousarray(keys, dtype=np.uint64)
-        values = np.ascontiguousarray(values, dtype=np.float64)
+        keys = self._as_input(keys, np.uint64)
+        values = self._as_input(values, np.float64)
+        native = table_kernels(self)
+        if native is not None:
+            # Native tables are at final length (the gate requires it),
+            # so the staged-growth loop below would be a single block.
+            kernels, robinhood = native
+            try:
+                probes = kernels.insert_many(
+                    keys,
+                    values,
+                    self._keys,
+                    self._values,
+                    self._states,
+                    seed_mix(self._seed),
+                    robinhood,
+                )
+            except ValueError as exc:
+                # Duplicate key, detected before any mutation.
+                raise InvalidParameterError(str(exc)) from None
+            self._size += count
+            self.probe_count += probes
+            return
         start = 0
         while start < count:
             if self._size >= self._stage_capacity:
@@ -441,6 +502,17 @@ class LinearProbingTable(CounterStore):
         )
 
     def purge_nonpositive(self) -> int:
+        native = table_kernels(self)
+        if native is not None:
+            # The compiled sweep IS the canonical scalar 0..L-1
+            # backward-shift pass both strategies below reproduce.  The
+            # gate guarantees no insertion log to filter.
+            kernels, robinhood = native
+            freed = kernels.purge_nonpositive(
+                self._keys, self._values, self._states, robinhood
+            )
+            self._size -= freed
+            return freed
         states = self._states
         values = self._values
         # Vectorized victim prescan decides the strategy.  Either way the
@@ -628,3 +700,8 @@ class LinearProbingTable(CounterStore):
             f"LinearProbingTable(size={self._size}, capacity={self._capacity}, "
             f"length={self.length})"
         )
+
+
+# Exactly this class (not subclasses — the white-box layout tests rig
+# ``_home_slot``) may be served by the compiled kernels.
+register_table(LinearProbingTable, robinhood=0)

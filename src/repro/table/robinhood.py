@@ -25,6 +25,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import InvalidParameterError
+from repro.native import register_table
 from repro.table.probing import LinearProbingTable
 from repro.types import ItemId
 
@@ -336,3 +337,8 @@ class RobinHoodTable(LinearProbingTable):
             if prev_state != 0 and state > prev_state + 1:
                 return False
         return True
+
+
+# The compiled kernels implement the Robin Hood walks too; the inherited
+# batch entry points dispatch on this registration (exact class only).
+register_table(RobinHoodTable, robinhood=1)
