@@ -14,6 +14,11 @@ benchmark regenerating the full service table
 * **durability overhead** — with WAL + snapshots enabled the pipeline
   must keep at least half its no-durability throughput (the log is an
   append + CRC per micro-batch, not a per-update cost).
+* **replication overhead** — with one live TCP follower attached (the
+  clock stopping only when the *replica* has applied the last
+  micro-batch) the pipeline must sustain at least half the single-node
+  4-producer gate, and the follower's serialized blob must be
+  byte-identical to the leader's.
 """
 
 import asyncio
@@ -118,6 +123,74 @@ def test_durability_overhead_bounded(benchmark, config, tmp_path):
     assert wal_seconds <= 2.0 * plain_seconds, (
         f"durability costs {wal_seconds / plain_seconds:.2f}x "
         "(gate: <= 2x the in-memory pipeline)"
+    )
+
+
+def test_replicated_throughput_gate(benchmark, config):
+    """One follower attached over TCP: >= 0.5x the 4-producer gate,
+    byte-identical replica at the end."""
+    from repro.service.replication import FollowerService, ReplicationManager
+    from repro.service.server import StreamServer
+
+    slices, per_producer = _workload(config)
+    k = config.k_values[-1]
+    benchmark.group = f"ingest service, k={k}"
+    total = 4 * per_producer
+    benchmark.extra_info["updates"] = total
+
+    warm = FrequentItemsSketch(k, backend="columnar", seed=0)
+    asyncio.run(_run(warm, slices[:2], 1))
+
+    async def replicated_run():
+        leader = IngestPipeline(
+            FrequentItemsSketch(k, backend="columnar", seed=config.seed),
+            config=_pipe_config(),
+            replication=ReplicationManager(),
+        )
+        async with leader:
+            server = StreamServer(leader)
+            async with server:
+                follower_pipe = IngestPipeline(
+                    FrequentItemsSketch(
+                        k, backend="columnar", seed=config.seed
+                    ),
+                    config=_pipe_config(),
+                    replica=True,
+                )
+                async with follower_pipe:
+                    follower = FollowerService(
+                        follower_pipe, "127.0.0.1", server.port
+                    )
+                    await follower.start()
+
+                    async def producer():
+                        for items, weights in slices:
+                            await leader.submit(items, weights)
+
+                    await asyncio.gather(*(producer() for _ in range(4)))
+                    await leader.drain()
+                    await follower.wait_for_seq(
+                        leader.applied_seq, timeout=120.0
+                    )
+                    blobs = (
+                        leader.sketch.to_bytes(),
+                        follower_pipe.sketch.to_bytes(),
+                    )
+                    await follower.stop()
+        return blobs
+
+    leader_blob, follower_blob = benchmark.pedantic(
+        lambda: asyncio.run(replicated_run()), rounds=1, iterations=1
+    )
+    assert follower_blob == leader_blob, (
+        "the caught-up follower must be byte-identical to the leader"
+    )
+    seconds = benchmark.stats.stats.mean
+    updates_per_sec = total / seconds
+    benchmark.extra_info["updates_per_sec"] = updates_per_sec
+    assert updates_per_sec >= 0.5 * GATE_UPDATES_PER_SEC, (
+        f"replicated throughput {updates_per_sec:,.0f}/s below half the "
+        f"{GATE_UPDATES_PER_SEC:,}/s single-node gate"
     )
 
 

@@ -77,9 +77,14 @@ from repro.errors import (
     SerializationError,
     TableFullError,
 )
-from repro.errors import ServiceClosedError
+from repro.errors import (
+    ReadOnlyReplicaError,
+    ReplicationError,
+    ServiceClosedError,
+)
 from repro.extensions.decayed import DecayedFrequentItemsSketch
 from repro.service.pipeline import IngestPipeline, PipelineConfig
+from repro.service.server import StreamServer
 from repro.service.snapshot import SnapshotManager
 from repro.sharded.sketch import ShardedFrequentItemsSketch
 from repro.streams.exact import ExactCounter
@@ -103,7 +108,10 @@ __all__ = [
     "IngestPipeline",
     "PipelineConfig",
     "SnapshotManager",
+    "StreamServer",
     "ServiceClosedError",
+    "ReadOnlyReplicaError",
+    "ReplicationError",
     "merge_linear",
     "merge_pairwise_tree",
     "ReproError",

@@ -1008,6 +1008,10 @@ def serve_throughput_table(
     * ``pipeline-4p-sharded`` — the 4-shard sketch behind the pipeline.
     * ``pipeline-4p-wal`` — durability on: every micro-batch WAL-logged
       and periodic snapshots, measuring the write-ahead overhead.
+    * ``pipeline-4p-repl`` — a live follower subscribed over TCP: the
+      timed region ends when the *replica* has applied the leader's last
+      micro-batch, so the figure is replicated (not just local)
+      throughput; the follower's blob is asserted byte-identical.
     * ``tcp-bin`` — end to end over a loopback socket with the binary
       frame protocol (one client, request/response per 8k-update frame).
 
@@ -1048,6 +1052,62 @@ def serve_throughput_table(
             await pipeline.drain()
             seconds = time.perf_counter() - start
         return seconds, num_producers * per_producer, pipeline
+
+    async def run_replicated(num_producers):
+        from repro.service.replication import FollowerService, ReplicationManager
+
+        leader = IngestPipeline(
+            FrequentItemsSketch(k, backend="columnar", seed=config.seed),
+            config=pipe_config,
+            replication=ReplicationManager(),
+        )
+        async with leader:
+            server = StreamServer(leader)
+            async with server:
+                follower_pipe = IngestPipeline(
+                    FrequentItemsSketch(
+                        k, backend="columnar", seed=config.seed
+                    ),
+                    config=pipe_config,
+                    replica=True,
+                )
+                async with follower_pipe:
+                    follower = FollowerService(
+                        follower_pipe, "127.0.0.1", server.port
+                    )
+                    await follower.start()
+
+                    async def producer():
+                        for part_items, part_weights in producer_slices:
+                            await leader.submit(part_items, part_weights)
+
+                    start = time.perf_counter()
+                    await asyncio.gather(
+                        *(producer() for _ in range(num_producers))
+                    )
+                    await leader.drain()
+                    # The clock stops when the *replica* is caught up.
+                    await follower.wait_for_seq(
+                        leader.applied_seq, timeout=120.0
+                    )
+                    seconds = time.perf_counter() - start
+                    identical = (
+                        follower_pipe.sketch.to_bytes()
+                        == leader.sketch.to_bytes()
+                    )
+                    if not identical:  # pragma: no cover
+                        raise AssertionError(
+                            "replica diverged from the leader mid-benchmark"
+                        )
+                    detail = {
+                        "frames_applied": follower.frames_applied,
+                        "snapshots_installed": follower.snapshots_installed,
+                        "reconnects": follower.reconnects,
+                        "follower_seq": follower_pipe.applied_seq,
+                        "byte_identical": identical,
+                    }
+                    await follower.stop()
+        return seconds, num_producers * per_producer, leader, detail
 
     async def run_tcp(sketch):
         pipeline = IngestPipeline(sketch, config=pipe_config)
@@ -1128,6 +1188,11 @@ def serve_throughput_table(
     finally:
         shutil.rmtree(wal_dir, ignore_errors=True)
 
+    seconds, total, pipeline, replication_detail = asyncio.run(
+        run_replicated(4)
+    )
+    record("pipeline-4p-repl", 4, seconds, total, pipeline)
+
     sketch = FrequentItemsSketch(k, backend="columnar", seed=config.seed)
     seconds, total, pipeline = asyncio.run(run_tcp(sketch))
     record("tcp-bin", 1, seconds, total, pipeline)
@@ -1143,11 +1208,31 @@ def serve_throughput_table(
             "seed": config.seed,
             "metadata": native.runtime_metadata(),
             "rows": rows,
+            "replication": {
+                **replication_detail,
+                "replicated_fraction_of_4p": (
+                    next(
+                        row["updates_per_sec"]
+                        for row in rows
+                        if row["mode"] == "pipeline-4p-repl"
+                    )
+                    / next(
+                        row["updates_per_sec"]
+                        for row in rows
+                        if row["mode"] == "pipeline-4p"
+                    )
+                ),
+            },
             "gates": {
                 "pipeline_4p_updates_per_sec": next(
                     row["updates_per_sec"]
                     for row in rows
                     if row["mode"] == "pipeline-4p"
+                ),
+                "pipeline_4p_repl_updates_per_sec": next(
+                    row["updates_per_sec"]
+                    for row in rows
+                    if row["mode"] == "pipeline-4p-repl"
                 ),
             },
         }

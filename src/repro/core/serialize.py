@@ -115,7 +115,12 @@ def sketch_to_bytes(sketch: FrequentItemsSketch) -> bytes:
     if sketch.growth == "adaptive":
         backend_code |= _ADAPTIVE_GROWTH_FLAG
     kind, param, sample_size = _encode_policy(sketch.policy)
-    counters = list(sketch._store.items())
+    # serial_items (when the store offers it) yields a re-insertion
+    # order that reconstructs the physical layout exactly — required
+    # for from_bytes(to_bytes(s)) to be byte-faithful on the probing
+    # layouts; for every other state and store it equals items().
+    store = sketch._store
+    counters = list(getattr(store, "serial_items", store.items)())
     header = _HEADER.pack(
         _MAGIC,
         sketch.max_counters,

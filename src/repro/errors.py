@@ -45,3 +45,23 @@ class IncompatibleSketchError(ReproError, ValueError):
 class ServiceClosedError(ReproError, RuntimeError):
     """An ingest-service operation was attempted on a stopped pipeline,
     or recovery was requested from a directory holding no checkpoint."""
+
+
+class ReadOnlyReplicaError(ServiceClosedError):
+    """A write was attempted on a pipeline serving as a read replica.
+
+    Followers apply the leader's replicated frames only; direct writes
+    would fork the replica's state from the leader's.  Promotion
+    (:meth:`~repro.service.pipeline.IngestPipeline.promote`) lifts the
+    restriction.
+    """
+
+
+class ReplicationError(ReproError, RuntimeError):
+    """A replication-stream frame could not be read or applied.
+
+    Raised for corrupt frame tags, failed frame CRCs, oversized length
+    prefixes, and sequence gaps.  The follower treats it as a dropped
+    connection: close, reconnect, and re-request from the last applied
+    sequence — never apply a suspect frame.
+    """

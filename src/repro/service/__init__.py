@@ -25,7 +25,12 @@ guarantees.
 from repro.service.pipeline import IngestPipeline, PipelineConfig, ServiceStats
 from repro.service.snapshot import SnapshotManager
 from repro.service.server import StreamServer
-from repro.service.client import ServiceClient
+from repro.service.client import ReconnectingServiceClient, ServiceClient
+from repro.service.replication import (
+    FollowerService,
+    ReplicationConfig,
+    ReplicationManager,
+)
 
 __all__ = [
     "IngestPipeline",
@@ -34,4 +39,8 @@ __all__ = [
     "SnapshotManager",
     "StreamServer",
     "ServiceClient",
+    "ReconnectingServiceClient",
+    "ReplicationManager",
+    "ReplicationConfig",
+    "FollowerService",
 ]

@@ -5,6 +5,12 @@ Builds the sketch (flat or sharded), wires an
 data directory's newest checkpoint when one exists — and serves the
 line protocol until interrupted.  A clean shutdown takes a final
 checkpoint, so restarting resumes bit-identically.
+
+Every server is replication-capable: followers subscribe with
+``REPL HELLO`` on the normal port.  ``--follow host:port`` starts this
+server as a read replica of that leader instead; ``--promote`` is a
+one-shot admin command that tells a running follower (``--host`` /
+``--port``) to detach and start accepting writes.
 """
 
 from __future__ import annotations
@@ -15,11 +21,29 @@ import contextlib
 import sys
 
 from repro.core.frequent_items import FrequentItemsSketch
+from repro.service.client import ServiceClient
 from repro.service.pipeline import IngestPipeline, PipelineConfig
+from repro.service.replication import FollowerService, ReplicationManager
 from repro.service.server import StreamServer
 from repro.service.snapshot import SnapshotManager
 from repro.sharded.sketch import ShardedFrequentItemsSketch
 from repro.table import BACKEND_NAMES
+
+
+def parse_addr(text: str) -> tuple[str, int]:
+    """Split ``host:port`` (the only --follow form) into its parts."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise argparse.ArgumentTypeError(
+            f"expected host:port, got {text!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected host:port with a numeric port, got {text!r}"
+        ) from None
+    return host, port
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -29,6 +53,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=9471)
+    parser.add_argument(
+        "--follow", type=parse_addr, default=None, metavar="HOST:PORT",
+        help="run as a read replica of the leader at HOST:PORT",
+    )
+    parser.add_argument(
+        "--promote", action="store_true",
+        help="admin one-shot: promote the follower at --host/--port, "
+        "print its promotion sequence, and exit",
+    )
     parser.add_argument("--k", type=int, default=4096, help="counters per sketch")
     parser.add_argument("--backend", choices=sorted(BACKEND_NAMES), default="columnar")
     parser.add_argument("--seed", type=int, default=0)
@@ -50,6 +83,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def build_pipeline(args: argparse.Namespace) -> IngestPipeline:
+    replication = ReplicationManager()
+    replica = args.follow is not None
     config = PipelineConfig(
         max_batch_items=args.max_batch,
         flush_interval=args.flush_interval,
@@ -67,7 +102,10 @@ def build_pipeline(args: argparse.Namespace) -> IngestPipeline:
                 "and are ignored on recovery",
                 flush=True,
             )
-            return IngestPipeline.recover(snapshots, config=config)
+            return IngestPipeline.recover(
+                snapshots, config=config,
+                replication=replication, replica=replica,
+            )
     else:
         snapshots = None
     if args.shards > 0:
@@ -76,23 +114,48 @@ def build_pipeline(args: argparse.Namespace) -> IngestPipeline:
         )
     else:
         sketch = FrequentItemsSketch(args.k, backend=args.backend, seed=args.seed)
-    return IngestPipeline(sketch, config=config, snapshots=snapshots)
+    return IngestPipeline(
+        sketch, config=config, snapshots=snapshots,
+        replication=replication, replica=replica,
+    )
+
+
+async def promote(args: argparse.Namespace) -> int:
+    """The ``--promote`` one-shot: tell a follower to become a leader."""
+    async with await ServiceClient.connect(args.host, args.port) as client:
+        seq = await client.promote()
+    print(f"promoted {args.host}:{args.port} at seq={seq}", flush=True)
+    return 0
 
 
 async def run(args: argparse.Namespace) -> int:
+    if args.promote:
+        return await promote(args)
     pipeline = build_pipeline(args)
+    follower = None
+    if args.follow is not None:
+        leader_host, leader_port = args.follow
+        follower = FollowerService(pipeline, leader_host, leader_port)
     async with pipeline:
-        server = StreamServer(pipeline, host=args.host, port=args.port)
+        server = StreamServer(
+            pipeline, host=args.host, port=args.port, follower=follower
+        )
         async with server:
+            if follower is not None:
+                await follower.start()
             print(
                 f"serving {type(pipeline.sketch).__name__} "
                 f"on {args.host}:{server.port} "
-                f"(seq={pipeline.applied_seq}, durability="
-                f"{'on' if args.data_dir else 'off'})",
+                f"(role={pipeline.role}, seq={pipeline.applied_seq}, "
+                f"durability={'on' if args.data_dir else 'off'})",
                 flush=True,
             )
-            with contextlib.suppress(asyncio.CancelledError):
-                await asyncio.Event().wait()  # until cancelled (Ctrl-C)
+            try:
+                with contextlib.suppress(asyncio.CancelledError):
+                    await asyncio.Event().wait()  # until cancelled (Ctrl-C)
+            finally:
+                if follower is not None:
+                    await follower.stop()
     return 0
 
 

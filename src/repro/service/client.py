@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 
 import numpy as np
 
@@ -145,3 +146,176 @@ class ServiceClient:
         """Force a checkpoint; returns the checkpointed sequence number."""
         reply = self._ok_args(await self._request(b"SNAPSHOT\n"))
         return int(reply[0])
+
+    # -- staleness-stamped queries (read replicas) -----------------------------
+
+    async def qest(self, item: int) -> tuple[int, float]:
+        """``(applied_seq, estimate)`` — the answer plus the exact
+        between-batches sequence it was read at (the staleness stamp)."""
+        reply = self._ok_args(await self._request(f"QEST {int(item)}\n".encode()))
+        return int(reply[0]), float(reply[1])
+
+    async def qbounds(self, item: int) -> tuple[int, float, float, float]:
+        """``(applied_seq, lower, estimate, upper)`` for one item."""
+        reply = self._ok_args(
+            await self._request(f"QBOUNDS {int(item)}\n".encode())
+        )
+        return int(reply[0]), float(reply[1]), float(reply[2]), float(reply[3])
+
+    async def qhh(self, phi: float) -> tuple[int, list[tuple[int, float]]]:
+        """``(applied_seq, [(item, estimate), ...])``, estimate-sorted."""
+        reply = self._ok_args(await self._request(f"QHH {phi:g}\n".encode()))
+        seq = int(reply[0])
+        count = int(reply[1])
+        pairs = []
+        for token in reply[2 : 2 + count]:
+            item_text, _sep, estimate_text = token.partition(":")
+            pairs.append((int(item_text), float(estimate_text)))
+        return seq, pairs
+
+    # -- replication admin -----------------------------------------------------
+
+    async def repl_status(self) -> dict:
+        """Role, applied sequence, and follower/leader replication state."""
+        text = await self._request(b"REPL STATUS\n")
+        return json.loads(text[3:])
+
+    async def promote(self) -> int:
+        """Promote the connected follower; returns its sequence at
+        promotion.  Fails with :class:`ServiceError` on a leader."""
+        reply = self._ok_args(await self._request(b"REPL PROMOTE\n"))
+        return int(reply[0])
+
+
+class ReconnectingServiceClient:
+    """A :class:`ServiceClient` that survives connection loss.
+
+    Wraps the plain client with bounded exponential-backoff reconnects.
+    Queries are idempotent and simply retried.  Update batches travel as
+    ``BINS`` frames — ``BIN`` stamped with a per-client session id and a
+    monotonically increasing frame sequence — so a frame whose ``OK``
+    was lost in a crash can be resubmitted safely: the server's
+    idempotency registry answers ``OK 0`` for an already-applied frame
+    instead of ingesting it twice.  The result is no lost and no
+    duplicated updates across server restarts, as long as the restarted
+    server still holds the pipeline state (same process or recovered
+    durably).
+
+    Retries are *bounded*: after ``max_retries`` consecutive failed
+    reconnect attempts the original error re-raises to the caller.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        max_retries: int = 6,
+        backoff_initial: float = 0.05,
+        backoff_max: float = 1.0,
+        session: str | None = None,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._max_retries = max_retries
+        self._backoff_initial = backoff_initial
+        self._backoff_max = backoff_max
+        self._session = session if session is not None else os.urandom(8).hex()
+        self._frame_seq = 0
+        self._client: ServiceClient | None = None
+        self.reconnects = 0
+
+    @property
+    def session(self) -> str:
+        """The idempotency session id stamped onto every BINS frame."""
+        return self._session
+
+    async def _ensure(self) -> ServiceClient:
+        if self._client is None or self._client._writer.is_closing():
+            self._client = await ServiceClient.connect(self._host, self._port)
+        return self._client
+
+    async def _drop(self) -> None:
+        if self._client is not None:
+            self._client._writer.close()
+            self._client = None
+
+    async def _with_retry(self, payload: bytes) -> str:
+        """Send one request, reconnecting (bounded) on connection loss.
+
+        Safe only for idempotent payloads — queries, and BINS frames
+        (their dedup stamp is what makes the resend idempotent).
+        """
+        backoff = self._backoff_initial
+        failures = 0
+        while True:
+            try:
+                client = await self._ensure()
+                return await client._request(payload)
+            except ServiceError:
+                raise  # the server answered: no retry, nothing was lost
+            except (ConnectionError, ServiceClosedError, OSError) as exc:
+                await self._drop()
+                failures += 1
+                if failures > self._max_retries:
+                    raise ServiceClosedError(
+                        f"gave up after {failures - 1} reconnect attempts"
+                    ) from exc
+                self.reconnects += 1
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2.0, self._backoff_max)
+
+    async def close(self) -> None:
+        if self._client is not None:
+            await self._client.close()
+            self._client = None
+
+    async def __aenter__(self) -> "ReconnectingServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    # -- commands --------------------------------------------------------------
+
+    async def ping(self) -> bool:
+        return (await self._with_retry(b"PING\n")) == "PONG"
+
+    async def send_batch(self, items, weights=None) -> int:
+        """Ship one update batch exactly once; returns the applied count.
+
+        Chunked like :meth:`ServiceClient.send_batch`; each chunk is an
+        idempotent BINS frame, resubmitted after a reconnect only when
+        its acknowledgement never arrived.
+        """
+        items = np.ascontiguousarray(items, dtype=np.uint64)
+        if weights is None:
+            weights = np.ones(len(items), dtype=np.float64)
+        weights = np.ascontiguousarray(weights, dtype=np.float64)
+        acknowledged = 0
+        for lo in range(0, len(items), protocol.MAX_BIN_ITEMS):
+            self._frame_seq += 1
+            payload = protocol.encode_bins_frame(
+                items[lo : lo + protocol.MAX_BIN_ITEMS],
+                weights[lo : lo + protocol.MAX_BIN_ITEMS],
+                self._session,
+                self._frame_seq,
+            )
+            reply = await self._with_retry(payload)
+            parts = reply.split()
+            if not parts or parts[0] != "OK":
+                raise ServiceError(f"unexpected response {reply!r}")
+            acknowledged += int(parts[1])
+        return acknowledged
+
+    async def estimate(self, item: int) -> float:
+        reply = await self._with_retry(f"EST {int(item)}\n".encode())
+        return float(reply.split()[1])
+
+    async def qest(self, item: int) -> tuple[int, float]:
+        reply = await self._with_retry(f"QEST {int(item)}\n".encode())
+        parts = reply.split()
+        return int(parts[1]), float(parts[2])
+
+    async def stats(self) -> dict:
+        return json.loads((await self._with_retry(b"STATS\n"))[3:])

@@ -38,7 +38,12 @@ from typing import Optional
 
 import numpy as np
 
-from repro.errors import InvalidParameterError, ServiceClosedError
+from repro.errors import (
+    InvalidParameterError,
+    ReadOnlyReplicaError,
+    ReplicationError,
+    ServiceClosedError,
+)
 from repro.service.snapshot import SnapshotManager
 from repro.streams.model import as_batch
 
@@ -165,10 +170,14 @@ class IngestPipeline:
         config: Optional[PipelineConfig] = None,
         snapshots: Optional[SnapshotManager] = None,
         applied_seq: int = 0,
+        replication=None,
+        replica: bool = False,
     ) -> None:
         self._sketch = sketch
         self._config = config if config is not None else PipelineConfig()
         self._snapshots = snapshots
+        self._replication = replication
+        self._replica = replica
         self._applied_seq = applied_seq
         self._last_snapshot_seq = applied_seq
         self._queue: deque = deque()
@@ -191,6 +200,8 @@ class IngestPipeline:
         snapshots: SnapshotManager,
         *,
         config: Optional[PipelineConfig] = None,
+        replication=None,
+        replica: bool = False,
     ) -> "IngestPipeline":
         """A pipeline resuming from ``snapshots``'s newest checkpoint.
 
@@ -204,7 +215,10 @@ class IngestPipeline:
                 f"no snapshot to recover from in {snapshots.directory!r}"
             )
         sketch, seq = recovered
-        return cls(sketch, config=config, snapshots=snapshots, applied_seq=seq)
+        return cls(
+            sketch, config=config, snapshots=snapshots, applied_seq=seq,
+            replication=replication, replica=replica,
+        )
 
     # -- introspection ---------------------------------------------------------
 
@@ -234,6 +248,20 @@ class IngestPipeline:
     @property
     def is_running(self) -> bool:
         return self._running and not self._stopping
+
+    @property
+    def is_replica(self) -> bool:
+        """True while this pipeline only accepts replicated frames."""
+        return self._replica
+
+    @property
+    def role(self) -> str:
+        return "follower" if self._replica else "leader"
+
+    @property
+    def replication(self):
+        """The attached leader-side replication manager, if any."""
+        return self._replication
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -312,6 +340,11 @@ class IngestPipeline:
         only after the micro-batch containing these updates has been
         applied (and, when durability is on, WAL-logged).
         """
+        if self._replica:
+            raise ReadOnlyReplicaError(
+                "this pipeline is a read replica; writes go to the leader "
+                "(promote() lifts the restriction)"
+            )
         if not self.is_running:
             raise ServiceClosedError("pipeline is not accepting updates")
         items, weights = as_batch(items, weights)
@@ -490,6 +523,11 @@ class IngestPipeline:
         self._pending_items -= total
         stats.applied_batches += 1
         stats.applied_items += total
+        if self._replication is not None:
+            # Publish the applied micro-batch with its exact boundaries:
+            # followers replay the identical update_batch calls, which is
+            # what makes replica state byte-identical to the leader's.
+            self._replication.publish(seq, items, weights)
         if size_flush:
             stats.size_flushes += 1
         else:
@@ -506,6 +544,78 @@ class IngestPipeline:
             and seq - self._last_snapshot_seq >= self._config.snapshot_every_batches
         ):
             self.snapshot_now()
+
+    # -- replication (follower side) -------------------------------------------
+
+    def apply_replica_frame(self, seq: int, items, weights) -> bool:
+        """Apply one replicated micro-batch with the leader's boundaries.
+
+        The replica-side twin of :meth:`_apply`: WAL-append first, then
+        one synchronous ``update_batch`` call — so a follower's snapshot
+        directory recovers exactly like a leader's would.  A frame at or
+        below the applied sequence is a duplicate delivery (the leader
+        resent after a reconnect) and is skipped, returning ``False``; a
+        frame beyond ``applied_seq + 1`` is a gap and raises
+        :class:`~repro.errors.ReplicationError` — applying it would
+        silently diverge from the leader.
+        """
+        if seq <= self._applied_seq:
+            return False
+        if seq != self._applied_seq + 1:
+            raise ReplicationError(
+                f"replication gap: expected frame {self._applied_seq + 1}, "
+                f"got {seq}"
+            )
+        stats = self._stats
+        if self._snapshots is not None:
+            stats.wal_bytes += self._snapshots.append_wal(seq, items, weights)
+            stats.wal_records += 1
+        self._sketch.update_batch(items, weights)
+        self._applied_seq = seq
+        stats.applied_batches += 1
+        stats.applied_items += items.shape[0]
+        if self._replication is not None:
+            # Cascaded replication: a follower can feed its own followers.
+            self._replication.publish(seq, items, weights)
+        if (
+            self._snapshots is not None
+            and seq - self._last_snapshot_seq
+            >= self._config.snapshot_every_batches
+        ):
+            self.snapshot_now()
+        return True
+
+    def install_snapshot(self, sketch, seq: int) -> None:
+        """Replace the served sketch with a leader-shipped checkpoint.
+
+        Used for follower bootstrap and seq-gap catch-up.  The installed
+        state is immediately re-checkpointed locally (when durability is
+        on), so the follower's own directory stays recoverable.  Refuses
+        to rewind: a snapshot at or below the applied sequence would
+        silently discard applied frames.
+        """
+        if seq < self._applied_seq:
+            raise ReplicationError(
+                f"refusing to install snapshot at seq {seq} below "
+                f"applied seq {self._applied_seq}"
+            )
+        self._sketch = sketch
+        self._applied_seq = seq
+        if self._snapshots is not None:
+            self._snapshots.write_snapshot(sketch, seq)
+            self._last_snapshot_seq = seq
+            self._stats.snapshots_written += 1
+
+    def promote(self) -> int:
+        """Lift the read-replica restriction; returns the applied seq.
+
+        The caller (normally :class:`~repro.service.replication.
+        FollowerService`) is responsible for having stopped the
+        replication stream first — a promoted pipeline accepting both
+        client writes and leader frames would fork.
+        """
+        self._replica = False
+        return self._applied_seq
 
     # -- durability ------------------------------------------------------------
 

@@ -14,11 +14,27 @@ request                    response
                            ``16 * n`` bytes of payload: n little-endian
                            uint64 items, then n little-endian float64
                            weights (the high-throughput path)
+``BINS <n> <sid> <fseq>``  ``OK <n>`` (or ``OK 0`` for a replayed
+                           duplicate) — a ``BIN`` frame stamped with a
+                           client session id and per-session frame
+                           sequence, so a reconnecting client can
+                           resubmit an unacknowledged frame without
+                           risking double ingestion
 ``EST <item>``             ``OK <estimate>``
 ``BOUNDS <item>``          ``OK <lower> <estimate> <upper>``
 ``HH <phi>``               ``OK <n> <item>:<estimate> ...``
+``QEST <item>``            ``OK <seq> <estimate>`` — the estimate plus
+                           the applied sequence it was read at (the
+                           staleness stamp; see ``docs/service.md``)
+``QBOUNDS <item>``         ``OK <seq> <lower> <estimate> <upper>``
+``QHH <phi>``              ``OK <seq> <n> <item>:<estimate> ...``
 ``STATS``                  ``OK <json>`` — pipeline + sketch counters
 ``SNAPSHOT``               ``OK <seq>`` — force a checkpoint now
+``REPL STATUS``            ``OK <json>`` — role, seq, follower lags
+``REPL PROMOTE``           ``OK <seq>`` — follower only: detach from
+                           the leader and start accepting writes
+``REPL HELLO <seq>``       ``OK <leader_seq>`` — subscribe this
+                           connection as a follower; see below
 ``QUIT``                   ``BYE``, then the connection closes
 =========================  =============================================
 
@@ -26,11 +42,44 @@ Malformed requests get ``ERR <reason>`` and the connection stays open;
 update batches are validated atomically (a rejected batch ingests
 nothing).  The binary framing exists because parsing decimal text caps
 throughput far below the sketch engine — ``BIN`` moves arrays verbatim.
+
+**The replication stream.**  After ``REPL HELLO <last_applied_seq>`` is
+acknowledged, the connection leaves the request/response protocol: the
+leader pushes tagged binary frames and the follower sends back
+``ACK <seq>\\n`` text lines on the same socket.  Each frame is one tag
+byte followed by a tag-specific body:
+
+- ``b"W"`` — one micro-batch, in exactly the RWAL on-disk record format
+  (``uint64 seq, uint32 count, uint32 crc`` then the item and weight
+  arrays; see ``docs/serialization.md``).  Appending the body verbatim
+  to a follower WAL segment is valid by construction.
+- ``b"S"`` — a ``uint64`` length followed by a complete RSNP snapshot
+  blob.  Sent when the follower's next sequence has fallen out of the
+  leader's replay window (seq-gap triggered bootstrap/catch-up).
+- ``b"H"`` — a ``uint64`` leader applied sequence: a heartbeat, letting
+  an idle follower measure its staleness.
+
+A frame that fails its CRC, carries an unknown tag, or exceeds the size
+caps raises :class:`~repro.errors.ReplicationError`; the follower's only
+safe move is to drop the connection and re-subscribe from its last
+applied sequence — frames at or below it are skipped on replay, so
+duplicated delivery is harmless and nothing can be applied twice.
 """
 
 from __future__ import annotations
 
+import asyncio
+import struct
+
 import numpy as np
+
+from repro.errors import ReplicationError
+from repro.service.snapshot import (
+    WAL_RECORD_HEADER_SIZE,
+    decode_wal_payload,
+    encode_wal_record,
+    parse_wal_record_header,
+)
 
 #: Hard cap on one BIN frame (1M updates = 16 MiB); oversized length
 #: prefixes are rejected before any allocation happens.
@@ -38,6 +87,87 @@ MAX_BIN_ITEMS = 1_000_000
 
 #: Hard cap on one request line (BATCH lines grow with their payload).
 MAX_LINE_BYTES = 1 << 20
+
+#: Replication frame tags (one byte on the wire).
+REPL_FRAME_WAL = b"W"
+REPL_FRAME_SNAPSHOT = b"S"
+REPL_FRAME_HEARTBEAT = b"H"
+
+#: Hard cap on one shipped snapshot blob (256 MiB); a flipped length
+#: prefix must never turn into an allocation bomb.
+MAX_SNAPSHOT_BYTES = 1 << 28
+
+_SNAP_LEN = struct.Struct("<Q")
+_HEARTBEAT = struct.Struct("<Q")
+
+
+def encode_repl_wal_frame(seq: int, items: np.ndarray,
+                          weights: np.ndarray) -> bytes:
+    """A ``W`` frame: tag byte + the RWAL record, byte for byte."""
+    return REPL_FRAME_WAL + encode_wal_record(seq, items, weights)
+
+
+def encode_repl_snapshot_frame(blob: bytes) -> bytes:
+    """An ``S`` frame: tag byte + uint64 length + RSNP snapshot blob."""
+    return REPL_FRAME_SNAPSHOT + _SNAP_LEN.pack(len(blob)) + blob
+
+
+def encode_repl_heartbeat(seq: int) -> bytes:
+    """An ``H`` frame: tag byte + uint64 leader applied sequence."""
+    return REPL_FRAME_HEARTBEAT + _HEARTBEAT.pack(seq)
+
+
+async def read_repl_frame(reader: asyncio.StreamReader):
+    """Read one replication frame from ``reader``.
+
+    Returns ``("wal", seq, items, weights)``, ``("snapshot", blob)``,
+    ``("heartbeat", seq)``, or ``None`` on a clean EOF at a frame
+    boundary.  Anything else — an unknown tag, a truncated frame, a
+    length prefix beyond the caps, a failed record CRC — raises
+    :class:`~repro.errors.ReplicationError`: a replication stream can
+    never be resynchronized mid-frame, so the caller must close and
+    re-subscribe from its last applied sequence.
+    """
+    tag = await reader.read(1)
+    if not tag:
+        return None
+    try:
+        if tag == REPL_FRAME_WAL:
+            head = await reader.readexactly(WAL_RECORD_HEADER_SIZE)
+            seq, count, stored_crc = parse_wal_record_header(head)
+            if count > MAX_BIN_ITEMS:
+                raise ReplicationError(
+                    f"replication frame {seq} claims {count} updates "
+                    f"(cap {MAX_BIN_ITEMS}); corrupt length prefix"
+                )
+            payload = await reader.readexactly(16 * count)
+            try:
+                items, weights = decode_wal_payload(
+                    seq, count, stored_crc, payload
+                )
+            except ValueError as exc:  # SerializationError included
+                raise ReplicationError(str(exc)) from exc
+            return "wal", seq, items, weights
+        if tag == REPL_FRAME_SNAPSHOT:
+            (length,) = _SNAP_LEN.unpack(
+                await reader.readexactly(_SNAP_LEN.size)
+            )
+            if length > MAX_SNAPSHOT_BYTES:
+                raise ReplicationError(
+                    f"shipped snapshot claims {length} bytes "
+                    f"(cap {MAX_SNAPSHOT_BYTES}); corrupt length prefix"
+                )
+            return "snapshot", await reader.readexactly(length)
+        if tag == REPL_FRAME_HEARTBEAT:
+            (seq,) = _HEARTBEAT.unpack(
+                await reader.readexactly(_HEARTBEAT.size)
+            )
+            return "heartbeat", seq
+    except asyncio.IncompleteReadError as exc:
+        raise ReplicationError(
+            f"replication stream truncated mid-frame (tag {tag!r})"
+        ) from exc
+    raise ReplicationError(f"unknown replication frame tag {tag!r}")
 
 
 def encode_bin_frame(items: np.ndarray, weights: np.ndarray) -> bytes:
@@ -57,6 +187,19 @@ def decode_bin_payload(payload: bytes, count: int) -> tuple[np.ndarray, np.ndarr
         payload, dtype="<f8", count=count, offset=8 * count
     ).astype(np.float64)
     return items, weights
+
+
+def encode_bins_frame(
+    items: np.ndarray, weights: np.ndarray, session: str, frame_seq: int
+) -> bytes:
+    """A ``BINS`` command line plus payload: a ``BIN`` frame stamped with
+    a client session id and frame sequence so resends are idempotent."""
+    n = len(items)
+    return (
+        f"BINS {n} {session} {frame_seq}\n".encode("ascii")
+        + np.ascontiguousarray(items, dtype="<u8").tobytes()
+        + np.ascontiguousarray(weights, dtype="<f8").tobytes()
+    )
 
 
 def encode_batch_line(items, weights) -> bytes:

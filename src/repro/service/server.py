@@ -20,6 +20,10 @@ from repro.errors import ReproError
 from repro.service import protocol
 from repro.service.pipeline import IngestPipeline
 
+#: How many client resume sessions (``BINS`` idempotency keys) a server
+#: remembers; oldest-inserted entries are evicted beyond this.
+MAX_RESUME_SESSIONS = 1024
+
 
 class StreamServer:
     """Serve one ingest pipeline over a TCP line protocol.
@@ -31,20 +35,48 @@ class StreamServer:
     host, port:
         Bind address.  Port 0 (the default) picks a free port; read the
         bound one from :attr:`port` after :meth:`start`.
+    replication:
+        An optional :class:`~repro.service.replication.
+        ReplicationManager`: with one attached, ``REPL HELLO`` switches
+        a connection into the leader's frame stream.
+    follower:
+        An optional :class:`~repro.service.replication.FollowerService`
+        when this server fronts a read replica; enables ``REPL
+        PROMOTE`` and enriches ``REPL STATUS``.
     """
 
     def __init__(
-        self, pipeline: IngestPipeline, host: str = "127.0.0.1", port: int = 0
+        self, pipeline: IngestPipeline, host: str = "127.0.0.1", port: int = 0,
+        *, replication=None, follower=None,
     ) -> None:
         self._pipeline = pipeline
         self._host = host
         self._requested_port = port
+        # Default to the pipeline's own manager: a server is replication-
+        # capable whenever its pipeline publishes frames.
+        self._replication = (
+            replication if replication is not None else pipeline.replication
+        )
+        self._follower = follower
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: set[asyncio.StreamWriter] = set()
+        # Idempotency registry for BINS frames, keyed by client session
+        # id.  Lives on the pipeline so a server restart over the same
+        # pipeline still recognizes a reconnecting client's resends.
+        if not hasattr(pipeline, "resume_sessions"):
+            pipeline.resume_sessions = {}  # type: ignore[attr-defined]
 
     @property
     def pipeline(self) -> IngestPipeline:
         return self._pipeline
+
+    @property
+    def replication(self):
+        return self._replication
+
+    @property
+    def follower(self):
+        return self._follower
 
     @property
     def port(self) -> int:
@@ -98,6 +130,11 @@ class StreamServer:
                     break
                 if not line:
                     break
+                if line[:10].upper().startswith(b"REPL HELLO"):
+                    # Subscription hands the whole connection over to the
+                    # replication stream; when it returns, we are done.
+                    await self._repl_hello(line, reader, writer)
+                    break
                 reply, close = await self._dispatch(line, reader)
                 writer.write(reply)
                 await writer.drain()
@@ -105,11 +142,19 @@ class StreamServer:
                     break
         except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
             pass
+        except asyncio.CancelledError:
+            # Event-loop teardown cancelled this handler mid-request; the
+            # connection is going away regardless.  Swallowing (rather
+            # than propagating) sidesteps asyncio.streams' noisy
+            # exception() callback on cancelled connection tasks.
+            pass
         finally:
             self._connections.discard(writer)
             try:
                 await writer.drain()
-            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            except (
+                ConnectionResetError, BrokenPipeError, asyncio.CancelledError
+            ):  # pragma: no cover
                 pass
             writer.close()
 
@@ -173,11 +218,81 @@ class StreamServer:
                     # sync, the connection can live on.
                     return f"ERR {exc}\n".encode("ascii", "replace"), False
                 return f"OK {count}\n".encode("ascii"), False
+            if command == "BINS":
+                # BIN plus an idempotency stamp: <count> <session> <fseq>.
+                try:
+                    count = int(args[0]) if len(args) == 3 else -1
+                except ValueError:
+                    count = -1
+                if not 0 < count <= protocol.MAX_BIN_ITEMS:
+                    return (
+                        f"ERR BINS count must be in "
+                        f"[1, {protocol.MAX_BIN_ITEMS}]; closing\n"
+                        .encode("ascii"),
+                        True,
+                    )
+                session = args[1]
+                try:
+                    frame_seq = int(args[2])
+                except ValueError:
+                    return (
+                        b"ERR BINS frame seq must be an integer; closing\n",
+                        True,
+                    )
+                payload = await reader.readexactly(16 * count)
+                sessions = pipeline.resume_sessions
+                if sessions.get(session, -1) >= frame_seq:
+                    # Duplicate resend of an already-applied frame: the
+                    # payload is consumed, nothing is ingested.
+                    return b"OK 0\n", False
+                try:
+                    items, weights = protocol.decode_bin_payload(payload, count)
+                    await pipeline.submit(items, weights)
+                except (ReproError, ValueError, OverflowError) as exc:
+                    return f"ERR {exc}\n".encode("ascii", "replace"), False
+                if session not in sessions and (
+                    len(sessions) >= MAX_RESUME_SESSIONS
+                ):
+                    sessions.pop(next(iter(sessions)))
+                sessions[session] = frame_seq
+                return f"OK {count}\n".encode("ascii"), False
             if command == "EST":
                 if len(args) != 1:
                     return b"ERR usage: EST <item>\n", False
                 estimate = pipeline.estimate(int(args[0]))
                 return f"OK {estimate:.17g}\n".encode("ascii"), False
+            if command == "QEST":
+                if len(args) != 1:
+                    return b"ERR usage: QEST <item>\n", False
+                # The staleness stamp and the estimate are read in the
+                # same event-loop turn: the sequence is exactly the
+                # between-batches state the answer came from.
+                seq = pipeline.applied_seq
+                estimate = pipeline.estimate(int(args[0]))
+                return f"OK {seq} {estimate:.17g}\n".encode("ascii"), False
+            if command == "QBOUNDS":
+                if len(args) != 1:
+                    return b"ERR usage: QBOUNDS <item>\n", False
+                item = int(args[0])
+                seq = pipeline.applied_seq
+                return (
+                    f"OK {seq} {pipeline.lower_bound(item):.17g} "
+                    f"{pipeline.estimate(item):.17g} "
+                    f"{pipeline.upper_bound(item):.17g}\n"
+                ).encode("ascii"), False
+            if command == "QHH":
+                if len(args) != 1:
+                    return b"ERR usage: QHH <phi>\n", False
+                seq = pipeline.applied_seq
+                rows = pipeline.heavy_hitters(float(args[0]))
+                body = " ".join(f"{row.item}:{row.estimate:.17g}" for row in rows)
+                sep = " " if body else ""
+                return (
+                    f"OK {seq} {len(rows)}{sep}{body}\n".encode("ascii"),
+                    False,
+                )
+            if command == "REPL":
+                return await self._dispatch_repl(args)
             if command == "BOUNDS":
                 if len(args) != 1:
                     return b"ERR usage: BOUNDS <item>\n", False
@@ -197,6 +312,7 @@ class StreamServer:
             if command == "STATS":
                 sketch = pipeline.sketch
                 payload = {
+                    "role": pipeline.role,
                     "applied_seq": pipeline.applied_seq,
                     "pending_items": pipeline.pending_items,
                     "stream_weight": sketch.stream_weight,
@@ -213,3 +329,51 @@ class StreamServer:
             raise ConnectionResetError("client vanished mid BIN frame")
         except (ReproError, ValueError, OverflowError) as exc:
             return f"ERR {exc}\n".encode("ascii", errors="replace"), False
+
+    async def _dispatch_repl(self, args: list[str]) -> tuple[bytes, bool]:
+        """``REPL STATUS`` / ``REPL PROMOTE`` (``REPL HELLO`` is handled
+        in :meth:`_handle` — it takes the connection over)."""
+        pipeline = self._pipeline
+        sub = args[0].upper() if args else ""
+        if sub == "STATUS":
+            payload = {
+                "role": pipeline.role,
+                "applied_seq": pipeline.applied_seq,
+            }
+            if self._replication is not None:
+                payload["replication"] = self._replication.status()
+            if self._follower is not None:
+                payload["follower"] = self._follower.status()
+            return f"OK {json.dumps(payload)}\n".encode("ascii"), False
+        if sub == "PROMOTE":
+            if self._follower is None or not pipeline.is_replica:
+                return b"ERR this node is not a follower\n", False
+            seq = await self._follower.promote()
+            return f"OK {seq}\n".encode("ascii"), False
+        return (
+            b"ERR usage: REPL STATUS | REPL PROMOTE | REPL HELLO <seq>\n",
+            False,
+        )
+
+    async def _repl_hello(
+        self, line: bytes, reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Validate a subscription and hand the connection to the
+        replication stream; returning closes the connection."""
+        if self._replication is None:
+            writer.write(b"ERR replication is not enabled on this node\n")
+            await writer.drain()
+            return
+        parts = line.split()
+        try:
+            last_seq = int(parts[2]) if len(parts) == 3 else -1
+        except ValueError:
+            last_seq = -1
+        if last_seq < 0:
+            writer.write(b"ERR usage: REPL HELLO <last_applied_seq>\n")
+            await writer.drain()
+            return
+        writer.write(f"OK {self._pipeline.applied_seq}\n".encode("ascii"))
+        await writer.drain()
+        await self._replication.stream(self._pipeline, reader, writer, last_seq)

@@ -81,6 +81,55 @@ _WAL_RECORD = struct.Struct("<QII")
 _SNAP_NAME = re.compile(r"^snapshot\.(\d{20})\.rsnap$")
 _WAL_NAME = re.compile(r"^wal\.(\d{20})\.rwal$")
 
+#: Size of one record header: ``uint64 seq, uint32 count, uint32 crc``.
+WAL_RECORD_HEADER_SIZE = _WAL_RECORD.size
+
+
+def wal_record_crc(seq: int, count: int, item_bytes: bytes,
+                   weight_bytes: bytes) -> int:
+    """The CRC-32 a WAL record stores: both arrays, then seq and count."""
+    crc = zlib.crc32(item_bytes)
+    crc = zlib.crc32(weight_bytes, crc)
+    return zlib.crc32(struct.pack("<QI", seq, count), crc)
+
+
+def encode_wal_record(seq: int, items: np.ndarray, weights: np.ndarray) -> bytes:
+    """One RWAL record — the unit both the on-disk log and the
+    replication stream (:mod:`repro.service.protocol`) ship."""
+    item_bytes = np.ascontiguousarray(items, dtype="<u8").tobytes()
+    weight_bytes = np.ascontiguousarray(weights, dtype="<f8").tobytes()
+    crc = wal_record_crc(seq, len(items), item_bytes, weight_bytes)
+    return _WAL_RECORD.pack(seq, len(items), crc) + item_bytes + weight_bytes
+
+
+def parse_wal_record_header(head: bytes) -> tuple[int, int, int]:
+    """``(seq, count, stored_crc)`` from one record header."""
+    return _WAL_RECORD.unpack(head)
+
+
+def decode_wal_payload(
+    seq: int, count: int, stored_crc: int, payload: bytes
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and split one record payload into (items, weights).
+
+    Raises :class:`~repro.errors.SerializationError` on a CRC mismatch —
+    callers decide whether that means a torn tail (drop silently) or a
+    corrupt stream (close the connection).
+    """
+    if len(payload) != 16 * count:
+        raise SerializationError(
+            f"WAL record {seq} payload is {len(payload)} bytes, "
+            f"expected {16 * count}"
+        )
+    if wal_record_crc(seq, count, payload[: 8 * count],
+                      payload[8 * count:]) != stored_crc:
+        raise SerializationError(f"WAL record {seq} failed its CRC")
+    items = np.frombuffer(payload, dtype="<u8", count=count).astype(np.uint64)
+    weights = np.frombuffer(
+        payload, dtype="<f8", count=count, offset=8 * count
+    ).astype(np.float64)
+    return items, weights
+
 
 def _kernels_of(sketch) -> list:
     """The kernels whose PRNG state a checkpoint must carry, in a fixed
@@ -279,14 +328,7 @@ class SnapshotManager:
             raise SerializationError(
                 "no WAL segment open; write_snapshot establishes one"
             )
-        item_bytes = np.ascontiguousarray(items, dtype="<u8").tobytes()
-        weight_bytes = np.ascontiguousarray(weights, dtype="<f8").tobytes()
-        crc = zlib.crc32(item_bytes)
-        crc = zlib.crc32(weight_bytes, crc)
-        crc = zlib.crc32(struct.pack("<QI", seq, len(items)), crc)
-        record = (
-            _WAL_RECORD.pack(seq, len(items), crc) + item_bytes + weight_bytes
-        )
+        record = encode_wal_record(seq, items, weights)
         self._wal.write(record)
         self._wal.flush()
         if self._fsync:
@@ -315,21 +357,16 @@ class SnapshotManager:
                 head = fh.read(_WAL_RECORD.size)
                 if len(head) < _WAL_RECORD.size:
                     return  # clean EOF or torn record header
-                seq, count, stored_crc = _WAL_RECORD.unpack(head)
+                seq, count, stored_crc = parse_wal_record_header(head)
                 payload = fh.read(16 * count)
                 if len(payload) < 16 * count:
                     return  # torn payload
-                crc = zlib.crc32(payload[: 8 * count])
-                crc = zlib.crc32(payload[8 * count :], crc)
-                crc = zlib.crc32(struct.pack("<QI", seq, count), crc)
-                if crc != stored_crc:
+                try:
+                    items, weights = decode_wal_payload(
+                        seq, count, stored_crc, payload
+                    )
+                except SerializationError:
                     return  # corrupt record: discard it and the tail
-                items = np.frombuffer(payload, dtype="<u8", count=count).astype(
-                    np.uint64
-                )
-                weights = np.frombuffer(
-                    payload, dtype="<f8", count=count, offset=8 * count
-                ).astype(np.float64)
                 yield seq, items, weights
 
     # -- recovery --------------------------------------------------------------

@@ -655,6 +655,35 @@ class LinearProbingTable(CounterStore):
         occupied = np.flatnonzero(self._states != 0)
         return self._keys[occupied], self._values[occupied]
 
+    def serial_items(self) -> Iterator[tuple[ItemId, float]]:
+        """Items in an order whose greedy re-insertion reproduces the
+        physical layout slot for slot.
+
+        Cyclic slot order starting at an empty slot has that property
+        for linear-probing layouts (each key re-probes over residents
+        already restored to their original slots and lands exactly where
+        it was).  Plain ascending order — what :meth:`items` yields — is
+        already such an order *unless* an occupancy run wraps past the
+        end of the arrays, so rotation is applied only in the wrapped
+        case and serialized bytes for every other state are unchanged.
+        Serialization uses this; without it, a blob written from a
+        wrapped state decodes to a table with the same contents but a
+        different layout, breaking byte-identical replication.
+        """
+        states = self._states
+        occupied = np.flatnonzero(states != 0)
+        # A key at slot s with probe distance > s (states[s] - 1 > s) has
+        # its home near the end of the arrays: its run wraps, and only
+        # then does ascending order break down.
+        if occupied.size and bool((states[occupied] > occupied + 1).any()):
+            empties = np.flatnonzero(states == 0)
+            if empties.size:  # always true: the load factor is < 1
+                split = int(np.searchsorted(occupied, int(empties[0])))
+                occupied = np.concatenate([occupied[split:], occupied[:split]])
+        return iter(
+            zip(self._keys[occupied].tolist(), self._values[occupied].tolist())
+        )
+
     def values_list(self) -> list[float]:
         return self._values[self._states != 0].tolist()
 

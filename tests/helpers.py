@@ -10,6 +10,7 @@ and differential-fuzz suites use them too.  Import as a plain module
 
 from __future__ import annotations
 
+import asyncio
 import hashlib
 
 import numpy as np
@@ -70,6 +71,37 @@ def batch_feed(k, backend, seed, updates, chunk, **kwargs) -> FrequentItemsSketc
         weights = np.array([weight for _item, weight in part], dtype=np.float64)
         sketch.update_batch(items, weights)
     return sketch
+
+
+async def await_until(predicate, *, timeout=5.0, interval=0.002,
+                      message="condition"):
+    """Await ``predicate()`` turning truthy, with a hard deadline.
+
+    The async suites' replacement for bare ``asyncio.sleep(guess)``
+    waits: a correct run passes as soon as the condition holds (usually
+    one poll), a broken one fails *at the deadline* with a diagnostic —
+    never flakily in between because a fixed guess was too short for a
+    loaded CI worker.
+    """
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while True:
+        result = predicate()
+        if result:
+            return result
+        if loop.time() >= deadline:
+            raise AssertionError(
+                f"timed out after {timeout}s waiting for {message}"
+            )
+        await asyncio.sleep(interval)
+
+
+async def await_applied_seq(pipeline, seq, *, timeout=5.0):
+    """Await ``pipeline.applied_seq`` reaching ``seq`` (deadline-based)."""
+    return await await_until(
+        lambda: pipeline.applied_seq >= seq, timeout=timeout,
+        message=f"applied_seq >= {seq} (at {pipeline.applied_seq})",
+    )
 
 
 def assert_bounds_valid(sketch, exact, tolerance=1e-9) -> None:

@@ -1,0 +1,268 @@
+"""Client-side fault tolerance: reconnect, resubmit, and dedup.
+
+:class:`ReconnectingServiceClient` promises exactly-once ingestion
+across server restarts: update batches travel as ``BINS`` frames whose
+(session, frame_seq) stamp makes resends idempotent, so an ``OK`` lost
+to a crash is retried without double counting and a delivered batch is
+never re-applied.  The oracle here is exact by construction — the
+serving sketch's capacity exceeds the item universe, so it never
+decrements and every estimate equals the true count; any lost or
+duplicated update would show up as an exact-count mismatch.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import (
+    FrequentItemsSketch,
+    IngestPipeline,
+    PipelineConfig,
+    ServiceClosedError,
+)
+from repro.service import (
+    ReconnectingServiceClient,
+    ServiceClient,
+    StreamServer,
+)
+from repro.service import protocol
+from helpers import assert_bounds_valid, await_until, exact_of, zipf_batch
+
+pytestmark = [pytest.mark.service]
+
+UNIVERSE = 60  # < k below: the serving sketch stays exact
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def exact_pipeline(seed=3):
+    """A pipeline whose sketch can never decrement: an exact oracle."""
+    return IngestPipeline(
+        FrequentItemsSketch(256, backend="columnar", seed=seed),
+        config=PipelineConfig(max_batch_items=512, flush_interval=0.002),
+    )
+
+
+def make_batches(num_batches=10, batch_size=200, seed=17):
+    """Integer-weighted Zipf batches: float sums stay exact in any
+    application order, so the oracle comparison is equality, not ±eps.
+    One stream split into slices, so all batches share one item
+    universe (distinct ids stay below the serving sketch's k)."""
+    items, weights = zipf_batch(
+        num_batches * batch_size, universe=UNIVERSE, seed=seed,
+        weight_low=1, weight_high=9,
+    )
+    weights = np.floor(weights)
+    return [
+        (items[lo : lo + batch_size], weights[lo : lo + batch_size])
+        for lo in range(0, len(items), batch_size)
+    ]
+
+
+def exact_counts(batches):
+    return exact_of(*batches)
+
+
+def fast_client(port, **overrides):
+    options = dict(
+        max_retries=40, backoff_initial=0.01, backoff_max=0.05
+    )
+    options.update(overrides)
+    return ReconnectingServiceClient("127.0.0.1", port, **options)
+
+
+def test_restarts_mid_stream_lose_and_duplicate_nothing():
+    """Kill the server repeatedly while a feeder streams batches; every
+    update must land exactly once."""
+    batches = make_batches()
+    exact = exact_counts(batches)
+
+    async def main():
+        pipeline = exact_pipeline()
+        await pipeline.start()
+        server = StreamServer(pipeline)
+        await server.start()
+        port = server.port
+        client = fast_client(port)
+        try:
+            for index, (items, weights) in enumerate(batches):
+                if index in (2, 5, 8):
+                    # Hard restart between acks: connections drop, the
+                    # pipeline (and its idempotency registry) survive.
+                    await server.stop()
+                    server = StreamServer(pipeline, port=port)
+                    await server.start()
+                acknowledged = await client.send_batch(items, weights)
+                assert acknowledged == len(items)
+            await await_until(
+                lambda: pipeline.pending_items == 0, message="backlog drained"
+            )
+            assert client.reconnects >= 3
+            for item, true_count in exact.items():
+                assert pipeline.estimate(item) == true_count
+            assert pipeline.sketch.stream_weight == exact.total_weight
+        finally:
+            await client.close()
+            await server.stop()
+            await pipeline.stop(final_snapshot=False)
+
+    run(main())
+
+
+def test_resubmitted_frame_is_deduplicated_not_reapplied():
+    """The lost-OK window, simulated deterministically: the same BINS
+    frame arrives twice (as a reconnecting client would resend it);
+    the second delivery must ingest nothing."""
+
+    async def main():
+        pipeline = exact_pipeline()
+        await pipeline.start()
+        server = StreamServer(pipeline)
+        await server.start()
+        try:
+            items = np.arange(1, 11, dtype=np.uint64)
+            weights = np.full(10, 2.0)
+            frame = protocol.encode_bins_frame(items, weights, "sess-a", 1)
+            plain = await ServiceClient.connect("127.0.0.1", server.port)
+            first = await plain._request(frame)
+            assert first == "OK 10"
+            second = await plain._request(frame)
+            assert second == "OK 0"
+            # An older frame_seq from the same session is also a replay.
+            stale = protocol.encode_bins_frame(items, weights, "sess-a", 0)
+            assert await plain._request(stale) == "OK 0"
+            await plain.close()
+            await await_until(
+                lambda: pipeline.pending_items == 0, message="backlog drained"
+            )
+            for item in range(1, 11):
+                assert pipeline.estimate(item) == 2.0
+        finally:
+            await server.stop()
+            await pipeline.stop(final_snapshot=False)
+
+    run(main())
+
+
+def test_registry_survives_server_restart():
+    """A resend after a restart (new StreamServer, same pipeline) still
+    answers ``OK 0``: the registry lives on the pipeline."""
+
+    async def main():
+        pipeline = exact_pipeline()
+        await pipeline.start()
+        server = StreamServer(pipeline)
+        await server.start()
+        port = server.port
+        try:
+            client = fast_client(port, session="sess-b")
+            await client.send_batch(
+                np.array([7, 7, 9], dtype=np.uint64), np.ones(3)
+            )
+            await client.close()
+            await server.stop()
+            server = StreamServer(pipeline, port=port)
+            await server.start()
+            # The resend a client would issue for its unacked frame 1.
+            frame = protocol.encode_bins_frame(
+                np.array([7, 7, 9], dtype=np.uint64), np.ones(3), "sess-b", 1
+            )
+            plain = await ServiceClient.connect("127.0.0.1", port)
+            assert await plain._request(frame) == "OK 0"
+            await plain.close()
+            await await_until(
+                lambda: pipeline.pending_items == 0, message="backlog drained"
+            )
+            assert pipeline.estimate(7) == 2.0
+            assert pipeline.estimate(9) == 1.0
+        finally:
+            await server.stop()
+            await pipeline.stop(final_snapshot=False)
+
+    run(main())
+
+
+def test_retry_budget_is_bounded():
+    """With nothing listening, the client gives up with the documented
+    error instead of spinning forever."""
+
+    async def main():
+        client = fast_client(1, max_retries=3)
+        with pytest.raises(ServiceClosedError, match="gave up after"):
+            await client.ping()
+        assert client.reconnects == 3
+
+    run(main())
+
+
+def test_queries_retry_through_a_restart():
+    async def main():
+        pipeline = exact_pipeline()
+        await pipeline.start()
+        server = StreamServer(pipeline)
+        await server.start()
+        port = server.port
+        client = fast_client(port)
+        try:
+            await client.send_batch(
+                np.array([5, 5, 5], dtype=np.uint64), np.ones(3)
+            )
+            await await_until(
+                lambda: pipeline.pending_items == 0, message="backlog drained"
+            )
+            await server.stop()
+            server = StreamServer(pipeline, port=port)
+            await server.start()
+            assert await client.estimate(5) == 3.0
+            seq, estimate = await client.qest(5)
+            assert (seq, estimate) == (pipeline.applied_seq, 3.0)
+            assert client.reconnects >= 1
+        finally:
+            await client.close()
+            await server.stop()
+            await pipeline.stop(final_snapshot=False)
+
+    run(main())
+
+
+def test_bounds_stay_valid_under_restarts_with_small_sketch():
+    """Same restart schedule against a genuinely lossy sketch (k far
+    below the universe): the paper's error bounds must still hold
+    against the exact oracle — reconnects cannot smuggle in updates
+    that would push an estimate outside its guarantee."""
+    batches = [
+        zipf_batch(300, universe=900, seed=31 + index)
+        for index in range(8)
+    ]
+    exact = exact_of(*batches)
+
+    async def main():
+        pipeline = IngestPipeline(
+            FrequentItemsSketch(64, backend="columnar", seed=9),
+            config=PipelineConfig(max_batch_items=512, flush_interval=0.002),
+        )
+        await pipeline.start()
+        server = StreamServer(pipeline)
+        await server.start()
+        port = server.port
+        client = fast_client(port)
+        try:
+            for index, batch in enumerate(batches):
+                if index in (3, 6):
+                    await server.stop()
+                    server = StreamServer(pipeline, port=port)
+                    await server.start()
+                await client.send_batch(*batch)
+            await await_until(
+                lambda: pipeline.pending_items == 0, message="backlog drained"
+            )
+            assert_bounds_valid(pipeline.sketch, exact)
+        finally:
+            await client.close()
+            await server.stop()
+            await pipeline.stop(final_snapshot=False)
+
+    run(main())

@@ -22,9 +22,12 @@ from repro.errors import InvalidParameterError, TableFullError
 from repro.table.probing import LinearProbingTable
 from repro.table.robinhood import RobinHoodTable
 
-pytestmark = pytest.mark.skipif(
-    not native.available(), reason="native extension not built"
-)
+pytestmark = [
+    pytest.mark.native,
+    pytest.mark.skipif(
+        not native.available(), reason="native extension not built"
+    ),
+]
 
 BACKENDS = ("probing", "robinhood", "columnar", "dict")
 GROWTHS = ("fixed", "adaptive")

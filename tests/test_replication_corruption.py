@@ -1,0 +1,257 @@
+"""Adversarial byte streams against the replication frame parsers.
+
+The failure containment property the follower relies on: whatever bytes
+arrive on a replication socket, :func:`read_repl_frame` either yields a
+well-formed frame, reports a clean EOF (``None``), or raises
+:class:`ReplicationError` — never an unwrapped ``struct.error`` /
+``ValueError`` / silent desync where a parsed frame differs from what a
+byte-faithful peer actually sent.  The same property is pinned for the
+on-disk WAL record codec the ``W`` frame body reuses.
+"""
+
+import asyncio
+import random
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import ReplicationError, SerializationError
+from repro.service import protocol
+from repro.service.snapshot import (
+    WAL_RECORD_HEADER_SIZE,
+    decode_snapshot,
+    decode_wal_payload,
+    encode_snapshot,
+    encode_wal_record,
+    parse_wal_record_header,
+)
+
+pytestmark = [pytest.mark.service, pytest.mark.replication]
+
+
+def feed_reader(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def drain_frames(data: bytes):
+    """Parse ``data`` to exhaustion.
+
+    Returns ``(frames, error)`` where ``error`` is the terminating
+    :class:`ReplicationError` if one fired.  Any *other* exception type
+    escapes and fails the calling test — that is the property.
+    """
+
+    async def run():
+        reader = feed_reader(data)
+        frames = []
+        while True:
+            try:
+                frame = await protocol.read_repl_frame(reader)
+            except ReplicationError as exc:
+                return frames, exc
+            if frame is None:
+                return frames, None
+            frames.append(frame)
+
+    return asyncio.run(run())
+
+
+def make_wal_frame(seq: int, rng: random.Random) -> bytes:
+    count = rng.randint(1, 9)
+    items = np.array(
+        [rng.randrange(1 << 64) for _ in range(count)], dtype=np.uint64
+    )
+    weights = np.array(
+        [rng.uniform(0.5, 99.0) for _ in range(count)], dtype=np.float64
+    )
+    return protocol.encode_repl_wal_frame(seq, items, weights)
+
+
+def frames_equal(parsed, reference) -> bool:
+    if parsed[0] != reference[0]:
+        return False
+    if parsed[0] == "wal":
+        return (
+            parsed[1] == reference[1]
+            and np.array_equal(parsed[2], reference[2])
+            and np.array_equal(parsed[3], reference[3])
+        )
+    return parsed[1:] == reference[1:]
+
+
+def reference_stream(rng: random.Random):
+    """A short mixed stream of valid frames plus the expected parses."""
+    from repro import FrequentItemsSketch
+
+    sketch = FrequentItemsSketch(16, seed=5)
+    sketch.update(3, 2.0)
+    blob = encode_snapshot(sketch, 7)
+    wal_one = make_wal_frame(1, rng)
+    wal_two = make_wal_frame(2, rng)
+    data = (
+        wal_one
+        + protocol.encode_repl_heartbeat(2)
+        + protocol.encode_repl_snapshot_frame(blob)
+        + wal_two
+    )
+    expected, _ = drain_frames(data)
+    assert len(expected) == 4
+    return data, expected
+
+
+def test_clean_stream_round_trips():
+    data, expected = reference_stream(random.Random(1))
+    frames, error = drain_frames(data)
+    assert error is None
+    assert len(frames) == 4
+    assert [f[0] for f in frames] == ["wal", "heartbeat", "snapshot", "wal"]
+
+
+def test_truncation_at_every_byte_offset():
+    """Cutting the stream anywhere yields exactly the frames that are
+    complete in the prefix — parsed byte-identically — then either a
+    clean EOF (cut on a frame boundary) or a ReplicationError."""
+    rng = random.Random(2)
+    data, expected = reference_stream(rng)
+    # Frame boundaries, reconstructed from the parsed frame sizes.
+    lengths = []
+    cursor = 0
+    for frame in expected:
+        if frame[0] == "wal":
+            size = 1 + WAL_RECORD_HEADER_SIZE + 16 * len(frame[2])
+        elif frame[0] == "snapshot":
+            size = 1 + 8 + len(frame[1])
+        else:
+            size = 1 + 8
+        cursor += size
+        lengths.append(cursor)
+    assert cursor == len(data)
+    boundaries = {0, *lengths}
+    for cut in range(len(data) + 1):
+        frames, error = drain_frames(data[:cut])
+        complete = sum(1 for b in lengths if b <= cut)
+        assert len(frames) == complete, f"desync at cut {cut}"
+        for parsed, reference in zip(frames, expected):
+            assert frames_equal(parsed, reference), f"desync at cut {cut}"
+        if cut in boundaries:
+            assert error is None, f"boundary cut {cut} should be clean EOF"
+        else:
+            assert isinstance(error, ReplicationError), (
+                f"mid-frame cut {cut} must raise ReplicationError"
+            )
+
+
+def test_single_byte_flips_never_escape():
+    """Flip each byte of the stream (all 8 bits sampled via XOR mask):
+    parsing must end in frames and/or a ReplicationError — no other
+    exception, and no bogus 'wal' frame (the CRC covers every body
+    byte, so a flipped W frame cannot parse as a different batch)."""
+    rng = random.Random(3)
+    data, expected = reference_stream(rng)
+    wal_seqs = {f[1]: f for f in expected if f[0] == "wal"}
+    for position in range(len(data)):
+        mask = rng.randint(1, 255)
+        mutated = bytearray(data)
+        mutated[position] ^= mask
+        frames, error = drain_frames(bytes(mutated))
+        for frame in frames:
+            if frame[0] == "wal" and frame[1] in wal_seqs:
+                assert frames_equal(frame, wal_seqs[frame[1]]), (
+                    f"flip at {position} produced a corrupt WAL batch "
+                    "that passed its CRC"
+                )
+        del error  # ReplicationError or clean EOF are both acceptable
+
+
+def test_flipped_length_prefixes_are_rejected_before_allocation():
+    """A hostile count/length prefix must be refused by the cap check,
+    not answered with a giant readexactly allocation."""
+    # W frame claiming 2**31 updates.
+    head = struct.pack("<QII", 9, 1 << 31, 0)
+    frames, error = drain_frames(b"W" + head + b"\x00" * 64)
+    assert frames == []
+    assert isinstance(error, ReplicationError)
+    assert "cap" in str(error)
+    # S frame claiming a 2**60-byte snapshot.
+    frames, error = drain_frames(b"S" + struct.pack("<Q", 1 << 60))
+    assert frames == []
+    assert isinstance(error, ReplicationError)
+    assert "cap" in str(error)
+
+
+def test_unknown_tags_are_rejected():
+    for tag in (b"X", b"\x00", b"w", b"s", b"\xff"):
+        frames, error = drain_frames(tag + b"\x00" * 32)
+        assert frames == []
+        assert isinstance(error, ReplicationError)
+
+
+def test_random_garbage_streams_fuzz():
+    """Pure noise, random lengths: every parse terminates in frames plus
+    a clean EOF or a ReplicationError."""
+    rng = random.Random(4)
+    for _ in range(300):
+        data = rng.randbytes(rng.randint(0, 200))
+        frames, error = drain_frames(data)
+        for frame in frames:
+            assert frame[0] in ("wal", "snapshot", "heartbeat")
+        assert error is None or isinstance(error, ReplicationError)
+
+
+def test_garbage_preceded_by_valid_frames_fuzz():
+    """Noise appended to a valid prefix must not corrupt the prefix."""
+    rng = random.Random(5)
+    for _ in range(100):
+        prefix_frame = make_wal_frame(11, rng)
+        data = prefix_frame + rng.randbytes(rng.randint(1, 120))
+        frames, error = drain_frames(data)
+        assert frames, "the valid leading frame must still parse"
+        reference, _ = drain_frames(prefix_frame)
+        assert frames_equal(frames[0], reference[0])
+
+
+def test_wal_payload_crc_catches_every_flip():
+    rng = random.Random(6)
+    items = np.arange(1, 9, dtype=np.uint64)
+    weights = np.linspace(1.0, 8.0, 8)
+    record = encode_wal_record(21, items, weights)
+    seq, count, crc = parse_wal_record_header(
+        record[:WAL_RECORD_HEADER_SIZE]
+    )
+    payload = record[WAL_RECORD_HEADER_SIZE:]
+    # The untouched payload decodes.
+    out_items, out_weights = decode_wal_payload(seq, count, crc, payload)
+    assert np.array_equal(out_items, items)
+    assert np.array_equal(out_weights, weights)
+    for position in range(len(payload)):
+        mutated = bytearray(payload)
+        mutated[position] ^= rng.randint(1, 255)
+        with pytest.raises((SerializationError, ValueError)):
+            decode_wal_payload(seq, count, crc, bytes(mutated))
+
+
+def test_snapshot_decode_rejects_flips_and_truncations():
+    """The RSNP codec behind an ``S`` frame: bit flips and truncations
+    are reported as SerializationError, never applied silently."""
+    from repro import FrequentItemsSketch
+
+    rng = random.Random(7)
+    sketch = FrequentItemsSketch(16, seed=5)
+    for item in range(10):
+        sketch.update(item, float(item + 1))
+    blob = encode_snapshot(sketch, 12)
+    decode_snapshot(blob)  # sanity: the clean blob decodes
+    # The trailing CRC32 covers the entire body, so any single-byte XOR
+    # (a burst error of at most 8 bits) is guaranteed detectable.
+    for _ in range(80):
+        mutated = bytearray(blob)
+        mutated[rng.randrange(len(blob))] ^= rng.randint(1, 255)
+        with pytest.raises((SerializationError, ValueError)):
+            decode_snapshot(bytes(mutated))
+    for cut in range(len(blob)):
+        with pytest.raises((SerializationError, ValueError)):
+            decode_snapshot(blob[:cut])

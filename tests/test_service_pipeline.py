@@ -14,7 +14,12 @@ import random
 import numpy as np
 import pytest
 
-from helpers import assert_bounds_valid, exact_of, zipf_batch
+from helpers import (
+    assert_bounds_valid,
+    await_applied_seq,
+    exact_of,
+    zipf_batch,
+)
 from repro import (
     ExactCounter,
     FrequentItemsSketch,
@@ -25,6 +30,8 @@ from repro import (
     ServiceClosedError,
     ShardedFrequentItemsSketch,
 )
+
+pytestmark = pytest.mark.service
 
 
 def run(coroutine):
@@ -218,7 +225,9 @@ def test_time_trigger_flushes_without_reaching_size():
         )
         async with pipeline:
             await pipeline.submit(np.array([7, 7], dtype=np.uint64))
-            await asyncio.sleep(0.08)
+            # Deadline-polling, not a fixed sleep: a loaded CI box can
+            # stall the 5ms flush timer well past any constant chosen.
+            await await_applied_seq(pipeline, 1)
             applied_mid_flight = pipeline.applied_seq
             assert pipeline.estimate(7) == 2.0  # visible before any drain
         return applied_mid_flight

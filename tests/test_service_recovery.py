@@ -28,6 +28,8 @@ from repro import (
 from repro.service.snapshot import decode_snapshot, encode_snapshot
 from repro.streams.zipf import ZipfianStream
 
+pytestmark = pytest.mark.service
+
 
 def run(coroutine):
     return asyncio.run(coroutine)

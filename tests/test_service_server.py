@@ -15,6 +15,8 @@ from repro import (
 from repro.service import ServiceClient, SnapshotManager, StreamServer
 from repro.service.client import ServiceError
 
+pytestmark = pytest.mark.service
+
 
 def run(coroutine):
     return asyncio.run(coroutine)
