@@ -19,9 +19,22 @@ benchmark regenerating the full service table
   micro-batch) the pipeline must sustain at least half the single-node
   4-producer gate, and the follower's serialized blob must be
   byte-identical to the leader's.
+* **replication fan-out** — a leader with **two** live followers must
+  keep at least 0.4x the single-node gate with both followers
+  byte-identical (each subscriber adds one frame encode + socket write
+  per micro-batch, not a second ingest).
+* **cluster scale-out** — the multi-process tenant cluster
+  (:mod:`repro.service.cluster`) with 4 workers must reach >= 2.5x its
+  own 1-worker throughput on a >= 4-core runner; on smaller runners the
+  ratio is recorded (``extra_info``/BENCH_serve.json) but not enforced,
+  since four workers cannot run in parallel on one core.  The published
+  BENCH_serve.json must carry the ``cluster`` metadata block either way.
 """
 
 import asyncio
+import json
+import os
+from pathlib import Path
 
 import pytest
 
@@ -192,6 +205,173 @@ def test_replicated_throughput_gate(benchmark, config):
         f"replicated throughput {updates_per_sec:,.0f}/s below half the "
         f"{GATE_UPDATES_PER_SEC:,}/s single-node gate"
     )
+
+
+def test_multi_follower_fanout_gate(benchmark, config):
+    """Leader + 2 followers: >= 0.4x the single-node gate, both replicas
+    byte-identical when caught up."""
+    from repro.service.replication import FollowerService, ReplicationManager
+    from repro.service.server import StreamServer
+
+    slices, per_producer = _workload(config)
+    k = config.k_values[-1]
+    benchmark.group = f"ingest service, k={k}"
+    total = 4 * per_producer
+    benchmark.extra_info["updates"] = total
+    benchmark.extra_info["followers"] = 2
+
+    warm = FrequentItemsSketch(k, backend="columnar", seed=0)
+    asyncio.run(_run(warm, slices[:2], 1))
+
+    async def fanout_run():
+        from contextlib import AsyncExitStack
+
+        leader = IngestPipeline(
+            FrequentItemsSketch(k, backend="columnar", seed=config.seed),
+            config=_pipe_config(),
+            replication=ReplicationManager(),
+        )
+        async with AsyncExitStack() as stack:
+            await stack.enter_async_context(leader)
+            server = await stack.enter_async_context(StreamServer(leader))
+            followers = []
+            for _ in range(2):
+                pipe = IngestPipeline(
+                    FrequentItemsSketch(
+                        k, backend="columnar", seed=config.seed
+                    ),
+                    config=_pipe_config(),
+                    replica=True,
+                )
+                await stack.enter_async_context(pipe)
+                follower = FollowerService(pipe, "127.0.0.1", server.port)
+                await follower.start()
+                followers.append((pipe, follower))
+
+            async def producer():
+                for items, weights in slices:
+                    await leader.submit(items, weights)
+
+            await asyncio.gather(*(producer() for _ in range(4)))
+            await leader.drain()
+            for _pipe, follower in followers:
+                await follower.wait_for_seq(leader.applied_seq, timeout=120.0)
+            blobs = (
+                leader.sketch.to_bytes(),
+                [pipe.sketch.to_bytes() for pipe, _f in followers],
+            )
+            for _pipe, follower in followers:
+                await follower.stop()
+        return blobs
+
+    leader_blob, follower_blobs = benchmark.pedantic(
+        lambda: asyncio.run(fanout_run()), rounds=1, iterations=1
+    )
+    assert all(blob == leader_blob for blob in follower_blobs), (
+        "every caught-up follower must be byte-identical to the leader"
+    )
+    seconds = benchmark.stats.stats.mean
+    updates_per_sec = total / seconds
+    benchmark.extra_info["updates_per_sec"] = updates_per_sec
+    assert updates_per_sec >= 0.4 * GATE_UPDATES_PER_SEC, (
+        f"2-follower fan-out throughput {updates_per_sec:,.0f}/s below "
+        f"0.4x the {GATE_UPDATES_PER_SEC:,}/s single-node gate"
+    )
+
+
+#: 4 workers must beat 1 worker by this factor — on machines where the
+#: workers actually get their own cores.
+CLUSTER_SCALING_GATE = 2.5
+
+
+async def _run_cluster(config, slices, per_producer, num_workers):
+    from repro.service.cluster import ClusterConfig, WorkerPool
+
+    import time
+
+    k = config.k_values[-1]
+    cluster_config = ClusterConfig(
+        num_workers=num_workers, default_k=k, default_seed=config.seed
+    )
+    tenants = [f"bench-t{i}" for i in range(4)]
+    async with WorkerPool(cluster_config) as pool:
+        for name in tenants:
+            await pool.create_tenant(name)
+
+        async def producer(name):
+            for items, weights in slices:
+                await pool.submit(name, items, weights)
+
+        start = time.perf_counter()
+        await asyncio.gather(*(producer(name) for name in tenants))
+        await pool.drain()
+        seconds = time.perf_counter() - start
+    return seconds, len(tenants) * per_producer
+
+
+def test_cluster_scaling_gate(benchmark, config):
+    """4-worker cluster >= 2.5x its 1-worker figure (>= 4 cores only;
+    recorded but not enforced on smaller runners)."""
+    slices, per_producer = _workload(config)
+    k = config.k_values[-1]
+    benchmark.group = f"ingest service, k={k}"
+    cores = os.cpu_count() or 1
+    benchmark.extra_info["cpu_count"] = cores
+
+    # Warm-up: one tiny pool exercise (fork + shm setup out of timing).
+    asyncio.run(_run_cluster(config, slices[:1], per_producer, 1))
+
+    one_seconds, total = asyncio.run(
+        _run_cluster(config, slices, per_producer, 1)
+    )
+
+    def run():
+        return asyncio.run(_run_cluster(config, slices, per_producer, 4))
+
+    four_seconds, _total = benchmark.pedantic(run, rounds=1, iterations=1)
+    scaling = one_seconds / four_seconds
+    benchmark.extra_info["updates"] = total
+    benchmark.extra_info["workers_1_updates_per_sec"] = total / one_seconds
+    benchmark.extra_info["workers_4_updates_per_sec"] = total / four_seconds
+    benchmark.extra_info["scaling_vs_1w"] = scaling
+    benchmark.extra_info["gate_enforced"] = cores >= 4
+    if cores >= 4:
+        assert scaling >= CLUSTER_SCALING_GATE, (
+            f"4-worker cluster scaled only {scaling:.2f}x over 1 worker "
+            f"on a {cores}-core machine (gate: {CLUSTER_SCALING_GATE}x)"
+        )
+
+
+def test_bench_serve_json_cluster_block():
+    """The published BENCH_serve.json must carry the cluster metadata
+    block and the cluster + fan-out rows the ISSUE-8 gates name."""
+    path = Path(__file__).parent.parent / "BENCH_serve.json"
+    document = json.loads(path.read_text())
+    modes = {row["mode"] for row in document["rows"]}
+    assert {"cluster-1w", "cluster-4w", "pipeline-4p-repl2"} <= modes
+    cluster = document["cluster"]
+    for key in (
+        "routing",
+        "vnodes",
+        "frame_transport",
+        "tenants",
+        "cpu_count",
+        "workers_1_updates_per_sec",
+        "workers_4_updates_per_sec",
+        "per_worker_updates_per_sec",
+        "scaling_vs_1w",
+        "gate_enforced",
+    ):
+        assert key in cluster, f"cluster block missing {key!r}"
+    assert cluster["routing"] == "ketama"
+    assert cluster["scaling_vs_1w"] > 0
+    assert document["gates"]["cluster_scaling_vs_1w"] == pytest.approx(
+        cluster["scaling_vs_1w"]
+    )
+    assert document["gates"]["pipeline_4p_repl2_updates_per_sec"] > 0
+    fanout = document["replication_fanout"]
+    assert fanout["followers"] == 2
+    assert fanout["byte_identical"] is True
 
 
 def test_report_table(benchmark, config, write_report):

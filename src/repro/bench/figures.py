@@ -1001,7 +1001,7 @@ def serve_throughput_table(
     :class:`~repro.service.pipeline.IngestPipeline` by concurrent
     producer coroutines submitting array batches; the timed region spans
     first submit to full drain, so the figure is *applied* updates/sec,
-    queue overhead included.  Five configurations:
+    queue overhead included.  The configurations:
 
     * ``pipeline-1p`` / ``pipeline-4p`` — flat columnar sketch, 1 vs 4
       producers (the 4-producer row is the CI gate: >= 1M updates/sec).
@@ -1012,8 +1012,16 @@ def serve_throughput_table(
       timed region ends when the *replica* has applied the leader's last
       micro-batch, so the figure is replicated (not just local)
       throughput; the follower's blob is asserted byte-identical.
+    * ``pipeline-4p-repl2`` — the same with a leader + **2** followers:
+      the fan-out cost of each additional subscriber.
     * ``tcp-bin`` — end to end over a loopback socket with the binary
       frame protocol (one client, request/response per 8k-update frame).
+    * ``cluster-1w`` / ``cluster-4w`` — the multi-process tenant cluster
+      (:mod:`repro.service.cluster`): 4 tenants fed round-robin through
+      a :class:`~repro.service.cluster.WorkerPool` of 1 vs 4 worker
+      processes over zero-copy shared-memory frames.  Their ratio is the
+      scale-out figure, recorded in the JSON ``cluster`` block and gated
+      (>= 2.5x) on runners with at least 4 cores.
 
     The single-producer run is asserted bit-identical to a direct
     ``update_batch`` feed — the service may only repackage, not change,
@@ -1053,7 +1061,9 @@ def serve_throughput_table(
             seconds = time.perf_counter() - start
         return seconds, num_producers * per_producer, pipeline
 
-    async def run_replicated(num_producers):
+    async def run_replicated(num_producers, num_followers=1):
+        from contextlib import AsyncExitStack
+
         from repro.service.replication import FollowerService, ReplicationManager
 
         leader = IngestPipeline(
@@ -1061,9 +1071,11 @@ def serve_throughput_table(
             config=pipe_config,
             replication=ReplicationManager(),
         )
-        async with leader:
-            server = StreamServer(leader)
-            async with server:
+        async with AsyncExitStack() as stack:
+            await stack.enter_async_context(leader)
+            server = await stack.enter_async_context(StreamServer(leader))
+            followers = []
+            for _ in range(num_followers):
                 follower_pipe = IngestPipeline(
                     FrequentItemsSketch(
                         k, backend="columnar", seed=config.seed
@@ -1071,42 +1083,43 @@ def serve_throughput_table(
                     config=pipe_config,
                     replica=True,
                 )
-                async with follower_pipe:
-                    follower = FollowerService(
-                        follower_pipe, "127.0.0.1", server.port
-                    )
-                    await follower.start()
+                await stack.enter_async_context(follower_pipe)
+                follower = FollowerService(
+                    follower_pipe, "127.0.0.1", server.port
+                )
+                await follower.start()
+                followers.append((follower_pipe, follower))
 
-                    async def producer():
-                        for part_items, part_weights in producer_slices:
-                            await leader.submit(part_items, part_weights)
+            async def producer():
+                for part_items, part_weights in producer_slices:
+                    await leader.submit(part_items, part_weights)
 
-                    start = time.perf_counter()
-                    await asyncio.gather(
-                        *(producer() for _ in range(num_producers))
+            start = time.perf_counter()
+            await asyncio.gather(
+                *(producer() for _ in range(num_producers))
+            )
+            await leader.drain()
+            # The clock stops when the *slowest replica* is caught up:
+            # the figure is fully-fanned-out (not just local) throughput.
+            for _pipe, follower in followers:
+                await follower.wait_for_seq(leader.applied_seq, timeout=120.0)
+            seconds = time.perf_counter() - start
+            leader_blob = leader.sketch.to_bytes()
+            for follower_pipe, _follower in followers:
+                if follower_pipe.sketch.to_bytes() != leader_blob:
+                    raise AssertionError(  # pragma: no cover
+                        "replica diverged from the leader mid-benchmark"
                     )
-                    await leader.drain()
-                    # The clock stops when the *replica* is caught up.
-                    await follower.wait_for_seq(
-                        leader.applied_seq, timeout=120.0
-                    )
-                    seconds = time.perf_counter() - start
-                    identical = (
-                        follower_pipe.sketch.to_bytes()
-                        == leader.sketch.to_bytes()
-                    )
-                    if not identical:  # pragma: no cover
-                        raise AssertionError(
-                            "replica diverged from the leader mid-benchmark"
-                        )
-                    detail = {
-                        "frames_applied": follower.frames_applied,
-                        "snapshots_installed": follower.snapshots_installed,
-                        "reconnects": follower.reconnects,
-                        "follower_seq": follower_pipe.applied_seq,
-                        "byte_identical": identical,
-                    }
-                    await follower.stop()
+            detail = {
+                "followers": num_followers,
+                "frames_applied": followers[0][1].frames_applied,
+                "snapshots_installed": followers[0][1].snapshots_installed,
+                "reconnects": sum(f.reconnects for _p, f in followers),
+                "follower_seq": followers[0][0].applied_seq,
+                "byte_identical": True,
+            }
+            for _pipe, follower in followers:
+                await follower.stop()
         return seconds, num_producers * per_producer, leader, detail
 
     async def run_tcp(sketch):
@@ -1122,6 +1135,31 @@ def serve_throughput_table(
                 seconds = time.perf_counter() - start
                 await client.close()
         return seconds, per_producer, pipeline
+
+    async def run_cluster(num_workers, num_tenants=4):
+        """Multi-process cluster: round-robin tenants, applied upd/s."""
+        from repro.service.cluster import ClusterConfig, WorkerPool
+
+        cluster_config = ClusterConfig(
+            num_workers=num_workers,
+            default_k=k,
+            default_seed=config.seed,
+        )
+        async with WorkerPool(cluster_config) as pool:
+            tenants = [f"bench-t{i}" for i in range(num_tenants)]
+            for name in tenants:
+                await pool.create_tenant(name)
+
+            async def producer(name):
+                for part_items, part_weights in producer_slices:
+                    await pool.submit(name, part_items, part_weights)
+
+            start = time.perf_counter()
+            await asyncio.gather(*(producer(name) for name in tenants))
+            await pool.drain()
+            seconds = time.perf_counter() - start
+            stats = pool.stats()
+        return seconds, num_tenants * per_producer, stats
 
     # Warm-up (numpy lazy imports + asyncio machinery out of timed code).
     async def warm_up():
@@ -1193,13 +1231,52 @@ def serve_throughput_table(
     )
     record("pipeline-4p-repl", 4, seconds, total, pipeline)
 
+    # Leader + 2 followers: the fan-out cost of a second subscriber.
+    seconds, total, pipeline, fanout_detail = asyncio.run(
+        run_replicated(4, num_followers=2)
+    )
+    record("pipeline-4p-repl2", 4, seconds, total, pipeline)
+
     sketch = FrequentItemsSketch(k, backend="columnar", seed=config.seed)
     seconds, total, pipeline = asyncio.run(run_tcp(sketch))
     record("tcp-bin", 1, seconds, total, pipeline)
 
+    # Multi-process cluster: same workload fanned over 4 tenants, 1 vs 4
+    # worker processes (the scale-out figure; gated on >= 4-core runners).
+    cluster_rows: dict[int, dict] = {}
+    cluster_stats: dict[int, dict] = {}
+    for num_workers in (1, 4):
+        seconds, total, stats = asyncio.run(run_cluster(num_workers))
+        row = {
+            "mode": f"cluster-{num_workers}w",
+            "producers": 4,
+            "updates": total,
+            "seconds": seconds,
+            "updates_per_sec": total / seconds,
+            "micro_batches": sum(
+                worker["applied_seq"] for worker in stats["workers"]
+            ),
+            "wal_bytes": 0,
+        }
+        rows.append(row)
+        table.add_row(**row)
+        cluster_rows[num_workers] = row
+        cluster_stats[num_workers] = stats
+
     if json_path is not None:
+        import os
+
         from repro import native
 
+        def rate_of(mode: str) -> float:
+            return next(
+                row["updates_per_sec"] for row in rows if row["mode"] == mode
+            )
+
+        scaling = (
+            cluster_rows[4]["updates_per_sec"]
+            / cluster_rows[1]["updates_per_sec"]
+        )
         document = {
             "bench": "serve",
             "k": k,
@@ -1211,29 +1288,40 @@ def serve_throughput_table(
             "replication": {
                 **replication_detail,
                 "replicated_fraction_of_4p": (
-                    next(
-                        row["updates_per_sec"]
-                        for row in rows
-                        if row["mode"] == "pipeline-4p-repl"
-                    )
-                    / next(
-                        row["updates_per_sec"]
-                        for row in rows
-                        if row["mode"] == "pipeline-4p"
-                    )
+                    rate_of("pipeline-4p-repl") / rate_of("pipeline-4p")
                 ),
             },
+            "replication_fanout": {
+                **fanout_detail,
+                "fanout2_fraction_of_repl1": (
+                    rate_of("pipeline-4p-repl2") / rate_of("pipeline-4p-repl")
+                ),
+            },
+            "cluster": {
+                "routing": "ketama",
+                "vnodes": cluster_stats[4]["vnodes"],
+                "frame_transport": cluster_stats[4]["frame_transport"],
+                "slot_capacity": cluster_stats[4]["slot_capacity"],
+                "tenants": len(cluster_stats[4]["tenants"]),
+                "cpu_count": os.cpu_count(),
+                "workers_1_updates_per_sec": cluster_rows[1]["updates_per_sec"],
+                "workers_4_updates_per_sec": cluster_rows[4]["updates_per_sec"],
+                "per_worker_updates_per_sec": (
+                    cluster_rows[4]["updates_per_sec"] / 4
+                ),
+                "scaling_vs_1w": scaling,
+                # The >= 2.5x gate only binds where 4 workers can actually
+                # run in parallel; below 4 cores the figure is recorded,
+                # not enforced (see benchmarks/bench_serve_throughput.py).
+                "gate_enforced": (os.cpu_count() or 1) >= 4,
+            },
             "gates": {
-                "pipeline_4p_updates_per_sec": next(
-                    row["updates_per_sec"]
-                    for row in rows
-                    if row["mode"] == "pipeline-4p"
+                "pipeline_4p_updates_per_sec": rate_of("pipeline-4p"),
+                "pipeline_4p_repl_updates_per_sec": rate_of("pipeline-4p-repl"),
+                "pipeline_4p_repl2_updates_per_sec": rate_of(
+                    "pipeline-4p-repl2"
                 ),
-                "pipeline_4p_repl_updates_per_sec": next(
-                    row["updates_per_sec"]
-                    for row in rows
-                    if row["mode"] == "pipeline-4p-repl"
-                ),
+                "cluster_scaling_vs_1w": scaling,
             },
         }
         with open(json_path, "w") as handle:

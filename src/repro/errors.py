@@ -57,6 +57,27 @@ class ReadOnlyReplicaError(ServiceClosedError):
     """
 
 
+class UsageError(ReproError, ValueError):
+    """Command-line flags were combined in a way that has no meaning.
+
+    Raised (and reported as exit status 2) instead of silently ignoring
+    one of the flags — e.g. ``--follow`` with ``--workers``: a read
+    replica applies the leader's frames in one process, so multi-worker
+    mode cannot apply to it.
+    """
+
+
+class ClusterError(ReproError, RuntimeError):
+    """A multi-process cluster operation failed.
+
+    Raised when a worker process dies (or is killed) while the acceptor
+    is waiting on it, when a frame is routed to an unknown tenant, or
+    when the pool is driven after :meth:`~repro.service.cluster.
+    WorkerPool.stop`.  Restarting the pool over the same data directory
+    recovers every tenant from its own WAL/snapshot directory.
+    """
+
+
 class ReplicationError(ReproError, RuntimeError):
     """A replication-stream frame could not be read or applied.
 

@@ -17,6 +17,11 @@ deployment shape:
 - :class:`~repro.service.server.StreamServer` /
   :class:`~repro.service.client.ServiceClient` — a TCP line-protocol
   front end (``python -m repro.service`` runs one).
+- :class:`~repro.service.cluster.WorkerPool` /
+  :class:`~repro.service.cluster.ClusterServer` — the multi-process
+  tenant cluster (``python -m repro.service --workers N``): named tenant
+  streams consistent-hash routed onto worker processes, zero-copy
+  shared-memory ingest frames, merged global views on query.
 
 See ``docs/service.md`` for the lifecycle, backpressure, and recovery
 guarantees.
@@ -25,12 +30,24 @@ guarantees.
 from repro.service.pipeline import IngestPipeline, PipelineConfig, ServiceStats
 from repro.service.snapshot import SnapshotManager
 from repro.service.server import StreamServer
-from repro.service.client import ReconnectingServiceClient, ServiceClient
+from repro.service.client import (
+    ClusterClient,
+    ReconnectingServiceClient,
+    ServiceClient,
+)
+from repro.service.cluster import (
+    ClusterConfig,
+    ClusterServer,
+    TenantSpec,
+    WorkerPool,
+)
+from repro.service.frames import SharedFrameRing
 from repro.service.replication import (
     FollowerService,
     ReplicationConfig,
     ReplicationManager,
 )
+from repro.service.ring import HashRing
 
 __all__ = [
     "IngestPipeline",
@@ -39,7 +56,14 @@ __all__ = [
     "SnapshotManager",
     "StreamServer",
     "ServiceClient",
+    "ClusterClient",
     "ReconnectingServiceClient",
+    "ClusterConfig",
+    "ClusterServer",
+    "TenantSpec",
+    "WorkerPool",
+    "SharedFrameRing",
+    "HashRing",
     "ReplicationManager",
     "ReplicationConfig",
     "FollowerService",

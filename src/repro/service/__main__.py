@@ -11,6 +11,14 @@ Every server is replication-capable: followers subscribe with
 server as a read replica of that leader instead; ``--promote`` is a
 one-shot admin command that tells a running follower (``--host`` /
 ``--port``) to detach and start accepting writes.
+
+``--workers N`` (N >= 1) serves the multi-process tenant cluster
+instead: a :class:`~repro.service.cluster.WorkerPool` behind a
+:class:`~repro.service.cluster.ClusterServer`.  ``--follow`` and
+``--workers`` are mutually exclusive — a read replica applies the
+leader's frame stream in one process, so multi-worker mode cannot apply
+to it; combining them exits with status 2 (:class:`~repro.errors.
+UsageError`) rather than silently running one worker.
 """
 
 from __future__ import annotations
@@ -21,7 +29,9 @@ import contextlib
 import sys
 
 from repro.core.frequent_items import FrequentItemsSketch
+from repro.errors import UsageError
 from repro.service.client import ServiceClient
+from repro.service.cluster import ClusterConfig, ClusterServer, WorkerPool
 from repro.service.pipeline import IngestPipeline, PipelineConfig
 from repro.service.replication import FollowerService, ReplicationManager
 from repro.service.server import StreamServer
@@ -72,6 +82,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--data-dir", default=None,
         help="snapshot/WAL directory; omitting it disables durability",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="serve the multi-process tenant cluster with N worker "
+        "processes (incompatible with --follow)",
+    )
+    parser.add_argument(
+        "--frame-transport", choices=("auto", "shm", "pipe"), default="auto",
+        help="how cluster ingest frames cross the acceptor-worker "
+        "boundary (auto = shared memory when available)",
     )
     parser.add_argument("--snapshot-every", type=int, default=256,
                         help="checkpoint every N applied micro-batches")
@@ -128,9 +148,53 @@ async def promote(args: argparse.Namespace) -> int:
     return 0
 
 
+async def run_cluster(args: argparse.Namespace) -> int:
+    """Serve a multi-process tenant cluster (the ``--workers`` path)."""
+    config = ClusterConfig(
+        num_workers=args.workers,
+        data_dir=args.data_dir,
+        frame_transport=args.frame_transport,
+        snapshot_every_batches=args.snapshot_every,
+        default_k=args.k,
+        default_backend=args.backend,
+        default_seed=args.seed,
+        default_shards=args.shards,
+    )
+    # Pool first, server second: worker processes must not inherit the
+    # listening socket.
+    async with WorkerPool(config) as pool:
+        async with ClusterServer(pool, host=args.host, port=args.port) as server:
+            print(
+                f"serving tenant cluster on {args.host}:{server.port} "
+                f"(workers={pool.num_workers}, "
+                f"transport={pool.frame_transport}, "
+                f"tenants={len(pool.list_tenants())}, "
+                f"durability={'on' if args.data_dir else 'off'})",
+                flush=True,
+            )
+            with contextlib.suppress(asyncio.CancelledError):
+                await asyncio.Event().wait()  # until cancelled (Ctrl-C)
+    return 0
+
+
+def check_args(args: argparse.Namespace) -> None:
+    """Reject flag combinations that have no meaning."""
+    if args.workers is not None and args.follow is not None:
+        raise UsageError(
+            "--follow and --workers are mutually exclusive: a read "
+            "replica applies the leader's frame stream in a single "
+            "process, so multi-worker mode cannot apply to it; run the "
+            "replica without --workers (or the cluster without --follow)"
+        )
+    if args.workers is not None and args.workers < 1:
+        raise UsageError(f"--workers must be at least 1, got {args.workers}")
+
+
 async def run(args: argparse.Namespace) -> int:
     if args.promote:
         return await promote(args)
+    if args.workers is not None:
+        return await run_cluster(args)
     pipeline = build_pipeline(args)
     follower = None
     if args.follow is not None:
@@ -161,6 +225,11 @@ async def run(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        check_args(args)
+    except UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr, flush=True)
+        return 2
     try:
         return asyncio.run(run(args))
     except KeyboardInterrupt:  # pragma: no cover - interactive path

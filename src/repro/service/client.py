@@ -187,6 +187,103 @@ class ServiceClient:
         return int(reply[0])
 
 
+class ClusterClient(ServiceClient):
+    """A :class:`ServiceClient` extended with the tenant verbs.
+
+    Connects to a :class:`~repro.service.cluster.ClusterServer`; the
+    inherited single-tenant methods keep working (the cluster routes
+    them to its implicit ``default`` tenant).
+    """
+
+    async def tcreate(
+        self,
+        name: str,
+        *,
+        k: int | None = None,
+        backend: str | None = None,
+        seed: int | None = None,
+        shards: int | None = None,
+    ) -> dict:
+        """Register one tenant; returns its effective spec as a dict.
+
+        Optional parameters fall back to the server's defaults; the
+        protocol line is positional, so unspecified parameters before a
+        specified one travel as ``-`` ("use the server default").
+        """
+        parts: list[str] = ["TCREATE", name]
+        tail = [k, backend, seed, shards]
+        last = max(
+            (i for i, value in enumerate(tail) if value is not None),
+            default=-1,
+        )
+        for value in tail[: last + 1]:
+            parts.append("-" if value is None else str(value))
+        text = await self._request((" ".join(parts) + "\n").encode("ascii"))
+        return json.loads(text[3:])
+
+    async def tdrop(self, name: str) -> None:
+        await self._request(f"TDROP {name}\n".encode("ascii"))
+
+    async def tlist(self) -> list[dict]:
+        text = await self._request(b"TLIST\n")
+        return json.loads(text[3:])
+
+    async def tsend_batch(self, name: str, items, weights=None) -> int:
+        """Ship one batch to a named tenant as ``TBIN`` frames."""
+        items = np.ascontiguousarray(items, dtype=np.uint64)
+        if weights is None:
+            weights = np.ones(len(items), dtype=np.float64)
+        weights = np.ascontiguousarray(weights, dtype=np.float64)
+        acknowledged = 0
+        for lo in range(0, len(items), protocol.MAX_BIN_ITEMS):
+            payload = protocol.encode_tbin_frame(
+                name,
+                items[lo : lo + protocol.MAX_BIN_ITEMS],
+                weights[lo : lo + protocol.MAX_BIN_ITEMS],
+            )
+            reply = self._ok_args(await self._request(payload))
+            acknowledged += int(reply[0])
+        return acknowledged
+
+    async def tupdate(self, name: str, item: int, weight: float = 1.0) -> None:
+        await self._request(
+            f"TUPDATE {name} {int(item)} {weight!r}\n".encode("ascii")
+        )
+
+    async def testimate(self, name: str, item: int) -> float:
+        reply = self._ok_args(
+            await self._request(f"TEST {name} {int(item)}\n".encode("ascii"))
+        )
+        return float(reply[0])
+
+    async def tbounds(self, name: str, item: int) -> tuple[float, float, float]:
+        reply = self._ok_args(
+            await self._request(f"TBOUNDS {name} {int(item)}\n".encode("ascii"))
+        )
+        return float(reply[0]), float(reply[1]), float(reply[2])
+
+    async def thh(
+        self, name: str, phi: float
+    ) -> tuple[int, list[tuple[int, float]]]:
+        """``(watermark, [(item, estimate), ...])`` — the tenant's
+        merged heavy hitters (folds a sharded tenant's substreams)."""
+        reply = self._ok_args(
+            await self._request(f"THH {name} {phi:g}\n".encode("ascii"))
+        )
+        seq = int(reply[0])
+        count = int(reply[1])
+        pairs = []
+        for token in reply[2 : 2 + count]:
+            item_text, _sep, estimate_text = token.partition(":")
+            pairs.append((int(item_text), float(estimate_text)))
+        return seq, pairs
+
+    async def drain(self) -> int:
+        """Await every in-flight frame applied; returns the watermark sum."""
+        reply = self._ok_args(await self._request(b"DRAIN\n"))
+        return int(reply[0])
+
+
 class ReconnectingServiceClient:
     """A :class:`ServiceClient` that survives connection loss.
 

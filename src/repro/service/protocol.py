@@ -38,6 +38,37 @@ request                    response
 ``QUIT``                   ``BYE``, then the connection closes
 =========================  =============================================
 
+**Tenant verbs (cluster mode).**  A server started with ``--workers N``
+serves many named tenant streams, each its own sketch, routed across
+worker processes by a consistent-hash ring.  Tenant names match
+:data:`TENANT_NAME_PATTERN`.  The legacy single-tenant verbs above keep
+working: they operate on an implicitly created ``default`` tenant.
+
+==============================  ========================================
+request                         response
+==============================  ========================================
+``TCREATE <name> [k]``          ``OK <json spec>`` — register a tenant
+``  [backend] [seed] [shards]``  (idempotent when the spec is identical;
+                                a ``-`` parameter means "server default")
+``TDROP <name>``                ``OK`` — drop the tenant and its state
+``TLIST``                       ``OK <json list of specs>``
+``TBIN <name> <n>``             ``OK <n>`` — a ``BIN`` frame addressed
+                                to one tenant (16 × n payload bytes
+                                follow the line, same layout as ``BIN``)
+``TUPDATE <name> <item> [w]``   ``OK``
+``TEST <name> <item>``          ``OK <estimate>``
+``TBOUNDS <name> <item>``       ``OK <lower> <estimate> <upper>``
+``THH <name> <phi>``            ``OK <seq> <n> <item>:<estimate> ...``
+                                — the tenant's merged view (a sharded
+                                tenant folds its substreams)
+``QEST <item>``                 ``OK <seq> <estimate>`` — merged over
+                                **all** tenants; ``<seq>`` is the sum of
+                                per-substream applied watermarks
+``QHH <phi>``                   ``OK <seq> <n> <item>:<estimate> ...``
+``DRAIN``                       ``OK <seq>`` — await every in-flight
+                                frame applied; returns the watermark sum
+==============================  ========================================
+
 Malformed requests get ``ERR <reason>`` and the connection stays open;
 update batches are validated atomically (a rejected batch ingests
 nothing).  The binary framing exists because parsing decimal text caps
@@ -69,6 +100,7 @@ duplicated delivery is harmless and nothing can be applied twice.
 from __future__ import annotations
 
 import asyncio
+import re
 import struct
 
 import numpy as np
@@ -87,6 +119,18 @@ MAX_BIN_ITEMS = 1_000_000
 
 #: Hard cap on one request line (BATCH lines grow with their payload).
 MAX_LINE_BYTES = 1 << 20
+
+#: What a tenant name may look like: filesystem-safe (it names the
+#: tenant's WAL/snapshot directory), protocol-safe (no whitespace), and
+#: short.  ``#`` is reserved — the cluster uses it for shard substreams.
+TENANT_NAME_PATTERN = r"^[A-Za-z0-9_.-]{1,64}$"
+
+_TENANT_NAME_RE = re.compile(TENANT_NAME_PATTERN)
+
+
+def valid_tenant_name(name: str) -> bool:
+    """True when ``name`` is acceptable as a tenant stream name."""
+    return bool(_TENANT_NAME_RE.match(name))
 
 #: Replication frame tags (one byte on the wire).
 REPL_FRAME_WAL = b"W"
@@ -175,6 +219,19 @@ def encode_bin_frame(items: np.ndarray, weights: np.ndarray) -> bytes:
     n = len(items)
     return (
         f"BIN {n}\n".encode("ascii")
+        + np.ascontiguousarray(items, dtype="<u8").tobytes()
+        + np.ascontiguousarray(weights, dtype="<f8").tobytes()
+    )
+
+
+def encode_tbin_frame(
+    tenant: str, items: np.ndarray, weights: np.ndarray
+) -> bytes:
+    """The ``TBIN`` command line plus payload: a ``BIN`` frame addressed
+    to one named tenant stream (cluster mode's high-throughput path)."""
+    n = len(items)
+    return (
+        f"TBIN {tenant} {n}\n".encode("ascii")
         + np.ascontiguousarray(items, dtype="<u8").tobytes()
         + np.ascontiguousarray(weights, dtype="<f8").tobytes()
     )

@@ -19,7 +19,9 @@ MODULES_WITH_DOCTESTS = [
     "repro.extensions.decayed",
     "repro.prng.splitmix",
     "repro.prng.xoroshiro",
+    "repro.service.cluster",
     "repro.service.pipeline",
+    "repro.service.ring",
     "repro.sharded.partition",
     "repro.sharded.sketch",
     "repro.types",

@@ -1,0 +1,91 @@
+"""The consistent-hash ring: determinism, balance, minimal disruption."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.service.ring import HashRing
+
+
+def test_deterministic_across_instances():
+    a = HashRing(4, vnodes=32, seed=9)
+    b = HashRing(4, vnodes=32, seed=9)
+    names = [f"tenant-{i}" for i in range(500)]
+    assert [a.owner(n) for n in names] == [b.owner(n) for n in names]
+
+
+def test_seed_changes_placement():
+    names = [f"tenant-{i}" for i in range(200)]
+    a = HashRing(4, seed=0)
+    b = HashRing(4, seed=1)
+    assert any(a.owner(n) != b.owner(n) for n in names)
+
+
+def test_owner_in_range():
+    ring = HashRing(3)
+    for i in range(300):
+        assert 0 <= ring.owner(f"t{i}") < 3
+
+
+def test_single_worker_owns_everything():
+    ring = HashRing(1)
+    assert all(ring.owner(f"t{i}") == 0 for i in range(50))
+
+
+def test_balance_within_spread():
+    # With v vnodes the per-worker share concentrates around 1/N with
+    # relative spread ~1/sqrt(v); at v=64, N=4 a 2x envelope is safely
+    # beyond any plausible statistical excursion.
+    ring = HashRing(4, vnodes=64)
+    counts = ring.distribution(f"tenant-{i}" for i in range(4000))
+    assert set(counts) == {0, 1, 2, 3}
+    for worker, count in counts.items():
+        assert 400 <= count <= 2000, (worker, counts)
+
+
+def test_grow_moves_only_onto_new_worker():
+    names = [f"tenant-{i}" for i in range(1000)]
+    before = HashRing(4, vnodes=64, seed=3)
+    after = HashRing(5, vnodes=64, seed=3)
+    moved = [n for n in names if before.owner(n) != after.owner(n)]
+    # Everything that moved, moved onto the new worker...
+    assert all(after.owner(n) == 4 for n in moved)
+    # ...and roughly 1/5 of the keyspace moved (generous envelope).
+    assert 0.05 * len(names) <= len(moved) <= 0.40 * len(names)
+
+
+def test_remove_worker_redistributes_only_its_keys():
+    names = [f"tenant-{i}" for i in range(1000)]
+    ring = HashRing(5, vnodes=64, seed=3)
+    before = {n: ring.owner(n) for n in names}
+    ring.remove_worker(2)
+    assert ring.workers() == [0, 1, 3, 4]
+    for n in names:
+        owner = ring.owner(n)
+        assert owner != 2
+        if before[n] != 2:
+            assert owner == before[n], n
+
+
+def test_add_worker_idempotent():
+    ring = HashRing(3, vnodes=16)
+    size = len(ring)
+    ring.add_worker(1)
+    assert len(ring) == size
+
+
+def test_vnode_count():
+    ring = HashRing(3, vnodes=16)
+    assert len(ring) == 3 * 16
+    assert ring.num_workers == 3
+    assert ring.vnodes == 16
+
+
+def test_rejects_degenerate_shapes():
+    with pytest.raises(InvalidParameterError):
+        HashRing(0)
+    with pytest.raises(InvalidParameterError):
+        HashRing(2, vnodes=0)
+    empty = HashRing(1)
+    empty.remove_worker(0)
+    with pytest.raises(InvalidParameterError):
+        empty.owner("t")
