@@ -29,6 +29,12 @@ benchmark regenerating the full service table
   ratio is recorded (``extra_info``/BENCH_serve.json) but not enforced,
   since four workers cannot run in parallel on one core.  The published
   BENCH_serve.json must carry the ``cluster`` metadata block either way.
+* **failover MTTR** — a kill-leader failover on a three-node replica
+  set must restore write availability (as the client observes it)
+  within 5x the configured heartbeat miss window, with *exactly one*
+  idempotent frame resubmit and no lost or duplicated updates (exact
+  oracle).  The published BENCH_serve.json must carry the ``failover``
+  block with the measured detection latency and MTTR.
 """
 
 import asyncio
@@ -340,6 +346,61 @@ def test_cluster_scaling_gate(benchmark, config):
             f"4-worker cluster scaled only {scaling:.2f}x over 1 worker "
             f"on a {cores}-core machine (gate: {CLUSTER_SCALING_GATE}x)"
         )
+
+
+def test_failover_mttr_gate(benchmark, config):
+    """Kill-leader failover: write availability back within 5x the
+    heartbeat miss window, exactly one idempotent resubmit, exact
+    counts preserved across the leadership change."""
+    from repro.bench.figures import FAILOVER_MISS_WINDOW, failover_mttr_metrics
+
+    k = config.k_values[-1]
+    benchmark.group = f"ingest service, k={k}"
+    metrics = benchmark.pedantic(
+        lambda: failover_mttr_metrics(config.seed), rounds=1, iterations=1
+    )
+    for key, value in metrics.items():
+        benchmark.extra_info[key] = value
+    gate = 5.0 * FAILOVER_MISS_WINDOW
+    assert metrics["mttr_seconds"] <= gate, (
+        f"failover MTTR {metrics['mttr_seconds']:.2f}s exceeds the "
+        f"{gate:.2f}s gate (5x the {FAILOVER_MISS_WINDOW}s miss window)"
+    )
+    assert metrics["detection_seconds"] <= metrics["mttr_seconds"]
+    assert metrics["epoch"] >= 1, "promotion must advance the epoch"
+    # Exactly-once across the failover: the one in-flight frame the
+    # crash ate is resubmitted once, and nothing is lost or double
+    # counted (the workload is an exact-count oracle).
+    assert metrics["client_resubmits"] == 1
+    assert metrics["exactly_once"] is True
+    assert metrics["survivor_byte_identical"] is True
+
+
+def test_bench_serve_json_failover_block():
+    """The published BENCH_serve.json must carry the failover MTTR
+    block, and its recorded MTTR must pass its own recorded gate."""
+    path = Path(__file__).parent.parent / "BENCH_serve.json"
+    document = json.loads(path.read_text())
+    failover = document["failover"]
+    for key in (
+        "nodes",
+        "heartbeat_miss_window",
+        "detection_seconds",
+        "election_seconds",
+        "mttr_seconds",
+        "client_resubmits",
+        "exactly_once",
+        "survivor_byte_identical",
+        "gate_mttr_max_seconds",
+    ):
+        assert key in failover, f"failover block missing {key!r}"
+    assert failover["mttr_seconds"] <= failover["gate_mttr_max_seconds"]
+    assert failover["client_resubmits"] == 1
+    assert failover["exactly_once"] is True
+    assert failover["survivor_byte_identical"] is True
+    assert document["gates"]["failover_mttr_seconds"] == pytest.approx(
+        failover["mttr_seconds"]
+    )
 
 
 def test_bench_serve_json_cluster_block():

@@ -992,6 +992,237 @@ def serve_pipeline_config():
     )
 
 
+#: Heartbeat miss window for the failover bench; the MTTR gate is
+#: relative to it (recovery must land within five windows).  Shared
+#: with benchmarks/bench_serve_throughput.py so the published figure
+#: and the gate measure the same configuration.
+FAILOVER_MISS_WINDOW = 0.5
+
+
+def failover_mttr_metrics(seed: int = 2016) -> dict:
+    """Kill-leader failover: detection latency and client-observed MTTR.
+
+    A three-node replica set (leader + two followers, each with its own
+    snapshot/WAL directory and a :class:`~repro.service.failover.
+    FailoverCoordinator`) serves a :class:`~repro.service.client.
+    ReconnectingServiceClient`.  Half the feed goes in, the leader is
+    crash-killed, and the client keeps writing: the write-unavailability
+    window (MTTR) is the gap between the kill and the first batch the
+    *promoted* leader acknowledges, with detection latency read off the
+    winner's coordinator instrumentation.
+
+    The stream is an exact-count oracle (item universe far below the
+    sketch's k, integer weights), so "no lost or duplicated updates
+    across the failover" is asserted as estimate == exact count for
+    every item — and the client's idempotent-resubmit count is asserted
+    to be exactly one (the single in-flight frame the crash ate).
+    """
+    import asyncio
+    import contextlib
+    import shutil
+    import tempfile
+
+    import numpy as np
+
+    from repro.service.client import ReconnectingServiceClient
+    from repro.service.failover import (
+        EpochStore,
+        FailoverConfig,
+        FailoverCoordinator,
+    )
+    from repro.service.pipeline import IngestPipeline, PipelineConfig
+    from repro.service.replication import (
+        ReplicationConfig,
+        ReplicationManager,
+    )
+    from repro.service.server import StreamServer
+    from repro.service.snapshot import SnapshotManager
+
+    universe = 60
+    k = 256  # > universe: the sketch never decrements, estimates are exact
+    num_batches, batch_size = 12, 4_096
+    rng = np.random.default_rng(seed)
+    all_items = rng.integers(0, universe, num_batches * batch_size).astype(
+        np.uint64
+    )
+    all_weights = rng.integers(1, 9, num_batches * batch_size).astype(
+        np.float64
+    )
+    batches = [
+        (all_items[lo : lo + batch_size], all_weights[lo : lo + batch_size])
+        for lo in range(0, len(all_items), batch_size)
+    ]
+    exact: dict[int, float] = {}
+    for item, weight in zip(all_items.tolist(), all_weights.tolist()):
+        exact[item] = exact.get(item, 0.0) + weight
+
+    pipe_config = PipelineConfig(max_batch_items=8_192, flush_interval=0.002)
+    repl_config = ReplicationConfig(
+        retry_initial=0.01, retry_max=0.1, max_retries=400,
+        heartbeat_interval=0.1,
+    )
+    failover_config = FailoverConfig(
+        heartbeat_miss_window=FAILOVER_MISS_WINDOW,
+        check_interval=0.05,
+        election_timeout=2.0,
+        election_backoff=0.15,
+        rpc_timeout=0.4,
+        peer_poll_interval=0.2,
+        jitter=0.5,
+    )
+    node_ids = ["n0", "n1", "n2"]
+    root = tempfile.mkdtemp(prefix="repro-bench-failover-")
+
+    async def scenario() -> dict:
+        loop = asyncio.get_running_loop()
+        pipelines: dict[str, IngestPipeline] = {}
+        servers: dict[str, StreamServer] = {}
+        coordinators: dict[str, FailoverCoordinator] = {}
+
+        async def poll(predicate, timeout=30.0, message=""):
+            deadline = loop.time() + timeout
+            while not predicate():
+                if loop.time() > deadline:
+                    raise TimeoutError(message or "bench predicate timeout")
+                await asyncio.sleep(0.01)
+
+        for node_id in node_ids:
+            pipelines[node_id] = IngestPipeline(
+                FrequentItemsSketch(k, backend="columnar", seed=seed),
+                config=pipe_config,
+                snapshots=SnapshotManager(f"{root}/{node_id}"),
+                replication=ReplicationManager(repl_config),
+                replica=(node_id != "n0"),
+            )
+            await pipelines[node_id].start()
+            servers[node_id] = StreamServer(pipelines[node_id])
+            await servers[node_id].start()
+        addrs = {
+            node_id: f"127.0.0.1:{servers[node_id].port}"
+            for node_id in node_ids
+        }
+        for node_id in node_ids:
+            coordinator = FailoverCoordinator(
+                node_id,
+                pipelines[node_id],
+                self_addr=addrs[node_id],
+                peers={p: a for p, a in addrs.items() if p != node_id},
+                leader_id=None if node_id == "n0" else "n0",
+                leader_addr=None if node_id == "n0" else addrs["n0"],
+                epoch_store=EpochStore(f"{root}/{node_id}"),
+                repl_config=repl_config,
+                config=failover_config,
+            )
+            servers[node_id].coordinator = coordinator
+            coordinators[node_id] = await coordinator.start()
+
+        client = ReconnectingServiceClient(
+            "127.0.0.1", servers["n0"].port,
+            peers=[addrs["n1"], addrs["n2"]],
+            max_retries=400, backoff_initial=0.01, backoff_max=0.05,
+        )
+        try:
+            half = num_batches // 2
+            for items, weights in batches[:half]:
+                await client.send_batch(items, weights)
+            await poll(
+                lambda: pipelines["n0"].pending_items == 0,
+                message="pre-kill backlog never drained",
+            )
+            pre_kill_seq = pipelines["n0"].applied_seq
+            await poll(
+                lambda: all(
+                    pipelines[n].applied_seq >= pre_kill_seq
+                    for n in ("n1", "n2")
+                ),
+                message="followers never caught up before the kill",
+            )
+
+            killed_at = loop.time()
+            await coordinators["n0"].stop()
+            await servers["n0"].stop()
+            with contextlib.suppress(Exception):
+                await pipelines["n0"].stop(final_snapshot=False)
+
+            # The client keeps writing; the first post-kill ack marks the
+            # end of the write-unavailability window.
+            items, weights = batches[half]
+            await client.send_batch(items, weights)
+            first_ack_at = loop.time()
+            for items, weights in batches[half + 1 :]:
+                await client.send_batch(items, weights)
+
+            (winner_id,) = [
+                n for n in ("n1", "n2") if not pipelines[n].is_replica
+            ]
+            survivor_id = "n1" if winner_id == "n2" else "n2"
+            winner = coordinators[winner_id]
+            leader_pipe = pipelines[winner_id]
+            await poll(
+                lambda: leader_pipe.pending_items == 0,
+                message="post-failover backlog never drained",
+            )
+            await poll(
+                lambda: (
+                    pipelines[survivor_id].applied_seq
+                    == leader_pipe.applied_seq
+                ),
+                message="survivor never caught up to the new leader",
+            )
+
+            # Exactly-once across the failover: the oracle is exact.
+            lost = sum(
+                1 for item, count in exact.items()
+                if leader_pipe.estimate(item) != count
+            )
+            exactly_once = lost == 0 and (
+                leader_pipe.sketch.stream_weight == float(all_weights.sum())
+            )
+            byte_identical = (
+                pipelines[survivor_id].sketch.to_bytes()
+                == leader_pipe.sketch.to_bytes()
+            )
+            return {
+                "nodes": len(node_ids),
+                "heartbeat_interval": repl_config.heartbeat_interval,
+                "heartbeat_miss_window": failover_config.heartbeat_miss_window,
+                "updates": int(all_items.size),
+                "new_leader": winner_id,
+                "epoch": leader_pipe.epoch,
+                "elections_won": winner.elections_won,
+                "detection_seconds": (
+                    (winner.last_detection_at or killed_at) - killed_at
+                ),
+                "election_seconds": (
+                    (winner.promoted_at or killed_at) - killed_at
+                ),
+                "mttr_seconds": first_ack_at - killed_at,
+                "client_reconnects": client.reconnects,
+                "client_redirects": client.redirects,
+                "client_resubmits": client.resubmits,
+                "exactly_once": exactly_once,
+                "survivor_byte_identical": byte_identical,
+                "gate_mttr_max_seconds": (
+                    5.0 * failover_config.heartbeat_miss_window
+                ),
+            }
+        finally:
+            await client.close()
+            for node_id in node_ids:
+                if coordinators.get(node_id) is not None:
+                    with contextlib.suppress(Exception):
+                        await coordinators[node_id].stop()
+                with contextlib.suppress(Exception):
+                    await servers[node_id].stop()
+                with contextlib.suppress(Exception):
+                    await pipelines[node_id].stop(final_snapshot=False)
+
+    try:
+        return asyncio.run(scenario())
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 def serve_throughput_table(
     config: BenchConfig, json_path: str | None = None
 ) -> ResultTable:
@@ -1026,6 +1257,11 @@ def serve_throughput_table(
     The single-producer run is asserted bit-identical to a direct
     ``update_batch`` feed — the service may only repackage, not change,
     the stream.
+
+    When ``json_path`` is given the document also carries a ``failover``
+    block from :func:`failover_mttr_metrics` — detection latency and
+    client-observed MTTR for a kill-leader failover, gated (<= 5x the
+    heartbeat miss window) in ``benchmarks/bench_serve_throughput.py``.
     """
     import asyncio
     import json
@@ -1277,6 +1513,7 @@ def serve_throughput_table(
             cluster_rows[4]["updates_per_sec"]
             / cluster_rows[1]["updates_per_sec"]
         )
+        failover_detail = failover_mttr_metrics(config.seed)
         document = {
             "bench": "serve",
             "k": k,
@@ -1315,7 +1552,9 @@ def serve_throughput_table(
                 # not enforced (see benchmarks/bench_serve_throughput.py).
                 "gate_enforced": (os.cpu_count() or 1) >= 4,
             },
+            "failover": failover_detail,
             "gates": {
+                "failover_mttr_seconds": failover_detail["mttr_seconds"],
                 "pipeline_4p_updates_per_sec": rate_of("pipeline-4p"),
                 "pipeline_4p_repl_updates_per_sec": rate_of("pipeline-4p-repl"),
                 "pipeline_4p_repl2_updates_per_sec": rate_of(

@@ -57,6 +57,19 @@ class ReadOnlyReplicaError(ServiceClosedError):
     """
 
 
+class ServiceUnavailableError(ServiceClosedError):
+    """No live leader could be reached before the client's deadline.
+
+    Raised by :class:`~repro.service.client.ReconnectingServiceClient`
+    and :class:`~repro.service.replication.FollowerService` when their
+    jittered retry loops exhaust the configured overall deadline — the
+    whole replica set is down or unreachable, not just one node.  It
+    subclasses :class:`ServiceClosedError` so existing handlers keep
+    working; catch it specifically to distinguish "cluster gone" from
+    "this connection died".
+    """
+
+
 class UsageError(ReproError, ValueError):
     """Command-line flags were combined in a way that has no meaning.
 

@@ -23,8 +23,15 @@ deployment shape:
   streams consistent-hash routed onto worker processes, zero-copy
   shared-memory ingest frames, merged global views on query.
 
-See ``docs/service.md`` for the lifecycle, backpressure, and recovery
-guarantees.
+- :class:`~repro.service.failover.FailoverCoordinator` — automatic
+  failover: epoch-fenced leader election over the replica set (``REPL
+  ELECT`` / ``LEADER`` / ``PEERS``), heartbeat-driven failure detection,
+  self-demoting fenced ex-leaders; with
+  :mod:`repro.service.faults` as the pluggable fault-injection plane the
+  chaos tests drive it through.
+
+See ``docs/service.md`` for the lifecycle, backpressure, recovery, and
+failover guarantees.
 """
 
 from repro.service.pipeline import IngestPipeline, PipelineConfig, ServiceStats
@@ -41,6 +48,12 @@ from repro.service.cluster import (
     TenantSpec,
     WorkerPool,
 )
+from repro.service.failover import (
+    EpochStore,
+    FailoverConfig,
+    FailoverCoordinator,
+)
+from repro.service.faults import DiskFaultPlane, NetworkFaultProxy
 from repro.service.frames import SharedFrameRing
 from repro.service.replication import (
     FollowerService,
@@ -50,6 +63,11 @@ from repro.service.replication import (
 from repro.service.ring import HashRing
 
 __all__ = [
+    "EpochStore",
+    "FailoverConfig",
+    "FailoverCoordinator",
+    "DiskFaultPlane",
+    "NetworkFaultProxy",
     "IngestPipeline",
     "PipelineConfig",
     "ServiceStats",

@@ -12,6 +12,14 @@ server as a read replica of that leader instead; ``--promote`` is a
 one-shot admin command that tells a running follower (``--host`` /
 ``--port``) to detach and start accepting writes.
 
+``--peers id=host:port,...`` (with ``--replica-id``) arms automatic
+failover: the node runs a :class:`~repro.service.failover.
+FailoverCoordinator` that detects a dead leader by heartbeat silence
+(``--miss-window`` seconds) and elects the most-caught-up replica via
+epoch-fenced voting — no operator ``--promote`` needed.  Combine with
+``--follow`` on followers; leave ``--follow`` off on the initial
+leader.
+
 ``--workers N`` (N >= 1) serves the multi-process tenant cluster
 instead: a :class:`~repro.service.cluster.WorkerPool` behind a
 :class:`~repro.service.cluster.ClusterServer`.  ``--follow`` and
@@ -30,8 +38,14 @@ import sys
 
 from repro.core.frequent_items import FrequentItemsSketch
 from repro.errors import UsageError
+from repro.service import protocol
 from repro.service.client import ServiceClient
 from repro.service.cluster import ClusterConfig, ClusterServer, WorkerPool
+from repro.service.failover import (
+    EpochStore,
+    FailoverConfig,
+    FailoverCoordinator,
+)
 from repro.service.pipeline import IngestPipeline, PipelineConfig
 from repro.service.replication import FollowerService, ReplicationManager
 from repro.service.server import StreamServer
@@ -56,6 +70,29 @@ def parse_addr(text: str) -> tuple[str, int]:
     return host, port
 
 
+def parse_peers(text: str) -> dict[str, str]:
+    """Split ``id=host:port,id=host:port`` into ``{id: "host:port"}``."""
+    peers: dict[str, str] = {}
+    for entry in text.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        replica_id, sep, addr = entry.partition("=")
+        if not sep or not protocol.valid_replica_id(replica_id):
+            raise argparse.ArgumentTypeError(
+                f"expected id=host:port entries, got {entry!r}"
+            )
+        host, _hsep, port_text = addr.rpartition(":")
+        if not host or not port_text.isdigit():
+            raise argparse.ArgumentTypeError(
+                f"peer {replica_id!r} has a bad address {addr!r}"
+            )
+        peers[replica_id] = addr
+    if not peers:
+        raise argparse.ArgumentTypeError("--peers is empty")
+    return peers
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service",
@@ -71,6 +108,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--promote", action="store_true",
         help="admin one-shot: promote the follower at --host/--port, "
         "print its promotion sequence, and exit",
+    )
+    parser.add_argument(
+        "--replica-id", default=None, metavar="ID",
+        help="this node's id in the replica set (required with --peers)",
+    )
+    parser.add_argument(
+        "--peers", type=parse_peers, default=None,
+        metavar="ID=HOST:PORT,...",
+        help="the other replicas, by id; arms automatic failover",
+    )
+    parser.add_argument(
+        "--miss-window", type=float, default=2.0,
+        help="seconds of leader silence before followers call an "
+        "election (failover detection latency)",
+    )
+    parser.add_argument(
+        "--election-timeout", type=float, default=2.0,
+        help="per-round vote collection budget (seconds)",
+    )
+    parser.add_argument(
+        "--no-elect", action="store_true",
+        help="observe and report but never stand for election "
+        "(a DR / observer replica)",
     )
     parser.add_argument("--k", type=int, default=4096, help="counters per sketch")
     parser.add_argument("--backend", choices=sorted(BACKEND_NAMES), default="columnar")
@@ -188,6 +248,21 @@ def check_args(args: argparse.Namespace) -> None:
         )
     if args.workers is not None and args.workers < 1:
         raise UsageError(f"--workers must be at least 1, got {args.workers}")
+    if args.peers is not None:
+        if args.replica_id is None:
+            raise UsageError("--peers requires --replica-id")
+        if not protocol.valid_replica_id(args.replica_id):
+            raise UsageError(f"invalid --replica-id {args.replica_id!r}")
+        if args.replica_id in args.peers:
+            raise UsageError(
+                f"--peers must list the *other* replicas; "
+                f"{args.replica_id!r} is this node"
+            )
+        if args.workers is not None:
+            raise UsageError(
+                "--peers and --workers are mutually exclusive: failover "
+                "replicates a single-process pipeline"
+            )
 
 
 async def run(args: argparse.Namespace) -> int:
@@ -197,20 +272,43 @@ async def run(args: argparse.Namespace) -> int:
         return await run_cluster(args)
     pipeline = build_pipeline(args)
     follower = None
-    if args.follow is not None:
+    if args.follow is not None and args.peers is None:
+        # With failover armed the coordinator owns the follower
+        # subscription (it retargets on leadership changes).
         leader_host, leader_port = args.follow
         follower = FollowerService(pipeline, leader_host, leader_port)
+    coordinator = None
     async with pipeline:
         server = StreamServer(
             pipeline, host=args.host, port=args.port, follower=follower
         )
         async with server:
+            if args.peers is not None:
+                coordinator = FailoverCoordinator(
+                    args.replica_id,
+                    pipeline,
+                    self_addr=f"{args.host}:{server.port}",
+                    peers=args.peers,
+                    leader_addr=(
+                        f"{args.follow[0]}:{args.follow[1]}"
+                        if args.follow is not None else None
+                    ),
+                    epoch_store=EpochStore(args.data_dir),
+                    config=FailoverConfig(
+                        heartbeat_miss_window=args.miss_window,
+                        election_timeout=args.election_timeout,
+                    ),
+                    elect=not args.no_elect,
+                )
+                server.coordinator = coordinator
+                await coordinator.start()
             if follower is not None:
                 await follower.start()
             print(
                 f"serving {type(pipeline.sketch).__name__} "
                 f"on {args.host}:{server.port} "
                 f"(role={pipeline.role}, seq={pipeline.applied_seq}, "
+                f"failover={'on' if coordinator is not None else 'off'}, "
                 f"durability={'on' if args.data_dir else 'off'})",
                 flush=True,
             )
@@ -218,6 +316,8 @@ async def run(args: argparse.Namespace) -> int:
                 with contextlib.suppress(asyncio.CancelledError):
                     await asyncio.Event().wait()  # until cancelled (Ctrl-C)
             finally:
+                if coordinator is not None:
+                    await coordinator.stop()
                 if follower is not None:
                     await follower.stop()
     return 0

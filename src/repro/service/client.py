@@ -10,10 +10,15 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import random
 
 import numpy as np
 
-from repro.errors import ServiceClosedError
+from repro.errors import (
+    ReplicationError,
+    ServiceClosedError,
+    ServiceUnavailableError,
+)
 from repro.service import protocol
 
 
@@ -182,9 +187,15 @@ class ServiceClient:
 
     async def promote(self) -> int:
         """Promote the connected follower; returns its sequence at
-        promotion.  Fails with :class:`ServiceError` on a leader."""
+        promotion.  Idempotent: on a node that already leads this is a
+        no-op reporting its applied sequence."""
         reply = self._ok_args(await self._request(b"REPL PROMOTE\n"))
         return int(reply[0])
+
+    async def repl_peers(self) -> dict:
+        """The node's view of the replica set (``REPL PEERS``)."""
+        text = await self._request(b"REPL PEERS\n")
+        return protocol.parse_peers_reply(text[3:])
 
 
 class ClusterClient(ServiceClient):
@@ -285,21 +296,31 @@ class ClusterClient(ServiceClient):
 
 
 class ReconnectingServiceClient:
-    """A :class:`ServiceClient` that survives connection loss.
+    """A :class:`ServiceClient` that survives connection loss *and*
+    leadership changes.
 
-    Wraps the plain client with bounded exponential-backoff reconnects.
-    Queries are idempotent and simply retried.  Update batches travel as
-    ``BINS`` frames — ``BIN`` stamped with a per-client session id and a
-    monotonically increasing frame sequence — so a frame whose ``OK``
-    was lost in a crash can be resubmitted safely: the server's
-    idempotency registry answers ``OK 0`` for an already-applied frame
-    instead of ingesting it twice.  The result is no lost and no
-    duplicated updates across server restarts, as long as the restarted
-    server still holds the pipeline state (same process or recovered
-    durably).
+    Wraps the plain client with bounded, jittered exponential-backoff
+    reconnects.  Queries are idempotent and simply retried.  Update
+    batches travel as ``BINS`` frames — ``BIN`` stamped with a
+    per-client session id and a monotonically increasing frame sequence
+    — so a frame whose ``OK`` was lost in a crash can be resubmitted
+    safely: the server's idempotency registry answers ``OK 0`` for an
+    already-applied frame instead of ingesting it twice.  The stamps are
+    replicated inside fenced frames, so the guarantee holds **across
+    failover**: a follower promoted mid-request recognizes the resend.
 
-    Retries are *bounded*: after ``max_retries`` consecutive failed
-    reconnect attempts the original error re-raises to the caller.
+    Failover handling: the client learns the replica set from ``REPL
+    PEERS`` (seeded by the ``peers`` argument and refreshed whenever it
+    reconnects somewhere new).  A dead connection rotates through known
+    replicas; a node answering "read replica" redirects the client to
+    the leader that node knows.  No configuration beyond one reachable
+    replica is required.
+
+    Retries are bounded twice over: ``max_retries`` consecutive failed
+    attempts re-raise the underlying error, and an optional wall-clock
+    ``deadline`` (seconds per request, across all retries) raises
+    :class:`~repro.errors.ServiceUnavailableError` when no live leader
+    was found in time — the knob latency-sensitive callers set.
     """
 
     def __init__(
@@ -307,9 +328,12 @@ class ReconnectingServiceClient:
         host: str,
         port: int,
         *,
+        peers: list[str] | None = None,
         max_retries: int = 6,
         backoff_initial: float = 0.05,
         backoff_max: float = 1.0,
+        backoff_jitter: float = 0.25,
+        deadline: float | None = None,
         session: str | None = None,
     ) -> None:
         self._host = host
@@ -317,15 +341,34 @@ class ReconnectingServiceClient:
         self._max_retries = max_retries
         self._backoff_initial = backoff_initial
         self._backoff_max = backoff_max
+        self._backoff_jitter = backoff_jitter
+        self._deadline = deadline
         self._session = session if session is not None else os.urandom(8).hex()
         self._frame_seq = 0
         self._client: ServiceClient | None = None
+        # Known replica addresses ("host:port"), current target first.
+        self._peer_addrs: list[str] = [f"{host}:{port}"]
+        for addr in peers or []:
+            if addr not in self._peer_addrs:
+                self._peer_addrs.append(addr)
         self.reconnects = 0
+        self.resubmits = 0
+        self.redirects = 0
 
     @property
     def session(self) -> str:
         """The idempotency session id stamped onto every BINS frame."""
         return self._session
+
+    @property
+    def leader_addr(self) -> str:
+        """The address this client currently believes leads."""
+        return f"{self._host}:{self._port}"
+
+    @property
+    def known_peers(self) -> list[str]:
+        """Every replica address this client has learned."""
+        return list(self._peer_addrs)
 
     async def _ensure(self) -> ServiceClient:
         if self._client is None or self._client._writer.is_closing():
@@ -337,29 +380,135 @@ class ReconnectingServiceClient:
             self._client._writer.close()
             self._client = None
 
-    async def _with_retry(self, payload: bytes) -> str:
-        """Send one request, reconnecting (bounded) on connection loss.
+    def _retarget(self, addr: str) -> None:
+        host, _sep, port_text = addr.rpartition(":")
+        if not host:
+            return
+        try:
+            port = int(port_text)
+        except ValueError:
+            return
+        self._host, self._port = host, port
+        if addr not in self._peer_addrs:
+            self._peer_addrs.append(addr)
+
+    def _learn_peers(self, doc: dict) -> str | None:
+        """Fold one ``REPL PEERS`` reply into the address book; returns
+        the leader address it names, if any."""
+        peers = doc.get("peers")
+        if isinstance(peers, dict):
+            for addr in peers.values():
+                if isinstance(addr, str) and addr not in self._peer_addrs:
+                    self._peer_addrs.append(addr)
+        leader_addr = doc.get("leader_addr")
+        leader_id = doc.get("leader_id")
+        if isinstance(leader_addr, str) and leader_addr:
+            return leader_addr
+        if isinstance(peers, dict) and isinstance(leader_id, str):
+            addr = peers.get(leader_id)
+            if isinstance(addr, str):
+                return addr
+        return None
+
+    async def _redirect_to_leader(self, exclude: str | None = None) -> bool:
+        """Ask every known replica who leads; retarget on an answer.
+
+        Returns True when a leader hint was found (even if it later
+        turns out equally dead — the retry loop handles that).
+        ``exclude`` names an address known *not* to lead (it just
+        refused a write): never fall back to it.
+        """
+        standalone: str | None = None
+        for addr in list(self._peer_addrs):
+            host, _sep, port_text = addr.rpartition(":")
+            probe: ServiceClient | None = None
+            try:
+                probe = await ServiceClient.connect(host, int(port_text))
+                doc = await probe.repl_peers()
+            except (ServiceError, ReplicationError):
+                # The node answered but has no failover plane (or spoke
+                # garbage): possibly a standalone leader.  Keep it as
+                # the fallback, unless we know it refuses writes.
+                if standalone is None and addr != exclude:
+                    standalone = addr
+                continue
+            except (ConnectionError, ServiceClosedError, OSError, ValueError):
+                continue
+            finally:
+                if probe is not None:
+                    probe._writer.close()
+            leader = self._learn_peers(doc)
+            if leader is not None and leader != exclude:
+                self._retarget(leader)
+                self.redirects += 1
+                return True
+        if standalone is not None:
+            self._retarget(standalone)
+            return True
+        return False
+
+    async def _with_retry(self, payload: bytes, *, resubmittable: bool = False) -> str:
+        """Send one request, reconnecting (bounded) on connection loss
+        and following leadership changes.
 
         Safe only for idempotent payloads — queries, and BINS frames
         (their dedup stamp is what makes the resend idempotent).
         """
+        loop = asyncio.get_running_loop()
+        started = loop.time()
         backoff = self._backoff_initial
         failures = 0
+        refusals = 0
+        transmitted = False
         while True:
             try:
                 client = await self._ensure()
-                return await client._request(payload)
+                if transmitted and resubmittable:
+                    self.resubmits += 1
+                try:
+                    transmitted = True
+                    return await client._request(payload)
+                except ServiceError as exc:
+                    if "read replica" not in str(exc):
+                        raise  # a real answer: no retry, nothing was lost
+                    # We wrote to a follower: someone else leads now.
+                    transmitted = False  # the frame was refused, not lost
+                    refusals += 1
+                    if refusals > self._max_retries or (
+                        not await self._redirect_to_leader(
+                            exclude=self.leader_addr
+                        )
+                    ):
+                        raise
+                    await self._drop()
+                    continue
             except ServiceError:
-                raise  # the server answered: no retry, nothing was lost
+                raise
             except (ConnectionError, ServiceClosedError, OSError) as exc:
                 await self._drop()
                 failures += 1
+                give_up: Exception | None = None
                 if failures > self._max_retries:
-                    raise ServiceClosedError(
+                    give_up = ServiceClosedError(
                         f"gave up after {failures - 1} reconnect attempts"
-                    ) from exc
+                    )
+                delay = backoff * (
+                    1.0 + self._backoff_jitter * random.random()
+                )
+                if self._deadline is not None and (
+                    loop.time() + delay - started > self._deadline
+                ):
+                    give_up = ServiceUnavailableError(
+                        f"no live leader within the {self._deadline:g}s "
+                        f"deadline ({failures} attempts)"
+                    )
+                if give_up is not None:
+                    raise give_up from exc
                 self.reconnects += 1
-                await asyncio.sleep(backoff)
+                # The old leader may be gone for good: look for a new one
+                # before burning another attempt on the same address.
+                await self._redirect_to_leader()
+                await asyncio.sleep(delay)
                 backoff = min(backoff * 2.0, self._backoff_max)
 
     async def close(self) -> None:
@@ -398,7 +547,7 @@ class ReconnectingServiceClient:
                 self._session,
                 self._frame_seq,
             )
-            reply = await self._with_retry(payload)
+            reply = await self._with_retry(payload, resubmittable=True)
             parts = reply.split()
             if not parts or parts[0] != "OK":
                 raise ServiceError(f"unexpected response {reply!r}")
@@ -416,3 +565,14 @@ class ReconnectingServiceClient:
 
     async def stats(self) -> dict:
         return json.loads((await self._with_retry(b"STATS\n"))[3:])
+
+    async def repl_status(self) -> dict:
+        return json.loads((await self._with_retry(b"REPL STATUS\n"))[3:])
+
+    async def repl_peers(self) -> dict:
+        """The replica set as the current target knows it (also folds
+        the addresses into this client's own address book)."""
+        text = await self._with_retry(b"REPL PEERS\n")
+        doc = protocol.parse_peers_reply(text[3:])
+        self._learn_peers(doc)
+        return doc

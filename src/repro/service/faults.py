@@ -1,0 +1,324 @@
+"""A pluggable fault-injection plane for the service's chaos tests.
+
+Two families of faults, both injectable from a test without touching the
+code under test:
+
+**Network faults** — :class:`NetworkFaultProxy` is a TCP proxy one
+endpoint dials instead of its real peer.  It forwards bytes verbatim
+until a fault is armed: cut the link after a byte budget lands mid-frame
+(the original ``FlakyProxy`` behaviour, which this class absorbs),
+partition an endpoint entirely (``block``/``unblock``), delay delivery,
+or drop/duplicate whole chunks.  Dropped and duplicated chunks violate
+TCP's in-order-exactly-once contract on purpose: the replication layer
+must treat the resulting CRC failures and desyncs as a dead link and
+resubscribe, never apply a suspect frame.
+
+**Disk faults** — :class:`DiskFaultPlane` sits between
+:class:`~repro.service.snapshot.SnapshotManager` and the filesystem.
+Rules injected per operation (``write``, ``fsync``, ``replace``) raise a
+real ``OSError`` (``ENOSPC`` by default) after optionally writing a torn
+prefix, driving the failure modes a full disk or dying device produces:
+a WAL append that half-lands, an fsync that reports failure, a
+checkpoint rename that never happens.  The durability layer's contract
+under these faults is *no torn-but-accepted record*: a failed write
+poisons the segment and surfaces cleanly; recovery replays exactly the
+acknowledged prefix.
+
+Production code never imports the network half; the disk half is a
+``None`` default argument with zero overhead when absent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import errno
+import math
+import os
+from dataclasses import dataclass, field
+from typing import BinaryIO, Optional
+
+__all__ = ["DiskFaultPlane", "NetworkFaultProxy"]
+
+
+# --------------------------------------------------------------------------
+# Disk faults
+
+
+@dataclass
+class _DiskRule:
+    """One armed disk fault: which op it bites, when, and how."""
+
+    op: str                    # "write" | "fsync" | "replace"
+    path_contains: str         # substring filter on the target path
+    errno_code: int            # errno of the raised OSError
+    torn_bytes: Optional[int]  # write this many bytes before failing
+    skip: int                  # let this many matching calls through first
+    count: float               # how many matching calls to fail (inf = all)
+    fired: int = field(default=0)
+
+
+class DiskFaultPlane:
+    """Injectable write/fsync/replace faults for the durability layer.
+
+    A :class:`~repro.service.snapshot.SnapshotManager` built with
+    ``faults=plane`` routes every filesystem mutation through this
+    object; with no rules armed each call is a plain passthrough.
+
+    >>> plane = DiskFaultPlane()
+    >>> plane.inject("fsync", path_contains=".rwal")   # doctest: +SKIP
+    """
+
+    _OPS = ("write", "fsync", "replace")
+
+    def __init__(self) -> None:
+        self._rules: list[_DiskRule] = []
+        self.fired = 0
+
+    def inject(
+        self,
+        op: str,
+        *,
+        path_contains: str = "",
+        errno_code: int = errno.ENOSPC,
+        torn_bytes: Optional[int] = None,
+        skip: int = 0,
+        count: float = 1,
+    ) -> _DiskRule:
+        """Arm one fault rule and return it (its ``fired`` count is live).
+
+        ``skip`` matching calls pass through first, then ``count``
+        matching calls fail (``math.inf`` keeps the disk broken until
+        :meth:`clear`).  ``torn_bytes`` only applies to ``write`` rules:
+        that prefix of the payload reaches the file before the error —
+        the torn-write case a real ``ENOSPC`` produces.
+        """
+        if op not in self._OPS:
+            raise ValueError(f"unknown disk fault op {op!r}; one of {self._OPS}")
+        if torn_bytes is not None and op != "write":
+            raise ValueError("torn_bytes only applies to write faults")
+        rule = _DiskRule(op, path_contains, errno_code, torn_bytes, skip, count)
+        self._rules.append(rule)
+        return rule
+
+    def clear(self) -> None:
+        """Disarm every rule (the disk works again)."""
+        self._rules.clear()
+
+    def _match(self, op: str, path: str) -> Optional[_DiskRule]:
+        for rule in self._rules:
+            if rule.op != op or rule.path_contains not in path:
+                continue
+            if rule.skip > 0:
+                rule.skip -= 1
+                continue
+            if rule.fired >= rule.count:
+                continue
+            rule.fired += 1
+            self.fired += 1
+            return rule
+        return None
+
+    def _raise(self, rule: _DiskRule, path: str) -> None:
+        raise OSError(rule.errno_code, os.strerror(rule.errno_code), path)
+
+    # -- the three hooked operations ---------------------------------------
+
+    def write(self, fh: BinaryIO, data: bytes, path: str) -> int:
+        """``fh.write(data)``, or a (possibly torn) injected failure."""
+        rule = self._match("write", path)
+        if rule is None:
+            return fh.write(data)
+        if rule.torn_bytes:
+            fh.write(data[: rule.torn_bytes])
+            with contextlib.suppress(OSError):
+                fh.flush()  # land the torn prefix like a real short write
+        self._raise(rule, path)
+        raise AssertionError("unreachable")
+
+    def fsync(self, fh: BinaryIO, path: str) -> None:
+        """``os.fsync(fh.fileno())``, or an injected failure."""
+        rule = self._match("fsync", path)
+        if rule is None:
+            os.fsync(fh.fileno())
+            return
+        self._raise(rule, path)
+
+    def replace(self, src: str, dst: str) -> None:
+        """``os.replace(src, dst)``, or an injected failure."""
+        rule = self._match("replace", dst)
+        if rule is None:
+            os.replace(src, dst)
+            return
+        self._raise(rule, dst)
+
+
+# --------------------------------------------------------------------------
+# Network faults
+
+
+class NetworkFaultProxy:
+    """A TCP proxy with armable link faults (absorbs ``FlakyProxy``).
+
+    One endpoint dials :attr:`port` instead of its real peer; bytes flow
+    verbatim in both directions until a fault is armed:
+
+    - :meth:`cut_after` — forward ``budget`` more downstream
+      (upstream→client) bytes, then tear down the current connection,
+      mid-frame if the budget lands inside one.  New connections pass
+      through again.
+    - :meth:`block` / :meth:`unblock` — a partition: existing
+      connections are torn down and new ones are refused until
+      unblocked.  Blocking every proxy touching a node isolates it.
+    - :attr:`delay` — seconds to hold each downstream chunk before
+      forwarding (link latency).
+    - :meth:`drop_chunks` / :meth:`duplicate_chunks` — silently discard
+      or double the next ``n`` downstream chunks.  Either desyncs the
+      byte stream; the consumer must detect (CRC, framing) and drop the
+      link.
+    """
+
+    def __init__(self, upstream_host: str, upstream_port: int) -> None:
+        self._upstream = (upstream_host, upstream_port)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._budget: Optional[int] = None
+        self._conns: set[asyncio.StreamWriter] = set()
+        self._blocked = False
+        self._drop = 0
+        self._dup = 0
+        self.delay = 0.0
+        self.cuts = 0
+        self.blocked_dials = 0
+
+    async def start(self) -> "NetworkFaultProxy":
+        self._server = await asyncio.start_server(
+            self._handle, "127.0.0.1", 0
+        )
+        return self
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None
+        return self._server.sockets[0].getsockname()[1]
+
+    # -- fault arming -------------------------------------------------------
+
+    def cut_after(self, budget: int) -> None:
+        """Arm a cut: forward ``budget`` more downstream bytes, then drop."""
+        self._budget = budget
+
+    def block(self) -> None:
+        """Partition the link: drop live connections, refuse new ones."""
+        self._blocked = True
+        for writer in list(self._conns):
+            writer.close()
+
+    def unblock(self) -> None:
+        """Heal the partition; new connections pass through again."""
+        self._blocked = False
+
+    @property
+    def blocked(self) -> bool:
+        return self._blocked
+
+    def drop_chunks(self, n: int) -> None:
+        """Silently discard the next ``n`` downstream chunks."""
+        self._drop = n
+
+    def duplicate_chunks(self, n: int) -> None:
+        """Forward the next ``n`` downstream chunks twice."""
+        self._dup = n
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            for writer in list(self._conns):
+                writer.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(self, client_reader, client_writer):
+        if self._blocked:
+            self.blocked_dials += 1
+            client_writer.close()
+            return
+        self._conns.add(client_writer)
+        try:
+            upstream_reader, upstream_writer = await asyncio.open_connection(
+                *self._upstream
+            )
+        except OSError:
+            client_writer.close()
+            self._conns.discard(client_writer)
+            return
+        self._conns.add(upstream_writer)
+        done = asyncio.Event()
+
+        async def pump_down():  # upstream -> client: faults apply here
+            try:
+                while True:
+                    chunk = await upstream_reader.read(4096)
+                    if not chunk:
+                        break
+                    if self._blocked:
+                        break
+                    if self.delay:
+                        await asyncio.sleep(self.delay)
+                    if self._drop > 0:
+                        self._drop -= 1
+                        continue
+                    if self._budget is not None:
+                        if self._budget <= 0:
+                            break
+                        chunk = chunk[: self._budget]
+                        self._budget -= len(chunk)
+                    if self._dup > 0:
+                        self._dup -= 1
+                        client_writer.write(chunk)
+                    client_writer.write(chunk)
+                    await client_writer.drain()
+                    if self._budget is not None and self._budget <= 0:
+                        self._budget = None
+                        self.cuts += 1
+                        break
+            except (ConnectionError, OSError):
+                pass
+            finally:
+                done.set()
+
+        async def pump_up():  # client -> upstream (e.g. follower acks)
+            try:
+                while True:
+                    chunk = await client_reader.read(4096)
+                    if not chunk:
+                        break
+                    if self._blocked:
+                        break
+                    upstream_writer.write(chunk)
+                    await upstream_writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            finally:
+                done.set()
+
+        tasks = [
+            asyncio.ensure_future(pump_down()),
+            asyncio.ensure_future(pump_up()),
+        ]
+        await done.wait()
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            with contextlib.suppress(
+                asyncio.CancelledError, ConnectionError, OSError
+            ):
+                await task
+        for writer in (client_writer, upstream_writer):
+            self._conns.discard(writer)
+            writer.close()
+
+
+# ``count=math.inf`` reads better at call sites than a magic float.
+PERSISTENT = math.inf

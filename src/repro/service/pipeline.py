@@ -47,6 +47,10 @@ from repro.errors import (
 from repro.service.snapshot import SnapshotManager
 from repro.streams.model import as_batch
 
+#: Cap on remembered client resume sessions; oldest are evicted first.
+#: Each entry is ~100 bytes, so the bound is memory safety, not policy.
+MAX_RESUME_SESSIONS = 1024
+
 
 @dataclass
 class PipelineConfig:
@@ -178,7 +182,14 @@ class IngestPipeline:
         self._snapshots = snapshots
         self._replication = replication
         self._replica = replica
+        self._epoch = 0
         self._applied_seq = applied_seq
+        #: ``{session_id: highest applied frame_seq}`` — the BINS dedup
+        #: registry.  It lives on the pipeline (not the server) because
+        #: replicated frames carry the stamps: a promoted follower knows
+        #: every frame the old leader applied, so client resubmits after
+        #: a failover stay exactly-once.
+        self.resume_sessions: dict = {}
         self._last_snapshot_seq = applied_seq
         self._queue: deque = deque()
         self._pending_items = 0
@@ -255,8 +266,38 @@ class IngestPipeline:
         return self._replica
 
     @property
+    def fault(self) -> Optional[BaseException]:
+        """The error that killed the drain task, if it died (else None).
+
+        A faulted pipeline fails every submit; health checks (the
+        failover coordinator's self-fencing, tests) read this instead of
+        provoking a write.
+        """
+        return self._fault
+
+    @property
     def role(self) -> str:
         return "follower" if self._replica else "leader"
+
+    @property
+    def epoch(self) -> int:
+        """The leadership epoch this pipeline last observed.
+
+        Zero until a :class:`~repro.service.failover.FailoverCoordinator`
+        (or an epoch-aware replication handshake) stamps it.  A leader
+        publishes every frame under its epoch; a follower rejects frames
+        from any lower epoch — the fence that keeps a deposed leader's
+        writes out.
+        """
+        return self._epoch
+
+    @epoch.setter
+    def epoch(self, value: int) -> None:
+        if value < 0:
+            raise InvalidParameterError(f"epoch must be >= 0, got {value}")
+        self._epoch = value
+        if self._replication is not None:
+            self._replication.epoch = value
 
     @property
     def replication(self):
@@ -331,14 +372,21 @@ class IngestPipeline:
 
     # -- intake ----------------------------------------------------------------
 
-    async def submit(self, items, weights=None, *, wait_applied: bool = False):
+    async def submit(
+        self, items, weights=None, *, wait_applied: bool = False, stamp=None
+    ):
         """Enqueue one batch of weighted updates.
 
         Validates exactly like ``update_batch`` (a rejected batch is a
         no-op), then awaits until the backlog has room — that await *is*
         the backpressure.  With ``wait_applied=True`` the call returns
         only after the micro-batch containing these updates has been
-        applied (and, when durability is on, WAL-logged).
+        applied (and, when durability is on, WAL-logged).  ``stamp`` is
+        an optional ``(session_id, frame_seq)`` client idempotency stamp
+        (the ``BINS`` path): it is recorded in :attr:`resume_sessions`
+        at apply time and shipped with the replicated frame, so a
+        resubmit of the same frame — to this node or to a promoted
+        follower — is recognized as a duplicate.
         """
         if self._replica:
             raise ReadOnlyReplicaError(
@@ -371,7 +419,7 @@ class IngestPipeline:
         future: Optional[asyncio.Future] = None
         if wait_applied:
             future = asyncio.get_running_loop().create_future()
-        self._queue.append((items, weights, future))
+        self._queue.append((items, weights, future, stamp))
         self._pending_items += n
         if self._pending_items > self._stats.peak_pending_items:
             self._stats.peak_pending_items = self._pending_items
@@ -434,7 +482,7 @@ class IngestPipeline:
             self._stopping = True
             failure = ServiceClosedError(f"pipeline failed: {exc!r}")
             while self._queue:
-                items, _weights, future = self._queue.popleft()
+                items, _weights, future, _stamp = self._queue.popleft()
                 self._pending_items -= items.shape[0]
                 if future is not None and not future.done():
                     future.set_exception(failure)
@@ -499,10 +547,11 @@ class IngestPipeline:
         if not parts:
             return
         if len(parts) == 1:
-            items, weights, _future = parts[0]
+            items, weights, _future, _stamp = parts[0]
         else:
             items = np.concatenate([part[0] for part in parts])
             weights = np.concatenate([part[1] for part in parts])
+        stamps = tuple(part[3] for part in parts if part[3] is not None)
         seq = self._applied_seq + 1
         stats = self._stats
         try:
@@ -515,7 +564,8 @@ class IngestPipeline:
             # handler cannot see them: settle their accounting here.
             self._pending_items -= total
             failure = ServiceClosedError(f"pipeline failed: {exc!r}")
-            for _items, _weights, future in parts:
+            for part in parts:
+                future = part[2]
                 if future is not None and not future.done():
                     future.set_exception(failure)
             raise
@@ -523,16 +573,19 @@ class IngestPipeline:
         self._pending_items -= total
         stats.applied_batches += 1
         stats.applied_items += total
+        for session, frame_seq in stamps:
+            self.note_stamp(session, frame_seq)
         if self._replication is not None:
             # Publish the applied micro-batch with its exact boundaries:
             # followers replay the identical update_batch calls, which is
             # what makes replica state byte-identical to the leader's.
-            self._replication.publish(seq, items, weights)
+            self._replication.publish(seq, items, weights, stamps)
         if size_flush:
             stats.size_flushes += 1
         else:
             stats.time_flushes += 1
-        for _items, _weights, future in parts:
+        for part in parts:
+            future = part[2]
             if future is not None and not future.done():
                 future.set_result(seq)
         assert self._space_event is not None and self._idle_event is not None
@@ -547,7 +600,24 @@ class IngestPipeline:
 
     # -- replication (follower side) -------------------------------------------
 
-    def apply_replica_frame(self, seq: int, items, weights) -> bool:
+    def note_stamp(self, session: str, frame_seq: int) -> None:
+        """Record a ``(session, frame_seq)`` idempotency stamp.
+
+        The registry keeps the highest applied frame sequence per client
+        session, bounded at :data:`MAX_RESUME_SESSIONS` entries with
+        oldest-first eviction.
+        """
+        sessions = self.resume_sessions
+        if session not in sessions and len(sessions) >= MAX_RESUME_SESSIONS:
+            sessions.pop(next(iter(sessions)))
+        if sessions.get(session, -1) < frame_seq:
+            sessions[session] = frame_seq
+
+    def seen_stamp(self, session: str, frame_seq: int) -> bool:
+        """True when this frame (or a later one) was already applied."""
+        return self.resume_sessions.get(session, -1) >= frame_seq
+
+    def apply_replica_frame(self, seq: int, items, weights, stamps=()) -> bool:
         """Apply one replicated micro-batch with the leader's boundaries.
 
         The replica-side twin of :meth:`_apply`: WAL-append first, then
@@ -574,9 +644,11 @@ class IngestPipeline:
         self._applied_seq = seq
         stats.applied_batches += 1
         stats.applied_items += items.shape[0]
+        for session, frame_seq in stamps:
+            self.note_stamp(session, frame_seq)
         if self._replication is not None:
             # Cascaded replication: a follower can feed its own followers.
-            self._replication.publish(seq, items, weights)
+            self._replication.publish(seq, items, weights, stamps)
         if (
             self._snapshots is not None
             and seq - self._last_snapshot_seq
@@ -606,15 +678,46 @@ class IngestPipeline:
             self._last_snapshot_seq = seq
             self._stats.snapshots_written += 1
 
+    def reset_to_snapshot(self, sketch, seq: int) -> None:
+        """Adopt a new leader's checkpoint, rewinding if necessary.
+
+        The fenced-rejoin twin of :meth:`install_snapshot`: a deposed
+        ex-leader demoting into a newer epoch may hold a *diverged*
+        suffix (frames it applied that the new leader never shipped), so
+        the adopted snapshot is allowed to land below ``applied_seq``
+        and the local durability timeline is wiped and re-based on it —
+        old WAL segments could replay the diverged records otherwise.
+        """
+        self._sketch = sketch
+        self._applied_seq = seq
+        if self._snapshots is not None:
+            self._snapshots.reset_timeline(sketch, seq)
+            self._last_snapshot_seq = seq
+            self._stats.snapshots_written += 1
+
     def promote(self) -> int:
         """Lift the read-replica restriction; returns the applied seq.
 
+        Idempotent: promoting a pipeline that already leads is a no-op.
         The caller (normally :class:`~repro.service.replication.
         FollowerService`) is responsible for having stopped the
         replication stream first — a promoted pipeline accepting both
         client writes and leader frames would fork.
         """
         self._replica = False
+        return self._applied_seq
+
+    def demote(self) -> int:
+        """Flip this pipeline back to read-replica mode; returns the seq.
+
+        The fencing half of a leadership change: a deposed leader must
+        stop accepting writes *before* it adopts the new leader's
+        timeline, or a late client write would fork it again.  Queued
+        (not yet applied) submissions still drain — they were accepted
+        while this node led and are about to be discarded anyway when
+        the new timeline is adopted.  Idempotent on a follower.
+        """
+        self._replica = True
         return self._applied_seq
 
     # -- durability ------------------------------------------------------------

@@ -30,11 +30,23 @@ request                    response
 ``QHH <phi>``              ``OK <seq> <n> <item>:<estimate> ...``
 ``STATS``                  ``OK <json>`` — pipeline + sketch counters
 ``SNAPSHOT``               ``OK <seq>`` — force a checkpoint now
-``REPL STATUS``            ``OK <json>`` — role, seq, follower lags
-``REPL PROMOTE``           ``OK <seq>`` — follower only: detach from
-                           the leader and start accepting writes
-``REPL HELLO <seq>``       ``OK <leader_seq>`` — subscribe this
-                           connection as a follower; see below
+``REPL STATUS``            ``OK <json>`` — role, seq, epoch, follower
+                           lags
+``REPL PROMOTE``           ``OK <seq>`` — detach from the leader and
+                           start accepting writes; a no-op (still
+                           ``OK``) when the node already leads
+``REPL HELLO <seq> [e]``   ``OK <leader_seq> <epoch>`` — subscribe this
+                           connection as a follower at epoch ``e``
+                           (default 0); see below
+``REPL PEERS``             ``OK <json>`` — the replica set: epoch,
+                           leader id/address, this node's id and role
+``REPL ELECT <e> <s>       ``OK GRANT <e>`` or ``OK DENY <e> <ldr|->``
+``  <cand>``               — request this node's vote for candidate
+                           ``cand`` at epoch ``e`` with last applied
+                           sequence ``s`` (see ``docs/service.md``)
+``REPL LEADER <e> <id>     ``OK <e>`` — leadership announcement; a
+``  <host:port>``          stale epoch gets ``ERR`` carrying the
+                           current one, fencing the announcer
 ``QUIT``                   ``BYE``, then the connection closes
 =========================  =============================================
 
@@ -84,6 +96,13 @@ byte followed by a tag-specific body:
   (``uint64 seq, uint32 count, uint32 crc`` then the item and weight
   arrays; see ``docs/serialization.md``).  Appending the body verbatim
   to a follower WAL segment is valid by construction.
+- ``b"F"`` — a fenced micro-batch: ``uint64 epoch``, then ``uint16``
+  stamp count followed by that many ``(uint8 len, len ascii bytes,
+  uint64 frame_seq)`` client idempotency stamps, then the RWAL record
+  exactly as in ``W``.  The epoch fences stale leaders (a follower
+  rejects any frame whose epoch is below its own) and the stamps
+  replicate the ``BINS`` dedup registry so client resubmits stay
+  exactly-once across a failover.
 - ``b"S"`` — a ``uint64`` length followed by a complete RSNP snapshot
   blob.  Sent when the follower's next sequence has fallen out of the
   leader's replay window (seq-gap triggered bootstrap/catch-up).
@@ -136,13 +155,42 @@ def valid_tenant_name(name: str) -> bool:
 REPL_FRAME_WAL = b"W"
 REPL_FRAME_SNAPSHOT = b"S"
 REPL_FRAME_HEARTBEAT = b"H"
+REPL_FRAME_FENCED = b"F"
 
 #: Hard cap on one shipped snapshot blob (256 MiB); a flipped length
 #: prefix must never turn into an allocation bomb.
 MAX_SNAPSHOT_BYTES = 1 << 28
 
+#: Hard cap on idempotency stamps carried by one fenced frame.  A
+#: micro-batch coalesces at most a few in-flight client frames; a count
+#: beyond this is a corrupt prefix, not a big batch.
+MAX_FRAME_STAMPS = 256
+
+#: Session ids are client-chosen tokens; same shape as tenant names.
+MAX_SESSION_ID_BYTES = 64
+
 _SNAP_LEN = struct.Struct("<Q")
 _HEARTBEAT = struct.Struct("<Q")
+_EPOCH = struct.Struct("<Q")
+_STAMP_COUNT = struct.Struct("<H")
+_STAMP_SEQ = struct.Struct("<Q")
+
+#: Replica/candidate ids share the tenant-name alphabet: protocol-safe
+#: (single token on a line) and filesystem-safe (they name data dirs).
+_REPLICA_ID_RE = re.compile(TENANT_NAME_PATTERN)
+_SESSION_ID_RE = re.compile(r"^[A-Za-z0-9_.-]{1,64}$")
+
+_UINT64_MAX = (1 << 64) - 1
+
+
+def valid_replica_id(replica_id: str) -> bool:
+    """True when ``replica_id`` may appear in election protocol lines."""
+    return bool(_REPLICA_ID_RE.match(replica_id))
+
+
+def valid_session_id(session: str) -> bool:
+    """True when ``session`` may ride inside a fenced replication frame."""
+    return bool(_SESSION_ID_RE.match(session))
 
 
 def encode_repl_wal_frame(seq: int, items: np.ndarray,
@@ -161,10 +209,42 @@ def encode_repl_heartbeat(seq: int) -> bytes:
     return REPL_FRAME_HEARTBEAT + _HEARTBEAT.pack(seq)
 
 
+def encode_repl_fenced_frame(
+    epoch: int,
+    stamps,
+    seq: int,
+    items: np.ndarray,
+    weights: np.ndarray,
+) -> bytes:
+    """An ``F`` frame: epoch + client idempotency stamps + RWAL record.
+
+    ``stamps`` is a sequence of ``(session_id, frame_seq)`` pairs taken
+    from the ``BINS`` frames coalesced into this micro-batch; followers
+    replay them into their resume-session registry so a client resubmit
+    after failover is recognized as a duplicate.
+    """
+    if len(stamps) > MAX_FRAME_STAMPS:
+        raise ValueError(
+            f"{len(stamps)} stamps on one frame (cap {MAX_FRAME_STAMPS})"
+        )
+    parts = [REPL_FRAME_FENCED, _EPOCH.pack(epoch),
+             _STAMP_COUNT.pack(len(stamps))]
+    for session, frame_seq in stamps:
+        raw = session.encode("ascii")
+        if not raw or len(raw) > MAX_SESSION_ID_BYTES:
+            raise ValueError(f"session id {session!r} outside 1..64 bytes")
+        parts.append(bytes((len(raw),)))
+        parts.append(raw)
+        parts.append(_STAMP_SEQ.pack(frame_seq))
+    parts.append(encode_wal_record(seq, items, weights))
+    return b"".join(parts)
+
+
 async def read_repl_frame(reader: asyncio.StreamReader):
     """Read one replication frame from ``reader``.
 
-    Returns ``("wal", seq, items, weights)``, ``("snapshot", blob)``,
+    Returns ``("wal", seq, items, weights)``, ``("fenced", epoch,
+    stamps, seq, items, weights)``, ``("snapshot", blob)``,
     ``("heartbeat", seq)``, or ``None`` on a clean EOF at a frame
     boundary.  Anything else — an unknown tag, a truncated frame, a
     length prefix beyond the caps, a failed record CRC — raises
@@ -192,6 +272,55 @@ async def read_repl_frame(reader: asyncio.StreamReader):
             except ValueError as exc:  # SerializationError included
                 raise ReplicationError(str(exc)) from exc
             return "wal", seq, items, weights
+        if tag == REPL_FRAME_FENCED:
+            (epoch,) = _EPOCH.unpack(await reader.readexactly(_EPOCH.size))
+            (nstamps,) = _STAMP_COUNT.unpack(
+                await reader.readexactly(_STAMP_COUNT.size)
+            )
+            if nstamps > MAX_FRAME_STAMPS:
+                raise ReplicationError(
+                    f"fenced frame claims {nstamps} stamps "
+                    f"(cap {MAX_FRAME_STAMPS}); corrupt stamp count"
+                )
+            stamps = []
+            for _ in range(nstamps):
+                (slen,) = await reader.readexactly(1)
+                if not 1 <= slen <= MAX_SESSION_ID_BYTES:
+                    raise ReplicationError(
+                        f"fenced frame stamp length {slen} outside "
+                        f"1..{MAX_SESSION_ID_BYTES}"
+                    )
+                raw = await reader.readexactly(slen)
+                try:
+                    session = raw.decode("ascii")
+                except UnicodeDecodeError as exc:
+                    raise ReplicationError(
+                        "fenced frame stamp session id is not ASCII"
+                    ) from exc
+                if not _SESSION_ID_RE.match(session):
+                    raise ReplicationError(
+                        f"fenced frame stamp session id {session!r} "
+                        "outside the session alphabet"
+                    )
+                (frame_seq,) = _STAMP_SEQ.unpack(
+                    await reader.readexactly(_STAMP_SEQ.size)
+                )
+                stamps.append((session, frame_seq))
+            head = await reader.readexactly(WAL_RECORD_HEADER_SIZE)
+            seq, count, stored_crc = parse_wal_record_header(head)
+            if count > MAX_BIN_ITEMS:
+                raise ReplicationError(
+                    f"fenced frame {seq} claims {count} updates "
+                    f"(cap {MAX_BIN_ITEMS}); corrupt length prefix"
+                )
+            payload = await reader.readexactly(16 * count)
+            try:
+                items, weights = decode_wal_payload(
+                    seq, count, stored_crc, payload
+                )
+            except ValueError as exc:  # SerializationError included
+                raise ReplicationError(str(exc)) from exc
+            return "fenced", epoch, tuple(stamps), seq, items, weights
         if tag == REPL_FRAME_SNAPSHOT:
             (length,) = _SNAP_LEN.unpack(
                 await reader.readexactly(_SNAP_LEN.size)
@@ -280,3 +409,121 @@ def parse_batch_args(args: list[str]) -> tuple[np.ndarray, np.ndarray]:
         items[index] = value
         weights[index] = float(weight_text) if weight_text else 1.0
     return items, weights
+
+
+# --------------------------------------------------------------------------
+# Election protocol lines.  These parsers face the network (any peer can
+# send any bytes), so like the binary frame reader they refuse everything
+# malformed with ReplicationError — never ValueError, never an exception
+# that could escape a dispatch loop with a stack trace.
+
+
+def _parse_uint64(text: str, what: str) -> int:
+    if not text.isdigit():
+        raise ReplicationError(f"{what} {text!r} is not a decimal integer")
+    value = int(text)
+    if value > _UINT64_MAX:
+        raise ReplicationError(f"{what} {value} outside the uint64 range")
+    return value
+
+
+def encode_elect_line(epoch: int, last_seq: int, candidate_id: str) -> bytes:
+    """The ``REPL ELECT`` request a candidate sends to each peer."""
+    if not valid_replica_id(candidate_id):
+        raise ValueError(f"invalid candidate id {candidate_id!r}")
+    return f"REPL ELECT {epoch} {last_seq} {candidate_id}\n".encode("ascii")
+
+
+def parse_elect_args(args: list[str]) -> tuple[int, int, str]:
+    """Parse the tokens after ``REPL ELECT`` into (epoch, last_seq, id)."""
+    if len(args) != 3:
+        raise ReplicationError(
+            f"ELECT takes <epoch> <last_seq> <candidate>; got {len(args)} args"
+        )
+    epoch = _parse_uint64(args[0], "election epoch")
+    last_seq = _parse_uint64(args[1], "candidate applied seq")
+    candidate = args[2]
+    if not valid_replica_id(candidate):
+        raise ReplicationError(f"invalid candidate id {candidate!r}")
+    return epoch, last_seq, candidate
+
+
+def encode_vote_reply(granted: bool, epoch: int, leader: str | None) -> str:
+    """The response line body to a ``REPL ELECT`` request (after ``OK``).
+
+    ``OK GRANT <epoch>`` grants the vote; ``OK DENY <epoch> <leader|->``
+    refuses it while teaching the candidate the voter's current epoch
+    and (when known) leader id, so a stale candidate can adopt instead
+    of retrying forever.
+    """
+    if granted:
+        return f"GRANT {epoch}"
+    return f"DENY {epoch} {leader if leader else '-'}"
+
+
+def parse_vote_reply(args: list[str]) -> tuple[bool, int, str | None]:
+    """Parse a vote reply's ``OK`` arguments into (granted, epoch, leader)."""
+    if len(args) == 2 and args[0] == "GRANT":
+        return True, _parse_uint64(args[1], "vote epoch"), None
+    if len(args) == 3 and args[0] == "DENY":
+        epoch = _parse_uint64(args[1], "vote epoch")
+        leader = None if args[2] == "-" else args[2]
+        if leader is not None and not valid_replica_id(leader):
+            raise ReplicationError(f"invalid leader id {leader!r}")
+        return False, epoch, leader
+    raise ReplicationError(f"malformed vote reply {' '.join(args)!r}")
+
+
+def encode_leader_line(epoch: int, leader_id: str, addr: str) -> bytes:
+    """The ``REPL LEADER`` announcement a fresh leader sends to peers."""
+    if not valid_replica_id(leader_id):
+        raise ValueError(f"invalid leader id {leader_id!r}")
+    return f"REPL LEADER {epoch} {leader_id} {addr}\n".encode("ascii")
+
+
+def parse_leader_args(args: list[str]) -> tuple[int, str, str]:
+    """Parse the tokens after ``REPL LEADER`` into (epoch, id, addr)."""
+    if len(args) != 3:
+        raise ReplicationError(
+            f"LEADER takes <epoch> <id> <host:port>; got {len(args)} args"
+        )
+    epoch = _parse_uint64(args[0], "leader epoch")
+    leader_id = args[1]
+    if not valid_replica_id(leader_id):
+        raise ReplicationError(f"invalid leader id {leader_id!r}")
+    addr = args[2]
+    host, sep, port_text = addr.rpartition(":")
+    if not sep or not host or not port_text.isdigit():
+        raise ReplicationError(f"invalid leader address {addr!r}")
+    if not 0 < int(port_text) < 65536:
+        raise ReplicationError(f"leader port {port_text} outside 1..65535")
+    return epoch, leader_id, addr
+
+
+def parse_peers_reply(payload: str) -> dict:
+    """Parse the JSON body of a ``REPL PEERS`` reply, defensively.
+
+    The reply crosses the network, so a malformed body raises
+    :class:`~repro.errors.ReplicationError` rather than whatever
+    ``json`` or a key lookup would throw.
+    """
+    import json
+
+    try:
+        doc = json.loads(payload)
+    except (ValueError, TypeError) as exc:
+        raise ReplicationError(f"malformed PEERS reply: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ReplicationError("PEERS reply is not a JSON object")
+    epoch = doc.get("epoch", 0)
+    if not isinstance(epoch, int) or not 0 <= epoch <= _UINT64_MAX:
+        raise ReplicationError(f"PEERS reply epoch {epoch!r} is invalid")
+    peers = doc.get("peers", {})
+    if not isinstance(peers, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in peers.items()
+    ):
+        raise ReplicationError("PEERS reply peer map is invalid")
+    leader = doc.get("leader_id")
+    if leader is not None and not isinstance(leader, str):
+        raise ReplicationError(f"PEERS reply leader id {leader!r} is invalid")
+    return doc

@@ -48,11 +48,16 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
-from repro.errors import ReplicationError, ServiceClosedError
+from repro.errors import (
+    ReplicationError,
+    ServiceClosedError,
+    ServiceUnavailableError,
+)
 from repro.service import protocol
 from repro.service.pipeline import IngestPipeline
 from repro.service.snapshot import decode_snapshot, encode_snapshot
@@ -77,6 +82,18 @@ class ReplicationConfig:
         ``retry_initial``, capped at ``retry_max``, giving up after
         ``max_retries`` consecutive failed attempts (a successful
         subscription resets the budget).
+    retry_jitter:
+        Random slack multiplied onto every backoff sleep (each delay is
+        scaled by ``1 + retry_jitter * random()``), de-synchronizing the
+        reconnect stampede of many followers after a leader crash.
+    retry_deadline:
+        Overall wall-clock budget, in seconds, for regaining a
+        subscription.  ``None`` (the default) keeps only the per-attempt
+        budget; with a deadline set, a follower that cannot resubscribe
+        in time stops with :class:`~repro.errors.ServiceUnavailableError`
+        as its last error instead of hanging forever against a cluster
+        that is simply gone.  A successful subscription resets the
+        clock.
     """
 
     ring_frames: int = 512
@@ -85,6 +102,8 @@ class ReplicationConfig:
     retry_initial: float = 0.05
     retry_max: float = 2.0
     max_retries: int = 8
+    retry_jitter: float = 0.25
+    retry_deadline: Optional[float] = None
 
 
 class _FollowerHandle:
@@ -116,6 +135,11 @@ class ReplicationManager:
         )
         self._followers: dict[int, _FollowerHandle] = {}
         self._next_handle = 0
+        #: The leadership epoch stamped onto every published frame.  The
+        #: pipeline's epoch setter keeps this in sync; a coordinator
+        #: bumps it on election.  Followers refuse frames below their
+        #: own epoch, which is what fences a deposed leader.
+        self.epoch = 0
         self.frames_published = 0
         self.bytes_published = 0
         self.snapshots_shipped = 0
@@ -160,14 +184,23 @@ class ReplicationManager:
 
     # -- publishing ------------------------------------------------------------
 
-    def publish(self, seq: int, items, weights) -> None:
+    def publish(self, seq: int, items, weights, stamps=()) -> None:
         """Record one applied micro-batch and wake every follower stream.
 
         Called synchronously from the pipeline's apply path, so the ring
         always reflects a between-batches state.  The frame is encoded
-        once and shared by every follower.
+        once and shared by every follower.  Frames go out in the fenced
+        ``F`` format: stamped with this manager's epoch plus any client
+        ``(session, frame_seq)`` idempotency stamps the micro-batch
+        coalesced (capped; overflow stamps are dropped from the frame —
+        they only speed up duplicate detection, correctness comes from
+        the seq-based skip).
         """
-        frame = protocol.encode_repl_wal_frame(seq, items, weights)
+        if len(stamps) > protocol.MAX_FRAME_STAMPS:
+            stamps = tuple(stamps)[-protocol.MAX_FRAME_STAMPS:]
+        frame = protocol.encode_repl_fenced_frame(
+            self.epoch, stamps, seq, items, weights
+        )
         self._ring.append((seq, frame))
         self.frames_published += 1
         self.bytes_published += len(frame)
@@ -182,13 +215,17 @@ class ReplicationManager:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         last_seq: int,
+        hello_epoch: int = 0,
     ) -> None:
         """Serve one subscribed follower until its connection drops.
 
         ``last_seq`` is the follower's last applied sequence from its
-        ``REPL HELLO``.  Frames the ring still holds are replayed from
-        there; anything older triggers a snapshot catch-up.  Runs on the
-        server's connection handler; returning closes the connection.
+        ``REPL HELLO``; ``hello_epoch`` is the epoch it subscribed
+        under.  Frames the ring still holds are replayed from there;
+        anything older — or a follower arriving from a *stale epoch*,
+        whose high sequences may cover diverged records — triggers a
+        snapshot catch-up.  Runs on the server's connection handler;
+        returning closes the connection.
         """
         peername = writer.get_extra_info("peername")
         peer = f"{peername[0]}:{peername[1]}" if peername else "?"
@@ -200,7 +237,16 @@ class ReplicationManager:
             self._read_acks(reader, handle), name="repro-repl-acks"
         )
         try:
-            await self._stream_frames(pipeline, writer, handle, ack_task)
+            await self._stream_frames(
+                pipeline, writer, handle, ack_task,
+                # A stale-epoch follower, or one claiming to be *ahead*
+                # of this leader, may hold a diverged suffix — its
+                # sequence number cannot index our timeline.
+                force_bootstrap=(
+                    hello_epoch < self.epoch
+                    or last_seq > pipeline.applied_seq
+                ),
+            )
         except (ConnectionError, OSError, asyncio.IncompleteReadError):
             pass  # follower vanished; it will reconnect and re-subscribe
         finally:
@@ -211,7 +257,10 @@ class ReplicationManager:
             ):
                 await ack_task
 
-    async def _stream_frames(self, pipeline, writer, handle, ack_task) -> None:
+    async def _stream_frames(
+        self, pipeline, writer, handle, ack_task, *,
+        force_bootstrap: bool = False,
+    ) -> None:
         config = self._config
         next_seq = handle.acked_seq + 1
         # A follower subscribing from sequence 0 has *some* fresh sketch,
@@ -219,8 +268,11 @@ class ReplicationManager:
         # seed, k, backend...).  Replaying WAL frames onto it would
         # silently diverge, so bootstrap always starts from a shipped
         # checkpoint; only an already-synced follower may resume from the
-        # frame ring.
-        bootstrap = handle.acked_seq == 0
+        # frame ring.  A follower from a stale epoch is forced through
+        # the same path: its applied sequence counts records this
+        # timeline may never have shipped (a deposed leader's diverged
+        # suffix), so its number cannot be trusted to index the ring.
+        bootstrap = handle.acked_seq == 0 or force_bootstrap
         while True:
             if ack_task.done():
                 return  # EOF or garbage on the ack channel: drop the link
@@ -325,7 +377,12 @@ class FollowerService:
         replication shares it via ``REPL HELLO``).
     config:
         A :class:`ReplicationConfig`; only the follower-side fields
-        (retry/backoff) are used here.
+        (retry/backoff/jitter/deadline) are used here.
+    on_epoch:
+        Optional callback invoked with the new epoch whenever the leader
+        teaches this follower a higher one (handshake or fenced frame).
+        A :class:`~repro.service.failover.FailoverCoordinator` uses it
+        to persist the observation.
     """
 
     def __init__(
@@ -335,16 +392,25 @@ class FollowerService:
         port: int,
         *,
         config: Optional[ReplicationConfig] = None,
+        on_epoch: Optional[Callable[[int], None]] = None,
+        allow_rewind: bool = False,
     ) -> None:
         self._pipeline = pipeline
         self._host = host
         self._port = port
         self._config = config if config is not None else ReplicationConfig()
+        self._on_epoch = on_epoch
         self._task: Optional[asyncio.Task] = None
         self._stopping = False
         self._connected = False
         self._exhausted = False
+        # True once this follower may adopt a snapshot *below* its own
+        # applied sequence: armed by crossing into a higher epoch, or at
+        # construction by a coordinator demoting a deposed leader (whose
+        # suffix is presumed diverged).
+        self._allow_rewind = allow_rewind
         self._leader_seq: Optional[int] = None
+        self._last_heard: Optional[float] = None
         self._last_error: Optional[BaseException] = None
         self._progress: Optional[asyncio.Event] = None
         self.frames_applied = 0
@@ -377,11 +443,28 @@ class FollowerService:
     def last_error(self) -> Optional[BaseException]:
         return self._last_error
 
+    @property
+    def last_heard(self) -> Optional[float]:
+        """Loop-clock time of the last frame (or handshake) from the
+        leader; ``None`` before the first successful subscription."""
+        return self._last_heard
+
+    def silence(self) -> Optional[float]:
+        """Seconds since the leader was last heard from, or ``None``.
+
+        The failure detector's input: a silence beyond the configured
+        miss window means the leader (or the path to it) is dead.
+        """
+        if self._last_heard is None:
+            return None
+        return asyncio.get_running_loop().time() - self._last_heard
+
     def status(self) -> dict:
         return {
             "leader": f"{self._host}:{self._port}",
             "connected": self._connected,
             "exhausted": self._exhausted,
+            "epoch": self._pipeline.epoch,
             "leader_seq": self._leader_seq,
             "applied_seq": self._pipeline.applied_seq,
             "frames_applied": self.frames_applied,
@@ -456,8 +539,10 @@ class FollowerService:
 
     async def _run(self) -> None:
         config = self._config
+        loop = asyncio.get_running_loop()
         backoff = config.retry_initial
         failures = 0
+        deadline_start = loop.time()
         while not self._stopping:
             writer = None
             try:
@@ -465,9 +550,10 @@ class FollowerService:
                     self._host, self._port, limit=protocol.MAX_LINE_BYTES
                 )
                 await self._subscribe(reader, writer)
-                # A successful subscription resets the retry budget.
+                # A successful subscription resets both retry budgets.
                 failures = 0
                 backoff = config.retry_initial
+                deadline_start = loop.time()
                 await self._consume(reader, writer)
             except asyncio.CancelledError:
                 raise
@@ -489,30 +575,68 @@ class FollowerService:
             if failures > config.max_retries:
                 self._exhausted = True
                 return
+            # Jittered backoff: many followers losing the same leader must
+            # not reconnect in lockstep.
+            delay = backoff * (1.0 + config.retry_jitter * random.random())
+            if (
+                config.retry_deadline is not None
+                and loop.time() + delay - deadline_start > config.retry_deadline
+            ):
+                self._exhausted = True
+                self._last_error = ServiceUnavailableError(
+                    f"no leader reachable at {self._host}:{self._port} within "
+                    f"the {config.retry_deadline:.1f}s retry deadline"
+                )
+                return
             self.reconnects += 1
-            await asyncio.sleep(backoff)
+            await asyncio.sleep(delay)
             backoff = min(backoff * 2.0, config.retry_max)
 
     async def _subscribe(self, reader, writer) -> None:
         writer.write(
-            f"REPL HELLO {self._pipeline.applied_seq}\n".encode("ascii")
+            f"REPL HELLO {self._pipeline.applied_seq} "
+            f"{self._pipeline.epoch}\n".encode("ascii")
         )
         await writer.drain()
         line = await reader.readline()
         parts = line.split()
-        if len(parts) != 2 or parts[0] != b"OK":
+        if len(parts) not in (2, 3) or parts[0] != b"OK":
             raise ReplicationError(
                 f"leader rejected subscription: {line!r}"
             )
-        self._leader_seq = int(parts[1])
+        try:
+            self._leader_seq = int(parts[1])
+            leader_epoch = int(parts[2]) if len(parts) == 3 else 0
+        except ValueError as exc:
+            raise ReplicationError(
+                f"malformed subscription reply: {line!r}"
+            ) from exc
+        self._observe_epoch(leader_epoch)
         self._connected = True
+        self._last_heard = asyncio.get_running_loop().time()
+
+    def _observe_epoch(self, epoch: int) -> None:
+        """Adopt a higher leader epoch; reject would happen elsewhere.
+
+        Crossing into a higher epoch arms exactly one rewind: the next
+        shipped snapshot may land *below* our applied sequence (we might
+        hold a diverged suffix the new leader never shipped) and is
+        allowed to reset the local timeline.
+        """
+        if epoch > self._pipeline.epoch:
+            self._pipeline.epoch = epoch
+            self._allow_rewind = True
+            if self._on_epoch is not None:
+                self._on_epoch(epoch)
 
     async def _consume(self, reader, writer) -> None:
         pipeline = self._pipeline
+        loop = asyncio.get_running_loop()
         while True:
             frame = await protocol.read_repl_frame(reader)
             if frame is None:
                 raise ConnectionResetError("leader closed the stream")
+            self._last_heard = loop.time()
             kind = frame[0]
             if kind == "wal":
                 _kind, seq, items, weights = frame
@@ -521,14 +645,37 @@ class FollowerService:
                 else:
                     self.frames_skipped += 1  # duplicate delivery
                 self._leader_seq = max(self._leader_seq or 0, seq)
+            elif kind == "fenced":
+                _kind, epoch, stamps, seq, items, weights = frame
+                if epoch < pipeline.epoch:
+                    # The fence: a deposed leader (or a frame queued
+                    # before its deposition) must never land.
+                    raise ReplicationError(
+                        f"fenced frame from stale epoch {epoch} "
+                        f"(ours is {pipeline.epoch}); dropping the link"
+                    )
+                self._observe_epoch(epoch)
+                if pipeline.apply_replica_frame(seq, items, weights, stamps):
+                    self.frames_applied += 1
+                else:
+                    self.frames_skipped += 1  # duplicate delivery
+                self._leader_seq = max(self._leader_seq or 0, seq)
             elif kind == "snapshot":
                 sketch, seq = decode_snapshot(frame[1])
-                # >=, not >: a bootstrap snapshot at the follower's own
-                # sequence still replaces its (arbitrary) fresh sketch
-                # with the leader's canonical state.
-                if seq >= pipeline.applied_seq:
+                if seq < pipeline.applied_seq and self._allow_rewind:
+                    # Fenced rejoin: we crossed into a higher epoch, so
+                    # our high sequences may be a diverged suffix.  Adopt
+                    # the new leader's checkpoint and re-base the local
+                    # durability timeline on it.
+                    pipeline.reset_to_snapshot(sketch, seq)
+                    self.snapshots_installed += 1
+                elif seq >= pipeline.applied_seq:
+                    # >=, not >: a bootstrap snapshot at the follower's
+                    # own sequence still replaces its (arbitrary) fresh
+                    # sketch with the leader's canonical state.
                     pipeline.install_snapshot(sketch, seq)
                     self.snapshots_installed += 1
+                self._allow_rewind = False
                 self._leader_seq = max(self._leader_seq or 0, seq)
             else:  # heartbeat
                 self._leader_seq = frame[1]

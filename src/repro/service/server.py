@@ -19,10 +19,7 @@ from typing import Optional
 from repro.errors import ReproError
 from repro.service import protocol
 from repro.service.pipeline import IngestPipeline
-
-#: How many client resume sessions (``BINS`` idempotency keys) a server
-#: remembers; oldest-inserted entries are evicted beyond this.
-MAX_RESUME_SESSIONS = 1024
+from repro.service.pipeline import MAX_RESUME_SESSIONS  # noqa: F401  (re-export)
 
 
 class StreamServer:
@@ -43,11 +40,16 @@ class StreamServer:
         An optional :class:`~repro.service.replication.FollowerService`
         when this server fronts a read replica; enables ``REPL
         PROMOTE`` and enriches ``REPL STATUS``.
+    coordinator:
+        An optional :class:`~repro.service.failover.FailoverCoordinator`;
+        with one attached the server routes ``REPL ELECT`` / ``REPL
+        LEADER`` / ``REPL PEERS`` to it and ``REPL PROMOTE`` becomes an
+        epoch-bumping operator override.
     """
 
     def __init__(
         self, pipeline: IngestPipeline, host: str = "127.0.0.1", port: int = 0,
-        *, replication=None, follower=None,
+        *, replication=None, follower=None, coordinator=None,
     ) -> None:
         self._pipeline = pipeline
         self._host = host
@@ -58,13 +60,9 @@ class StreamServer:
             replication if replication is not None else pipeline.replication
         )
         self._follower = follower
+        self._coordinator = coordinator
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: set[asyncio.StreamWriter] = set()
-        # Idempotency registry for BINS frames, keyed by client session
-        # id.  Lives on the pipeline so a server restart over the same
-        # pipeline still recognizes a reconnecting client's resends.
-        if not hasattr(pipeline, "resume_sessions"):
-            pipeline.resume_sessions = {}  # type: ignore[attr-defined]
 
     @property
     def pipeline(self) -> IngestPipeline:
@@ -76,7 +74,22 @@ class StreamServer:
 
     @property
     def follower(self):
+        # The coordinator owns (and retargets) its follower; prefer its
+        # live one over whatever was passed at construction.
+        if self._coordinator is not None and self._coordinator.follower is not None:
+            return self._coordinator.follower
         return self._follower
+
+    @property
+    def coordinator(self):
+        return self._coordinator
+
+    @coordinator.setter
+    def coordinator(self, value) -> None:
+        # Settable after start(): a coordinator needs the bound port
+        # (self_addr) before it can be built, which a port-0 server only
+        # knows once it is listening.
+        self._coordinator = value
 
     @property
     def port(self) -> int:
@@ -232,6 +245,14 @@ class StreamServer:
                         True,
                     )
                 session = args[1]
+                if not protocol.valid_session_id(session):
+                    # Stamps ride inside replication frames; an id the
+                    # frame codec would reject must never reach submit.
+                    return (
+                        b"ERR BINS session id must match "
+                        b"[A-Za-z0-9_.-]{1,64}; closing\n",
+                        True,
+                    )
                 try:
                     frame_seq = int(args[2])
                 except ValueError:
@@ -240,21 +261,22 @@ class StreamServer:
                         True,
                     )
                 payload = await reader.readexactly(16 * count)
-                sessions = pipeline.resume_sessions
-                if sessions.get(session, -1) >= frame_seq:
+                if pipeline.seen_stamp(session, frame_seq):
                     # Duplicate resend of an already-applied frame: the
                     # payload is consumed, nothing is ingested.
                     return b"OK 0\n", False
                 try:
                     items, weights = protocol.decode_bin_payload(payload, count)
-                    await pipeline.submit(items, weights)
+                    # wait_applied: the OK must mean the stamp is in the
+                    # registry and the frame has been offered to
+                    # replication — a client resubmitting after failover
+                    # relies on the promoted follower remembering it.
+                    await pipeline.submit(
+                        items, weights, wait_applied=True,
+                        stamp=(session, frame_seq),
+                    )
                 except (ReproError, ValueError, OverflowError) as exc:
                     return f"ERR {exc}\n".encode("ascii", "replace"), False
-                if session not in sessions and (
-                    len(sessions) >= MAX_RESUME_SESSIONS
-                ):
-                    sessions.pop(next(iter(sessions)))
-                sessions[session] = frame_seq
                 return f"OK {count}\n".encode("ascii"), False
             if command == "EST":
                 if len(args) != 1:
@@ -331,27 +353,69 @@ class StreamServer:
             return f"ERR {exc}\n".encode("ascii", errors="replace"), False
 
     async def _dispatch_repl(self, args: list[str]) -> tuple[bytes, bool]:
-        """``REPL STATUS`` / ``REPL PROMOTE`` (``REPL HELLO`` is handled
-        in :meth:`_handle` — it takes the connection over)."""
+        """``REPL STATUS/PROMOTE/ELECT/LEADER/PEERS`` (``REPL HELLO`` is
+        handled in :meth:`_handle` — it takes the connection over)."""
         pipeline = self._pipeline
+        coordinator = self._coordinator
         sub = args[0].upper() if args else ""
         if sub == "STATUS":
             payload = {
                 "role": pipeline.role,
                 "applied_seq": pipeline.applied_seq,
+                "epoch": pipeline.epoch,
             }
             if self._replication is not None:
                 payload["replication"] = self._replication.status()
-            if self._follower is not None:
-                payload["follower"] = self._follower.status()
+            if self.follower is not None:
+                payload["follower"] = self.follower.status()
+            if coordinator is not None:
+                payload["failover"] = coordinator.status()
             return f"OK {json.dumps(payload)}\n".encode("ascii"), False
         if sub == "PROMOTE":
-            if self._follower is None or not pipeline.is_replica:
+            # Idempotent: promoting the current leader is a no-op that
+            # reports its applied sequence — operator scripts and retried
+            # requests must not fail because a prior attempt landed.
+            if not pipeline.is_replica:
+                return f"OK {pipeline.applied_seq}\n".encode("ascii"), False
+            if coordinator is not None:
+                seq = await coordinator.force_promote()
+                return f"OK {seq}\n".encode("ascii"), False
+            if self.follower is None:
                 return b"ERR this node is not a follower\n", False
-            seq = await self._follower.promote()
+            seq = await self.follower.promote()
             return f"OK {seq}\n".encode("ascii"), False
+        if sub == "ELECT":
+            if coordinator is None:
+                return b"ERR failover is not enabled on this node\n", False
+            epoch, last_seq, candidate = protocol.parse_elect_args(args[1:])
+            granted, our_epoch, leader = coordinator.handle_vote_request(
+                epoch, last_seq, candidate
+            )
+            body = protocol.encode_vote_reply(granted, our_epoch, leader)
+            return f"OK {body}\n".encode("ascii"), False
+        if sub == "LEADER":
+            if coordinator is None:
+                return b"ERR failover is not enabled on this node\n", False
+            epoch, leader_id, addr = protocol.parse_leader_args(args[1:])
+            accepted, our_epoch = await coordinator.handle_leader_announcement(
+                epoch, leader_id, addr
+            )
+            if accepted:
+                return f"OK {our_epoch}\n".encode("ascii"), False
+            return (
+                f"ERR stale leader announcement; epoch is {our_epoch}\n"
+                .encode("ascii"),
+                False,
+            )
+        if sub == "PEERS":
+            if coordinator is None:
+                return b"ERR failover is not enabled on this node\n", False
+            payload = coordinator.peers_payload()
+            return f"OK {json.dumps(payload)}\n".encode("ascii"), False
         return (
-            b"ERR usage: REPL STATUS | REPL PROMOTE | REPL HELLO <seq>\n",
+            b"ERR usage: REPL STATUS | REPL PROMOTE | REPL PEERS | "
+            b"REPL ELECT <epoch> <last_seq> <id> | "
+            b"REPL LEADER <epoch> <id> <addr> | REPL HELLO <seq> [epoch]\n",
             False,
         )
 
@@ -367,13 +431,19 @@ class StreamServer:
             return
         parts = line.split()
         try:
-            last_seq = int(parts[2]) if len(parts) == 3 else -1
+            last_seq = int(parts[2]) if len(parts) in (3, 4) else -1
+            hello_epoch = int(parts[3]) if len(parts) == 4 else 0
         except ValueError:
-            last_seq = -1
-        if last_seq < 0:
-            writer.write(b"ERR usage: REPL HELLO <last_applied_seq>\n")
+            last_seq = hello_epoch = -1
+        if last_seq < 0 or hello_epoch < 0:
+            writer.write(b"ERR usage: REPL HELLO <last_applied_seq> [epoch]\n")
             await writer.drain()
             return
-        writer.write(f"OK {self._pipeline.applied_seq}\n".encode("ascii"))
+        writer.write(
+            f"OK {self._pipeline.applied_seq} {self._pipeline.epoch}\n"
+            .encode("ascii")
+        )
         await writer.drain()
-        await self._replication.stream(self._pipeline, reader, writer, last_seq)
+        await self._replication.stream(
+            self._pipeline, reader, writer, last_seq, hello_epoch=hello_epoch
+        )

@@ -53,6 +53,8 @@ All decode errors raise :class:`~repro.errors.SerializationError` (a
 
 from __future__ import annotations
 
+import contextlib
+import logging
 import os
 import re
 import struct
@@ -80,6 +82,8 @@ _WAL_RECORD = struct.Struct("<QII")
 
 _SNAP_NAME = re.compile(r"^snapshot\.(\d{20})\.rsnap$")
 _WAL_NAME = re.compile(r"^wal\.(\d{20})\.rwal$")
+
+logger = logging.getLogger(__name__)
 
 #: Size of one record header: ``uint64 seq, uint32 count, uint32 crc``.
 WAL_RECORD_HEADER_SIZE = _WAL_RECORD.size
@@ -225,10 +229,16 @@ class SnapshotManager:
         before the atomic rename.  Default false: appends are flushed to
         the OS, which survives process crashes — the failure mode the
         recovery tests simulate.
+    faults : DiskFaultPlane, optional
+        Fault-injection hooks (:mod:`repro.service.faults`) routing
+        every write/fsync/replace through an errorable layer.  ``None``
+        (the default) is a zero-overhead passthrough; only the chaos
+        tests arm it.
     """
 
     def __init__(
-        self, directory: str, *, keep_snapshots: int = 2, fsync: bool = False
+        self, directory: str, *, keep_snapshots: int = 2, fsync: bool = False,
+        faults=None,
     ) -> None:
         if keep_snapshots < 1:
             raise InvalidParameterError(
@@ -238,8 +248,31 @@ class SnapshotManager:
         os.makedirs(self._dir, exist_ok=True)
         self._keep = keep_snapshots
         self._fsync = fsync
+        self._faults = faults
         self._wal: Optional[BinaryIO] = None
         self._wal_base: Optional[int] = None
+        self._wal_path: Optional[str] = None
+        self._wal_poisoned = False
+
+    # -- fault-plane passthroughs ----------------------------------------------
+
+    def _write(self, fh: BinaryIO, data: bytes, path: str) -> None:
+        if self._faults is not None:
+            self._faults.write(fh, data, path)
+        else:
+            fh.write(data)
+
+    def _sync(self, fh: BinaryIO, path: str) -> None:
+        if self._faults is not None:
+            self._faults.fsync(fh, path)
+        else:
+            os.fsync(fh.fileno())
+
+    def _replace(self, src: str, dst: str) -> None:
+        if self._faults is not None:
+            self._faults.replace(src, dst)
+        else:
+            os.replace(src, dst)
 
     # -- introspection ---------------------------------------------------------
 
@@ -272,18 +305,25 @@ class SnapshotManager:
 
         The blob is written to a temporary sibling, synced, and renamed
         into place — a crash leaves either the old snapshot set or the
-        new one, never a partial file.  The WAL is then rotated onto a
-        fresh segment based at ``seq`` and stale files are pruned.
-        Returns the published path.
+        new one, never a partial file.  A *failed* write (``ENOSPC``,
+        fsync error) removes the temporary and re-raises with the
+        previous snapshot set fully intact.  The WAL is then rotated
+        onto a fresh segment based at ``seq`` and stale files are
+        pruned.  Returns the published path.
         """
         blob = encode_snapshot(sketch, seq)
         final = os.path.join(self._dir, f"snapshot.{seq:020d}.rsnap")
         tmp = final + ".tmp"
-        with open(tmp, "wb") as fh:
-            fh.write(blob)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, final)
+        try:
+            with open(tmp, "wb") as fh:
+                self._write(fh, blob, tmp)
+                fh.flush()
+                self._sync(fh, tmp)
+            self._replace(tmp, final)
+        except OSError:
+            with contextlib.suppress(OSError):
+                os.remove(tmp)
+            raise
         self._rotate_wal(seq)
         self._prune()
         return final
@@ -301,6 +341,8 @@ class SnapshotManager:
         self._wal.write(_WAL_HEADER.pack(WAL_MAGIC, WAL_VERSION, base_seq))
         self._wal.flush()
         self._wal_base = base_seq
+        self._wal_path = path
+        self._wal_poisoned = False
 
     def _prune(self) -> None:
         snapshots = self._listing(_SNAP_NAME)
@@ -323,16 +365,34 @@ class SnapshotManager:
 
         Must be called *before* the batch is applied to the sketch —
         that ordering is what makes every applied batch recoverable.
+
+        A failed append (``ENOSPC``, fsync failure) may leave a torn
+        record at the segment tail, which recovery discards by CRC — but
+        a *later* successful append after that tail would hide itself
+        and every subsequent record from replay.  So a failed append
+        **poisons** the segment: the error propagates (the pipeline
+        fails fast; the batch was never applied) and every further
+        append raises until a checkpoint rotates onto a fresh segment.
+        No record is ever torn *and* accepted.
         """
         if self._wal is None:
             raise SerializationError(
                 "no WAL segment open; write_snapshot establishes one"
             )
+        if self._wal_poisoned:
+            raise SerializationError(
+                f"WAL segment {self._wal_path!r} poisoned by an earlier "
+                "failed append; a checkpoint must rotate onto a fresh segment"
+            )
         record = encode_wal_record(seq, items, weights)
-        self._wal.write(record)
-        self._wal.flush()
-        if self._fsync:
-            os.fsync(self._wal.fileno())
+        try:
+            self._write(self._wal, record, self._wal_path or "")
+            self._wal.flush()
+            if self._fsync:
+                self._sync(self._wal, self._wal_path or "")
+        except OSError:
+            self._wal_poisoned = True
+            raise
         return len(record)
 
     @staticmethod
@@ -374,8 +434,10 @@ class SnapshotManager:
     def recover(self):
         """Rebuild ``(sketch, seq)`` from the newest usable checkpoint.
 
-        Snapshots are tried newest-first (a torn newer snapshot falls
-        back to the previous one); the WAL segments are then replayed
+        Snapshots are tried newest-first; a corrupt newer snapshot is
+        **quarantined** — renamed to ``<name>.corrupt`` with a logged
+        warning so an operator can inspect it — before falling back to
+        the previous one.  The WAL segments are then replayed
         through the same ``update_batch`` engine with the same batch
         boundaries the live pipeline used, which lands — PRNG state
         included — exactly where an uninterrupted run would be.  Returns
@@ -387,9 +449,21 @@ class SnapshotManager:
         for seq, path in reversed(snapshots):
             try:
                 with open(path, "rb") as fh:
-                    sketch, snap_seq = decode_snapshot(fh.read())
+                    blob = fh.read()
+            except OSError:
+                continue  # unreadable file: nothing to quarantine
+            try:
+                sketch, snap_seq = decode_snapshot(blob)
                 break
-            except (SerializationError, OSError):
+            except SerializationError as exc:
+                quarantine = path + ".corrupt"
+                with contextlib.suppress(OSError):
+                    os.replace(path, quarantine)
+                logger.warning(
+                    "quarantined corrupt snapshot %s -> %s (%s); "
+                    "falling back to the previous checkpoint",
+                    path, quarantine, exc,
+                )
                 continue
         if sketch is None:
             return None
@@ -406,6 +480,29 @@ class SnapshotManager:
                 next_seq += 1
         return sketch, next_seq - 1
 
+    # -- timeline reset --------------------------------------------------------
+
+    def reset_timeline(self, sketch, seq: int) -> str:
+        """Discard every on-disk artifact and re-base at ``(sketch, seq)``.
+
+        Used when a fenced ex-leader adopts a new leader's timeline: its
+        own WAL may hold a diverged suffix (records the new leader never
+        shipped), and recovery replays *all* segments after the newest
+        snapshot — so nothing old can be trusted.  Everything is
+        removed, then a fresh snapshot of the adopted state is
+        published, establishing a clean WAL segment.  Returns the new
+        snapshot path.
+        """
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+            self._wal_base = None
+            self._wal_path = None
+        for _seq, path in self._listing(_SNAP_NAME) + self._listing(_WAL_NAME):
+            with contextlib.suppress(OSError):
+                os.remove(path)
+        return self.write_snapshot(sketch, seq)
+
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
@@ -414,6 +511,7 @@ class SnapshotManager:
             self._wal.close()
             self._wal = None
             self._wal_base = None
+            self._wal_path = None
 
     def __enter__(self) -> "SnapshotManager":
         return self

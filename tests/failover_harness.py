@@ -1,0 +1,338 @@
+"""Three-node automatic-failover harness with a per-link fault plane.
+
+Extends :mod:`replication_harness` from one leader/one follower to a
+full replica set running the PR's failover plane: every node is a real
+pipeline + TCP server + :class:`~repro.service.failover.
+FailoverCoordinator`, with its election state persisted to its own
+directory and its disk traffic routed through a per-node
+:class:`~repro.service.faults.DiskFaultPlane`.
+
+**Every inter-node link goes through its own**
+:class:`~repro.service.faults.NetworkFaultProxy`: node ``a`` dials node
+``b`` at ``a``'s private proxy for ``b``, never at ``b``'s real port.
+That is what makes partitions airtight — ``REPL LEADER`` announcements
+carry the winner's *real* address, but
+``handle_leader_announcement`` resolves the leader through the local
+peer map, so a blocked node cannot learn a bypass route from an
+announcement that slipped through before the cut.
+
+Determinism is inherited from :data:`replication_harness.CLUSTER_CFG`:
+one submission per micro-batch, so every replica replays identical
+``update_batch`` calls and byte-identity (serialized sketch plus
+xoroshiro state words) against a plain reference loop is a meaningful
+assertion after any failover.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Optional
+
+from repro import IngestPipeline, SnapshotManager, StreamServer
+from repro.service.failover import (
+    EpochStore,
+    FailoverConfig,
+    FailoverCoordinator,
+)
+from repro.service.faults import DiskFaultPlane, NetworkFaultProxy
+from repro.service.replication import ReplicationManager
+
+from replication_harness import (  # noqa: F401  (re-exported for tests)
+    CLUSTER_CFG,
+    FAST_REPL,
+    SKETCH_MAKERS,
+    make_feed,
+    reference_state,
+    rng_states,
+)
+
+#: Sub-second failure detection so a full chaos scenario runs in a few
+#: seconds.  The miss window is five heartbeat intervals of FAST_REPL —
+#: the same ratio the production defaults keep (2.0 s over 0.5 s beats).
+FAST_FAILOVER = FailoverConfig(
+    heartbeat_miss_window=0.5,
+    check_interval=0.05,
+    election_timeout=2.0,
+    election_backoff=0.15,
+    rpc_timeout=0.4,
+    peer_poll_interval=0.2,
+    jitter=0.5,
+)
+
+
+class FailoverNode:
+    """One replica: pipeline, server, coordinator, and its fault hooks.
+
+    ``proxies[peer_id]`` is the :class:`NetworkFaultProxy` *this* node
+    dials to reach ``peer_id``; ``disk`` is the node's
+    :class:`DiskFaultPlane`, threaded into its snapshot manager.
+    """
+
+    def __init__(self, node_id: str, directory: str) -> None:
+        self.node_id = node_id
+        self.directory = directory
+        self.disk = DiskFaultPlane()
+        self.proxies: dict[str, NetworkFaultProxy] = {}
+        self.pipeline: Optional[IngestPipeline] = None
+        self.server: Optional[StreamServer] = None
+        self.coordinator: Optional[FailoverCoordinator] = None
+        self.port: Optional[int] = None  # stable across restarts
+
+    @property
+    def alive(self) -> bool:
+        return self.pipeline is not None
+
+    @property
+    def is_leader(self) -> bool:
+        return self.alive and not self.pipeline.is_replica
+
+    def state(self):
+        """(serialized bytes, PRNG state words) — the byte-identity probe."""
+        sketch = self.pipeline.sketch
+        return sketch.to_bytes(), rng_states(sketch)
+
+
+class FailoverCluster:
+    """A replica set with automatic failover and per-link fault proxies.
+
+    Parameters
+    ----------
+    make_sketch:
+        Zero-argument sketch factory (see ``SKETCH_MAKERS``).
+    tmp_path:
+        Parent directory; each node gets its own subdirectory for
+        snapshots, WAL, and ``election.json``.
+    num_nodes:
+        Replica-set size; ``n0`` starts as the leader.  Three nodes give
+        quorum 2, so any single failure is survivable and any isolated
+        minority of one cannot elect.
+    """
+
+    def __init__(
+        self,
+        make_sketch,
+        tmp_path,
+        *,
+        num_nodes: int = 3,
+        failover_config: FailoverConfig = FAST_FAILOVER,
+        repl_config=FAST_REPL,
+        config=CLUSTER_CFG,
+    ) -> None:
+        self._make_sketch = make_sketch
+        self._config = config
+        self._repl_config = repl_config
+        self._failover_config = failover_config
+        self.node_ids = [f"n{i}" for i in range(num_nodes)]
+        self.nodes = {
+            node_id: FailoverNode(node_id, str(tmp_path / node_id))
+            for node_id in self.node_ids
+        }
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> "FailoverCluster":
+        """Boot the whole set: servers first (ports), then the proxy
+        mesh, then the coordinators (which need proxied peer maps)."""
+        for node_id in self.node_ids:
+            await self._start_node(node_id, replica=(node_id != "n0"))
+        for node in self.nodes.values():
+            for peer_id in self.node_ids:
+                if peer_id == node.node_id:
+                    continue
+                proxy = NetworkFaultProxy(
+                    "127.0.0.1", self.nodes[peer_id].port
+                )
+                node.proxies[peer_id] = await proxy.start()
+        for node_id in self.node_ids:
+            await self._start_coordinator(
+                node_id, leader_id=None if node_id == "n0" else "n0"
+            )
+        return self
+
+    async def _start_node(self, node_id: str, *, replica: bool) -> None:
+        node = self.nodes[node_id]
+        manager = SnapshotManager(node.directory, faults=node.disk)
+        if manager.latest_snapshot_seq() is not None:
+            node.pipeline = IngestPipeline.recover(
+                manager, config=self._config,
+                replication=ReplicationManager(self._repl_config),
+                replica=replica,
+            )
+        else:
+            node.pipeline = IngestPipeline(
+                self._make_sketch(), config=self._config, snapshots=manager,
+                replication=ReplicationManager(self._repl_config),
+                replica=replica,
+            )
+        await node.pipeline.start()
+        node.server = StreamServer(node.pipeline, port=node.port or 0)
+        await node.server.start()
+        node.port = node.server.port
+
+    async def _start_coordinator(
+        self, node_id: str, *, leader_id: Optional[str]
+    ) -> None:
+        node = self.nodes[node_id]
+        peer_map = {
+            peer_id: f"127.0.0.1:{proxy.port}"
+            for peer_id, proxy in node.proxies.items()
+        }
+        node.coordinator = FailoverCoordinator(
+            node_id,
+            node.pipeline,
+            self_addr=f"127.0.0.1:{node.port}",
+            peers=peer_map,
+            leader_id=leader_id,
+            leader_addr=peer_map.get(leader_id) if leader_id else None,
+            epoch_store=EpochStore(node.directory),
+            repl_config=self._repl_config,
+            config=self._failover_config,
+        )
+        node.server.coordinator = node.coordinator
+        await node.coordinator.start()
+
+    async def kill(self, node_id: str) -> None:
+        """Crash-equivalent: no final checkpoint, no goodbye to peers.
+        The node's proxies stay up — they model the *network*, which
+        does not die with a process."""
+        node = self.nodes[node_id]
+        if node.coordinator is not None:
+            await node.coordinator.stop()
+            node.coordinator = None
+        if node.server is not None:
+            await node.server.stop()
+            node.server = None
+        if node.pipeline is not None:
+            # A faulted pipeline re-raises its fault from stop() by
+            # design; a crash does not care.
+            with contextlib.suppress(Exception):
+                await node.pipeline.stop(final_snapshot=False)
+            node.pipeline = None
+
+    async def restart(
+        self, node_id: str, *, leader_id: Optional[str] = None
+    ) -> None:
+        """Recover the node from its directory and rejoin as a follower
+        of ``leader_id`` (default: whoever currently leads)."""
+        if leader_id is None:
+            leaders = self.leader_ids()
+            leader_id = leaders[0] if leaders else None
+        await self._start_node(node_id, replica=True)
+        await self._start_coordinator(node_id, leader_id=leader_id)
+
+    async def close(self) -> None:
+        for node in self.nodes.values():
+            if node.coordinator is not None:
+                with contextlib.suppress(Exception):
+                    await node.coordinator.stop()
+            if node.server is not None:
+                with contextlib.suppress(Exception):
+                    await node.server.stop()
+            if node.pipeline is not None:
+                with contextlib.suppress(Exception):
+                    await node.pipeline.stop(final_snapshot=False)
+            for proxy in node.proxies.values():
+                with contextlib.suppress(Exception):
+                    await proxy.stop()
+
+    # -- partitions ------------------------------------------------------------
+
+    def isolate(self, node_id: str) -> None:
+        """Partition ``node_id`` away: block every link that touches it,
+        in both directions (its own dials out and every peer's dials
+        in), tearing down live connections."""
+        for node in self.nodes.values():
+            for peer_id, proxy in node.proxies.items():
+                if node.node_id == node_id or peer_id == node_id:
+                    proxy.block()
+
+    def heal(self, node_id: str) -> None:
+        """Lift the partition around ``node_id``."""
+        for node in self.nodes.values():
+            for peer_id, proxy in node.proxies.items():
+                if node.node_id == node_id or peer_id == node_id:
+                    proxy.unblock()
+
+    # -- driving ---------------------------------------------------------------
+
+    async def feed(self, batches, node_id: Optional[str] = None) -> None:
+        """Submit one batch per micro-batch to ``node_id`` (default: the
+        current leader), awaiting application."""
+        if node_id is None:
+            (node_id,) = self.leader_ids()
+        pipeline = self.nodes[node_id].pipeline
+        for items, weights in batches:
+            await pipeline.submit(items, weights, wait_applied=True)
+
+    def leader_ids(self) -> list[str]:
+        """Live nodes currently accepting writes (healthy cluster: one)."""
+        return [
+            node_id for node_id in self.node_ids
+            if self.nodes[node_id].is_leader
+        ]
+
+    async def wait_for_leader(
+        self, *, exclude=(), timeout: float = 15.0
+    ) -> str:
+        """Await exactly one live leader outside ``exclude``; return it.
+
+        ``exclude`` names nodes whose leadership does not count — a
+        partitioned stale leader is still *alive* and still thinks it
+        leads until it is fenced, so the caller excludes it explicitly
+        (and asserts its demotion separately)."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while loop.time() < deadline:
+            leaders = [lid for lid in self.leader_ids() if lid not in exclude]
+            if len(leaders) == 1:
+                return leaders[0]
+            await asyncio.sleep(0.02)
+        raise TimeoutError(
+            f"no single leader within {timeout}s; leaders={self.leader_ids()}"
+        )
+
+    async def sync(
+        self, node_ids=None, *, seq: Optional[int] = None,
+        timeout: float = 20.0,
+    ) -> None:
+        """Await every live follower reaching ``seq`` (default: the
+        current leader's applied seq).  Pass ``seq`` explicitly when the
+        leader is wounded or gone but its last frames are still in
+        flight to the followers."""
+        leader_id = None
+        if seq is None:
+            (leader_id,) = self.leader_ids()
+            seq = self.nodes[leader_id].pipeline.applied_seq
+        targets = node_ids if node_ids is not None else [
+            node_id for node_id in self.node_ids
+            if node_id != leader_id and self.nodes[node_id].alive
+        ]
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        for node_id in targets:
+            pipeline = self.nodes[node_id].pipeline
+            while pipeline.applied_seq < seq:
+                if loop.time() > deadline:
+                    raise TimeoutError(
+                        f"{node_id} stuck at seq "
+                        f"{pipeline.applied_seq} < {seq}"
+                    )
+                await asyncio.sleep(0.02)
+
+    async def wait_state_equal(
+        self, node_id: str, reference, *, timeout: float = 20.0
+    ) -> None:
+        """Await ``node_id`` converging byte-identically to ``reference``
+        (a ``(bytes, rng_states)`` pair) — the rejoin probe, robust to a
+        diverged node whose applied_seq transiently runs *ahead*."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        node = self.nodes[node_id]
+        while node.state() != reference:
+            if loop.time() > deadline:
+                raise TimeoutError(f"{node_id} never converged")
+            await asyncio.sleep(0.05)
+
+    def state(self, node_id: str):
+        return self.nodes[node_id].state()

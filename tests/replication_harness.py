@@ -23,8 +23,6 @@ assertion, not a flaky one.
 
 from __future__ import annotations
 
-import asyncio
-import contextlib
 from typing import Optional
 
 from repro import (
@@ -33,6 +31,7 @@ from repro import (
     SnapshotManager,
     StreamServer,
 )
+from repro.service.faults import NetworkFaultProxy
 from repro.service.replication import (
     FollowerService,
     ReplicationConfig,
@@ -58,110 +57,10 @@ FAST_REPL = ReplicationConfig(
 )
 
 
-class FlakyProxy:
-    """A TCP proxy that can drop the link mid-byte-stream.
-
-    The follower connects to :attr:`port`; bytes are forwarded verbatim
-    in both directions until :meth:`cut_after` arms a byte budget — the
-    next ``budget`` leader->follower bytes still flow, then both sides
-    of the *current* connection are torn down (mid-frame, if the budget
-    lands inside one).  New connections pass through again, so a
-    reconnecting follower resubscribes through the same proxy.
-    """
-
-    def __init__(self, upstream_host: str, upstream_port: int) -> None:
-        self._upstream = (upstream_host, upstream_port)
-        self._server: Optional[asyncio.base_events.Server] = None
-        self._budget: Optional[int] = None
-        self._conns: set[asyncio.StreamWriter] = set()
-        self.cuts = 0
-
-    async def start(self) -> "FlakyProxy":
-        self._server = await asyncio.start_server(
-            self._handle, "127.0.0.1", 0
-        )
-        return self
-
-    @property
-    def port(self) -> int:
-        assert self._server is not None
-        return self._server.sockets[0].getsockname()[1]
-
-    def cut_after(self, budget: int) -> None:
-        """Arm a cut: forward ``budget`` more downstream bytes, then drop."""
-        self._budget = budget
-
-    async def stop(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            for writer in list(self._conns):
-                writer.close()
-            await self._server.wait_closed()
-            self._server = None
-
-    async def _handle(self, client_reader, client_writer):
-        self._conns.add(client_writer)
-        try:
-            upstream_reader, upstream_writer = await asyncio.open_connection(
-                *self._upstream
-            )
-        except OSError:
-            client_writer.close()
-            self._conns.discard(client_writer)
-            return
-        self._conns.add(upstream_writer)
-        done = asyncio.Event()
-
-        async def pump_down():  # leader -> follower: budget applies here
-            try:
-                while True:
-                    chunk = await upstream_reader.read(4096)
-                    if not chunk:
-                        break
-                    if self._budget is not None:
-                        if self._budget <= 0:
-                            break
-                        chunk = chunk[: self._budget]
-                        self._budget -= len(chunk)
-                    client_writer.write(chunk)
-                    await client_writer.drain()
-                    if self._budget is not None and self._budget <= 0:
-                        self._budget = None
-                        self.cuts += 1
-                        break
-            except (ConnectionError, OSError):
-                pass
-            finally:
-                done.set()
-
-        async def pump_up():  # follower acks -> leader
-            try:
-                while True:
-                    chunk = await client_reader.read(4096)
-                    if not chunk:
-                        break
-                    upstream_writer.write(chunk)
-                    await upstream_writer.drain()
-            except (ConnectionError, OSError):
-                pass
-            finally:
-                done.set()
-
-        tasks = [
-            asyncio.ensure_future(pump_down()),
-            asyncio.ensure_future(pump_up()),
-        ]
-        await done.wait()
-        for task in tasks:
-            task.cancel()
-        for task in tasks:
-            with contextlib.suppress(
-                asyncio.CancelledError, ConnectionError, OSError
-            ):
-                await task
-        for writer in (client_writer, upstream_writer):
-            self._conns.discard(writer)
-            writer.close()
+#: The mid-stream-cut proxy this harness used to define locally; PR 9's
+#: fault plane absorbed it (same ``cut_after`` semantics, plus
+#: partitions, delays, and chunk drop/duplication).
+FlakyProxy = NetworkFaultProxy
 
 
 class ReplicaCluster:

@@ -266,3 +266,90 @@ def test_bounds_stay_valid_under_restarts_with_small_sketch():
             await pipeline.stop(final_snapshot=False)
 
     run(main())
+
+
+# --------------------------------------------------------------------------
+# Retry-loop calibration: jitter and the overall deadline (PR 9)
+
+
+def test_deadline_raises_service_unavailable():
+    """With a wall-clock deadline set, a dead cluster fails the request
+    with ServiceUnavailableError well before the attempt budget — the
+    knob latency-sensitive callers use instead of counting retries."""
+    from repro.errors import ServiceUnavailableError
+
+    async def main():
+        loop = asyncio.get_running_loop()
+        client = fast_client(1, max_retries=10_000, deadline=0.2)
+        started = loop.time()
+        with pytest.raises(ServiceUnavailableError, match="deadline"):
+            await client.ping()
+        elapsed = loop.time() - started
+        assert elapsed < 5.0, "the deadline must cut the retry loop short"
+        assert 0 < client.reconnects < 10_000
+
+    run(main())
+
+
+def test_backoff_jitter_stretches_delays(monkeypatch):
+    """Jitter scales every backoff sleep by ``1 + jitter * random()``.
+    With random() pinned to 1.0 the retry loop's wall clock becomes
+    deterministic, so the jittered run must take measurably longer than
+    the jitter-free one — proving the knob reaches the sleeps."""
+    monkeypatch.setattr("random.random", lambda: 1.0)
+
+    async def elapsed_with(jitter):
+        loop = asyncio.get_running_loop()
+        client = fast_client(
+            1, max_retries=4, backoff_initial=0.02, backoff_max=0.02,
+            backoff_jitter=jitter,
+        )
+        started = loop.time()
+        with pytest.raises(ServiceClosedError, match="gave up after"):
+            await client.ping()
+        return loop.time() - started
+
+    async def main():
+        plain = await elapsed_with(0.0)      # 4 sleeps of 0.02s
+        stretched = await elapsed_with(4.0)  # 4 sleeps of 0.10s
+        assert stretched > plain
+        assert stretched >= 0.3
+
+    run(main())
+
+
+def test_follower_retry_deadline_exhausts_cleanly():
+    """A follower with a retry deadline against a vanished cluster stops
+    with ServiceUnavailableError as its last error — still alive for
+    reads — instead of redialing forever."""
+    from repro.errors import ServiceUnavailableError
+    from repro.service.replication import FollowerService, ReplicationConfig
+
+    async def main():
+        pipeline = IngestPipeline(
+            FrequentItemsSketch(256, backend="columnar", seed=9),
+            config=PipelineConfig(max_batch_items=512, flush_interval=0.002),
+            replica=True,
+        )
+        await pipeline.start()
+        follower = FollowerService(
+            pipeline, "127.0.0.1", 1,
+            config=ReplicationConfig(
+                retry_initial=0.01, retry_max=0.05, max_retries=10_000,
+                retry_deadline=0.2,
+            ),
+        )
+        try:
+            await follower.start()
+            await await_until(
+                lambda: follower.exhausted, message="retry deadline hit"
+            )
+            assert isinstance(follower.last_error, ServiceUnavailableError)
+            assert "retry deadline" in str(follower.last_error)
+            assert 0 < follower.reconnects < 10_000
+            assert pipeline.estimate(1) == 0.0  # reads survive exhaustion
+        finally:
+            await follower.stop()
+            await pipeline.stop(final_snapshot=False)
+
+    run(main())

@@ -230,8 +230,14 @@ def test_promotion_stops_stream_before_lifting_readonly(tmp_path):
                     await client.update(1)  # now writable
                     status = await client.repl_status()
                     assert status["role"] == "leader"
-                    with pytest.raises(ServiceError):
-                        await client.promote()  # no longer a follower
+                    # Promote-of-current-leader is an idempotent no-op
+                    # reporting the applied sequence — a retried operator
+                    # script must not fail because its first try landed.
+                    await cluster.follower_pipe.drain()
+                    assert (
+                        await client.promote()
+                        == cluster.follower_pipe.applied_seq
+                    )
         finally:
             await cluster.close()
 
