@@ -1,0 +1,71 @@
+"""Smoke gate for the fuzzbench-style report harness.
+
+Runs the quick experiment matrix into a throwaway runs directory,
+renders the HTML + markdown report over it, and asserts the acceptance
+bars of the report PR:
+
+* the persisted run document carries full provenance (git hash, UTC
+  timestamp, host, native runtime metadata) and **round-trips through
+  the results loader** — ``validate_provenance`` must come back empty
+  on the reloaded document, not just the in-memory one;
+* the rendered report contains the accuracy-vs-space frontier and a
+  throughput trajectory that includes the seed ``BENCH_ingest.json`` /
+  ``BENCH_serve.json`` points when those documents exist at the root.
+
+The tmp runs directory keeps the gate hermetic: the repo's committed
+``bench_runs/`` history is read-only to CI.
+"""
+
+import json
+import pathlib
+
+from repro.bench.matrix import QUICK_MATRIX, RUN_SCHEMA, run_matrix
+from repro.bench.render import render_report
+from repro.bench.results import ExperimentResults
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_report_quick_matrix_round_trips(benchmark, config, tmp_path):
+    benchmark.group = "report harness"
+    runs_dir = tmp_path / "bench_runs"
+
+    def run():
+        return run_matrix(
+            config, QUICK_MATRIX, scale="quick", runs_dir=str(runs_dir)
+        )
+
+    document, path = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(document["cells"]) == QUICK_MATRIX.num_cells(config)
+
+    # Provenance round-trip: the document *reloaded through the results
+    # layer* must still carry every stamped field.
+    results = ExperimentResults(runs_dir=str(runs_dir), repo_root=str(REPO_ROOT))
+    assert len(results.run_documents) == 1
+    reloaded = results.run_documents[0]
+    assert results.validate_provenance(reloaded) == [], reloaded.keys()
+    assert reloaded["schema"] == RUN_SCHEMA
+    assert reloaded["run_id"] == document["run_id"]
+    assert reloaded["git_hash"] == document["git_hash"]
+    on_disk = json.loads(pathlib.Path(path).read_text())
+    assert on_disk == json.loads(json.dumps(document))
+
+    # Rendered artifacts: frontier + trajectory, seeded with the
+    # committed BENCH_* documents at the repo root.
+    paths = render_report(results, str(tmp_path / "report"))
+    html_doc = pathlib.Path(paths["html"]).read_text()
+    markdown = pathlib.Path(paths["markdown"]).read_text()
+    assert "Accuracy vs space frontier" in html_doc
+    assert "Throughput trajectory" in html_doc
+    assert html_doc.count("<svg") == 2
+    assert "## Accuracy vs space frontier" in markdown
+    if (REPO_ROOT / "BENCH_ingest.json").exists():
+        assert "seed:ingest" in markdown
+    if (REPO_ROOT / "BENCH_serve.json").exists():
+        assert "seed:serve" in markdown
+
+    # Every matrix cell measured something and stayed sane.
+    for cell in reloaded["cells"]:
+        assert cell["updates_per_sec"] > 0, cell
+        assert len(cell["seconds_samples"]) == QUICK_MATRIX.repeats, cell
+        assert 0 <= cell["rel_error"] < 1, cell

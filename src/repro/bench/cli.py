@@ -2,6 +2,13 @@
 
 Prints the requested experiment's tables to stdout and optionally
 appends them to a report file.  ``all`` runs everything in paper order.
+
+``python -m repro.bench report`` is the fuzzbench-style harness: it
+executes the declared experiment matrix (:mod:`repro.bench.matrix`),
+persists one provenance-stamped JSON document per run under
+``bench_runs/``, and renders the HTML + markdown report
+(:mod:`repro.bench.render`) over the whole run history plus the seed
+``BENCH_*.json`` trajectories.
 """
 
 from __future__ import annotations
@@ -103,6 +110,63 @@ EXPERIMENTS: dict[str, Callable] = {
 }
 
 
+def run_header(experiment: str, scale: str) -> str:
+    """The delimiter stamped above every ``--out`` append.
+
+    Successive appends used to concatenate into one unattributable blob;
+    the header ties each block of tables to the commit, the UTC instant
+    and the workload scale that produced it.
+    """
+    from repro.bench.io import git_revision, utc_timestamp
+
+    revision = git_revision()
+    dirty = "+dirty" if revision["git_dirty"] else ""
+    return (
+        f"==== bench run: {experiment} | scale={scale} "
+        f"| git {revision['git_hash'][:12]}{dirty} | {utc_timestamp()} ===="
+    )
+
+
+def _run_report(args, config, scale: str) -> int:
+    """``bench report``: matrix run -> run document -> rendered report."""
+    from repro.bench.matrix import matrix_for_scale, run_matrix
+    from repro.bench.render import render_report
+    from repro.bench.results import ExperimentResults
+
+    spec = matrix_for_scale(scale)
+    document, path = run_matrix(
+        config,
+        spec,
+        scale=scale,
+        runs_dir=args.runs_dir,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    table = ResultTable(
+        f"Experiment matrix: {document['run_id']}"
+        f" (git {document['git_hash'][:12]}, {document['timestamp_utc']})",
+        [
+            "policy", "backend", "alpha", "k", "growth",
+            "updates_per_sec", "max_error", "space_bytes",
+        ],
+    )
+    for cell in document["cells"]:
+        table.add_row(
+            **{column: cell[column] for column in table.columns}
+        )
+    print(table.to_text())
+    print()
+    results = ExperimentResults(runs_dir=args.runs_dir)
+    paths = render_report(results, args.report_dir)
+    print(f"run document: {path}")
+    print(f"html report:  {paths['html']}")
+    print(f"markdown:     {paths['markdown']}")
+    if args.out:
+        with open(args.out, "a") as fh:
+            fh.write(run_header("report", scale) + "\n\n")
+            fh.write(table.to_text() + "\n")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -110,8 +174,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which figure/table to regenerate",
+        choices=sorted(EXPERIMENTS) + ["all", "report"],
+        help="which figure/table to regenerate, or 'report' for the "
+        "experiment-matrix report harness",
     )
     parser.add_argument(
         "--scale",
@@ -129,10 +194,27 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also append the tables to this file",
     )
+    parser.add_argument(
+        "--runs-dir",
+        default="bench_runs",
+        help="where 'report' persists and loads run documents",
+    )
+    parser.add_argument(
+        "--report-dir",
+        default=None,
+        help="where 'report' renders report.html/report.md "
+        "(default: <runs-dir>/report)",
+    )
     args = parser.parse_args(argv)
     if args.quick and args.scale not in (None, "quick"):
         parser.error("--quick conflicts with --scale " + args.scale)
-    config = SCALES[args.scale or "quick"]
+    scale = args.scale or "quick"
+    config = SCALES[scale]
+    if args.report_dir is None:
+        args.report_dir = f"{args.runs_dir}/report"
+
+    if args.experiment == "report":
+        return _run_report(args, config, scale)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     chunks = []
@@ -144,6 +226,7 @@ def main(argv: list[str] | None = None) -> int:
             chunks.append(text)
     if args.out:
         with open(args.out, "a") as fh:
+            fh.write(run_header(args.experiment, scale) + "\n\n")
             fh.write("\n\n".join(chunks) + "\n")
     return 0
 

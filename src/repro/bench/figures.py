@@ -838,51 +838,51 @@ def sharded_throughput_table(config: BenchConfig) -> ResultTable:
     return table
 
 
-def ingest_profile_table(
-    config: BenchConfig,
-    json_path: str | None = None,
-    batch_sizes: tuple[int, ...] = (1_024, 4_096, 16_384),
-    alphas: tuple[float, ...] = (0.8, 1.05, 1.3),
-) -> ResultTable:
-    """Backend × batch-size × skew ingest profile (the perf trajectory).
+_PROFILE_ARRAY_CACHE: dict[tuple, tuple] = {}
 
-    For every backend and Zipf skew the same update sequence is fed three
-    ways — the scalar ``update`` loop, ``update_batch`` at each batch
-    size, and ``update_batch`` on an adaptive-growth sketch — and the
-    scalar/batch states are asserted identical so the numbers measure
-    packaging, not semantics.  When ``json_path`` is given the full
-    sweep (plus the gate figures the CI smoke job enforces: probing and
-    robinhood batch >= 4x their scalar loops on the canonical α = 1.05
-    workload, columnar batch throughput recorded for cross-PR
-    comparison) is written as one JSON document.
+
+def profile_arrays(config: BenchConfig, alpha: float):
+    """The Section 4.5 Zipf workload as flat ``(items, weights)`` arrays.
+
+    One materialization per ``(scale, alpha)`` — shared by the ingest
+    profile below and the experiment-matrix runner
+    (:mod:`repro.bench.matrix`), so every consumer times the identical
+    update sequence instead of regenerating its own copy.
     """
-    import json
-
     import numpy as np
 
+    key = (config.num_updates, config.unique_sources, alpha, config.seed)
+    if key not in _PROFILE_ARRAY_CACHE:
+        stream = zipf_weighted_stream(
+            config.num_updates, config.unique_sources, alpha, config.seed
+        )
+        all_items = np.array([item for item, _w in stream], dtype=np.uint64)
+        all_weights = np.array([w for _item, w in stream], dtype=np.float64)
+        _PROFILE_ARRAY_CACHE[key] = (all_items, all_weights)
+    return _PROFILE_ARRAY_CACHE[key]
+
+
+def ingest_profile_rows(
+    config: BenchConfig,
+    batch_sizes: tuple[int, ...] = (1_024, 4_096, 16_384),
+    alphas: tuple[float, ...] = (0.8, 1.05, 1.3),
+) -> list[dict]:
+    """Row producer for the ingest profile: backend × batch size × skew.
+
+    Each row carries scalar/batch/adaptive throughput for one cell; the
+    scalar and batch states are asserted identical so the numbers
+    measure packaging, not semantics.  ``ingest_profile_table`` renders
+    these rows and derives the gate figures; the experiment-matrix
+    runner reuses the same workload arrays via :func:`profile_arrays`.
+    """
     k = config.k_values[-1]
-    # Warm-up pulls NumPy's lazily imported submodules out of timed code.
-    # (The generated batches are cached and reused by the alpha = 1.05
-    # iteration of the sweep below, so nothing is generated twice.)
-    warmup = FrequentItemsSketch(max(2, k // 8), backend="columnar", seed=0)
-    warmup.update_batch(*zipf_weighted_batches(
-        config.num_updates, config.unique_sources, 1.05, config.seed
-    )[0])
-    table = ResultTable(
-        f"Ingest profile: backend x batch size x skew (k={k})",
-        [
-            "backend", "alpha", "batch", "scalar_per_sec", "batch_per_sec",
-            "batch_speedup", "adaptive_per_sec",
-        ],
-    )
     rows: list[dict] = []
     for alpha in alphas:
         stream = zipf_weighted_stream(
             config.num_updates, config.unique_sources, alpha, config.seed
         )
         n = len(stream)
-        all_items = np.array([item for item, _w in stream], dtype=np.uint64)
-        all_weights = np.array([w for _item, w in stream], dtype=np.float64)
+        all_items, all_weights = profile_arrays(config, alpha)
         for backend in ("dict", "probing", "robinhood", "columnar"):
             scalar = FrequentItemsSketch(k, backend=backend, seed=config.seed)
             scalar_seconds = time_feed(scalar, stream)
@@ -909,17 +909,56 @@ def ingest_profile_table(
                         all_items[lo : lo + batch], all_weights[lo : lo + batch]
                     )
                 adaptive_seconds = time.perf_counter() - start
-                record = {
-                    "backend": backend,
-                    "alpha": alpha,
-                    "batch": batch,
-                    "scalar_per_sec": n / scalar_seconds,
-                    "batch_per_sec": n / batch_seconds,
-                    "batch_speedup": scalar_seconds / batch_seconds,
-                    "adaptive_per_sec": n / adaptive_seconds,
-                }
-                rows.append(record)
-                table.add_row(**record)
+                rows.append(
+                    {
+                        "backend": backend,
+                        "alpha": alpha,
+                        "batch": batch,
+                        "scalar_per_sec": n / scalar_seconds,
+                        "batch_per_sec": n / batch_seconds,
+                        "batch_speedup": scalar_seconds / batch_seconds,
+                        "adaptive_per_sec": n / adaptive_seconds,
+                    }
+                )
+    return rows
+
+
+def ingest_profile_table(
+    config: BenchConfig,
+    json_path: str | None = None,
+    batch_sizes: tuple[int, ...] = (1_024, 4_096, 16_384),
+    alphas: tuple[float, ...] = (0.8, 1.05, 1.3),
+) -> ResultTable:
+    """Backend × batch-size × skew ingest profile (the perf trajectory).
+
+    For every backend and Zipf skew the same update sequence is fed three
+    ways — the scalar ``update`` loop, ``update_batch`` at each batch
+    size, and ``update_batch`` on an adaptive-growth sketch — and the
+    scalar/batch states are asserted identical so the numbers measure
+    packaging, not semantics.  When ``json_path`` is given the full
+    sweep (plus the gate figures the CI smoke job enforces: probing and
+    robinhood batch >= 4x their scalar loops on the canonical α = 1.05
+    workload, columnar batch throughput recorded for cross-PR
+    comparison) is written as one JSON document.
+    """
+    k = config.k_values[-1]
+    # Warm-up pulls NumPy's lazily imported submodules out of timed code.
+    # (The generated batches are cached and reused by the alpha = 1.05
+    # iteration of the sweep below, so nothing is generated twice.)
+    warmup = FrequentItemsSketch(max(2, k // 8), backend="columnar", seed=0)
+    warmup.update_batch(*zipf_weighted_batches(
+        config.num_updates, config.unique_sources, 1.05, config.seed
+    )[0])
+    table = ResultTable(
+        f"Ingest profile: backend x batch size x skew (k={k})",
+        [
+            "backend", "alpha", "batch", "scalar_per_sec", "batch_per_sec",
+            "batch_speedup", "adaptive_per_sec",
+        ],
+    )
+    rows = ingest_profile_rows(config, batch_sizes, alphas)
+    for record in rows:
+        table.add_row(**record)
     if json_path is not None:
         def best_speedup(backend: str) -> float:
             return max(
@@ -928,6 +967,7 @@ def ingest_profile_table(
                 if row["backend"] == backend and row["alpha"] == 1.05
             )
         from repro import native
+        from repro.bench.io import atomic_write_json
 
         document = {
             "bench": "ingest-profile",
@@ -952,9 +992,7 @@ def ingest_profile_table(
                 ),
             },
         }
-        with open(json_path, "w") as handle:
-            json.dump(document, handle, indent=2)
-            handle.write("\n")
+        atomic_write_json(json_path, document)
     return table
 
 
@@ -1264,7 +1302,6 @@ def serve_throughput_table(
     heartbeat miss window) in ``benchmarks/bench_serve_throughput.py``.
     """
     import asyncio
-    import json
     import shutil
     import tempfile
 
@@ -1503,6 +1540,7 @@ def serve_throughput_table(
         import os
 
         from repro import native
+        from repro.bench.io import atomic_write_json
 
         def rate_of(mode: str) -> float:
             return next(
@@ -1563,7 +1601,5 @@ def serve_throughput_table(
                 "cluster_scaling_vs_1w": scaling,
             },
         }
-        with open(json_path, "w") as handle:
-            json.dump(document, handle, indent=2)
-            handle.write("\n")
+        atomic_write_json(json_path, document)
     return table

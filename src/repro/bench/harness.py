@@ -19,9 +19,12 @@ nothing else.
 
 from __future__ import annotations
 
+import contextlib
+import gc
+import statistics
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -142,6 +145,38 @@ def packet_exact(config: BenchConfig) -> ExactCounter:
     return _EXACT_CACHE[key]
 
 
+def zipf_exact(
+    num_updates: int, universe: int, alpha: float, seed: int
+) -> ExactCounter:
+    """Ground truth for :func:`zipf_weighted_stream` (computed once)."""
+    key = ("zipf", num_updates, universe, alpha, seed)
+    if key not in _EXACT_CACHE:
+        exact = ExactCounter()
+        exact.update_all(zipf_weighted_stream(num_updates, universe, alpha, seed))
+        _EXACT_CACHE[key] = exact
+    return _EXACT_CACHE[key]
+
+
+@contextlib.contextmanager
+def gc_isolated() -> Iterator[None]:
+    """Disable the cyclic garbage collector around a timed region.
+
+    A GC pass landing inside a timed feed can flake a throughput gate by
+    tens of percent at the quick scale, so every timing helper runs its
+    measured region with collection off.  The collector's prior state is
+    restored on exit (nested isolation, or callers that already disabled
+    it, keep their setting), so the isolation never leaks into the rest
+    of the process.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
 def feed_stream(algorithm, updates: Sequence[StreamUpdate]) -> None:
     """Feed every update to ``algorithm`` (bound-method hoisted)."""
     update = algorithm.update
@@ -152,10 +187,11 @@ def feed_stream(algorithm, updates: Sequence[StreamUpdate]) -> None:
 def time_feed(algorithm, updates: Sequence[StreamUpdate]) -> float:
     """Wall-clock seconds to feed ``updates`` into ``algorithm``."""
     update = algorithm.update
-    start = time.perf_counter()
-    for item, weight in updates:
-        update(item, weight)
-    return time.perf_counter() - start
+    with gc_isolated():
+        start = time.perf_counter()
+        for item, weight in updates:
+            update(item, weight)
+        return time.perf_counter() - start
 
 
 def feed_batches(algorithm, batches: Iterable[Batch]) -> None:
@@ -168,10 +204,11 @@ def feed_batches(algorithm, batches: Iterable[Batch]) -> None:
 def time_feed_batches(algorithm, batches: Sequence[Batch]) -> float:
     """Wall-clock seconds to feed ``batches`` into ``algorithm``."""
     update_batch = algorithm.update_batch
-    start = time.perf_counter()
-    for items, weights in batches:
-        update_batch(items, weights)
-    return time.perf_counter() - start
+    with gc_isolated():
+        start = time.perf_counter()
+        for items, weights in batches:
+            update_batch(items, weights)
+        return time.perf_counter() - start
 
 
 def num_batched_updates(batches: Sequence[Batch]) -> int:
@@ -181,6 +218,25 @@ def num_batched_updates(batches: Sequence[Batch]) -> int:
 
 def time_call(function: Callable[[], object]) -> tuple[float, object]:
     """Wall-clock seconds and result of one call."""
-    start = time.perf_counter()
-    result = function()
-    return time.perf_counter() - start, result
+    with gc_isolated():
+        start = time.perf_counter()
+        result = function()
+        return time.perf_counter() - start, result
+
+
+def repeat_median(
+    timed_run: Callable[[], float], repeats: int = 3
+) -> tuple[float, list[float]]:
+    """Median-of-``repeats`` sampling for a timed run.
+
+    ``timed_run`` must perform one complete, independent measurement
+    (fresh sketch, same workload) and return its seconds.  Gates built
+    on the median of three runs compare typical throughput instead of
+    whichever single shot the scheduler happened to interrupt.  Returns
+    ``(median_seconds, all_seconds)`` so run documents can persist the
+    full sample alongside the statistic.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    samples = [timed_run() for _ in range(repeats)]
+    return statistics.median(samples), samples

@@ -1,0 +1,449 @@
+"""Render the experiment history into HTML + markdown reports.
+
+The renderer consumes an :class:`~repro.bench.results.ExperimentResults`
+context (fuzzbench-style: it touches only the properties it needs) and
+writes two artifacts:
+
+* ``report.html`` — fully self-contained: embedded CSS and hand-rolled
+  inline SVG charts, so the file opens anywhere with zero dependencies
+  (no matplotlib/plotly in this container, and none needed);
+* ``report.md`` — the same tables in markdown for diff-friendly review
+  and CI artifact skimming.
+
+Charts: the accuracy-vs-space frontier (log-log, one polyline per
+policy/backend/growth series — the FDCMSS-style comparison) and the
+throughput trajectory across the run history, seeded with the
+``BENCH_ingest.json`` / ``BENCH_serve.json`` points so the arc starts
+at the first PRs' numbers.
+"""
+
+from __future__ import annotations
+
+import html
+import math
+import os
+from typing import Any, Sequence
+
+from repro.bench.results import ExperimentResults, Frame
+
+#: Qualitative palette (colorblind-safe Okabe-Ito order).
+PALETTE = (
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00",
+    "#56B4E9", "#F0E442", "#000000", "#999999", "#8C510A",
+)
+
+_CHART_W, _CHART_H = 720, 400
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 70, 170, 36, 56
+
+
+def format_number(value: Any) -> str:
+    """Compact human formatting for table cells and axis ticks."""
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or 0 < abs(value) < 1e-3:
+            return f"{value:.3g}"
+        if abs(value) >= 100:
+            return f"{value:,.1f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _log10(value: float) -> float:
+    return math.log10(value) if value > 0 else float("-inf")
+
+
+def _axis_ticks(lo: float, hi: float, log: bool) -> list[float]:
+    """5-ish tick positions spanning [lo, hi] (powers of ten when log)."""
+    if log:
+        lo_exp = math.floor(_log10(lo)) if lo > 0 else 0
+        hi_exp = math.ceil(_log10(hi)) if hi > 0 else 1
+        step = max(1, (hi_exp - lo_exp) // 6 or 1)
+        return [10.0 ** e for e in range(lo_exp, hi_exp + 1, step)]
+    if hi <= lo:
+        return [lo]
+    span = hi - lo
+    step = 10 ** math.floor(math.log10(span / 4)) if span > 0 else 1
+    for multiple in (1, 2, 5, 10):
+        if span / (step * multiple) <= 6:
+            step *= multiple
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    tick = first
+    while tick <= hi + 1e-12:
+        ticks.append(tick)
+        tick += step
+    return ticks or [lo]
+
+
+def svg_line_chart(
+    series: dict[str, list[tuple[float, float]]],
+    *,
+    title: str,
+    x_label: str,
+    y_label: str,
+    log_x: bool = False,
+    log_y: bool = False,
+    x_categories: Sequence[str] | None = None,
+    markers: bool = True,
+) -> str:
+    """One self-contained SVG: polyline + markers per named series.
+
+    ``series`` maps a legend label to ``(x, y)`` points.  With
+    ``x_categories`` the x values are category indices and the axis gets
+    rotated text labels instead of numeric ticks (the trajectory chart).
+    Non-finite and non-positive-on-log points are dropped per series.
+    """
+    def keep(x: float, y: float) -> bool:
+        if not (math.isfinite(x) and math.isfinite(y)):
+            return False
+        if log_x and x <= 0:
+            return False
+        if log_y and y <= 0:
+            return False
+        return True
+
+    cleaned = {
+        label: [(x, y) for x, y in points if keep(x, y)]
+        for label, points in series.items()
+    }
+    cleaned = {label: pts for label, pts in cleaned.items() if pts}
+    width, height = _CHART_W, _CHART_H
+    plot_w = width - _MARGIN_L - _MARGIN_R
+    plot_h = height - _MARGIN_T - _MARGIN_B
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {width} {height}" '
+        f'width="{width}" height="{height}" role="img">',
+        f'<title>{html.escape(title)}</title>',
+        f'<text x="{_MARGIN_L}" y="{_MARGIN_T - 14}" class="ctitle">'
+        f"{html.escape(title)}</text>",
+    ]
+    if not cleaned:
+        parts.append(
+            f'<text x="{width / 2}" y="{height / 2}" text-anchor="middle" '
+            f'class="cempty">no data</text></svg>'
+        )
+        return "\n".join(parts)
+
+    xs = [x for pts in cleaned.values() for x, _ in pts]
+    ys = [y for pts in cleaned.values() for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_categories is not None:
+        x_lo, x_hi = -0.5, len(x_categories) - 0.5
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo * 1.1 if y_lo else 1.0
+
+    def sx(x: float) -> float:
+        if log_x:
+            frac = (_log10(x) - _log10(x_lo)) / (_log10(x_hi) - _log10(x_lo))
+        else:
+            frac = (x - x_lo) / (x_hi - x_lo)
+        return _MARGIN_L + frac * plot_w
+
+    def sy(y: float) -> float:
+        if log_y:
+            frac = (_log10(y) - _log10(y_lo)) / (_log10(y_hi) - _log10(y_lo))
+        else:
+            frac = (y - y_lo) / (y_hi - y_lo)
+        return _MARGIN_T + (1 - frac) * plot_h
+
+    # Plot frame + gridlines + ticks.
+    parts.append(
+        f'<rect x="{_MARGIN_L}" y="{_MARGIN_T}" width="{plot_w}" '
+        f'height="{plot_h}" class="cframe"/>'
+    )
+    for tick in _axis_ticks(y_lo, y_hi, log_y):
+        if not (y_lo <= tick <= y_hi):
+            continue
+        y = sy(tick)
+        parts.append(
+            f'<line x1="{_MARGIN_L}" y1="{y:.1f}" x2="{_MARGIN_L + plot_w}" '
+            f'y2="{y:.1f}" class="cgrid"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_L - 6}" y="{y + 4:.1f}" text-anchor="end" '
+            f'class="ctick">{format_number(float(tick))}</text>'
+        )
+    if x_categories is not None:
+        for index, label in enumerate(x_categories):
+            x = sx(index)
+            parts.append(
+                f'<text x="{x:.1f}" y="{_MARGIN_T + plot_h + 12}" '
+                f'class="ctick" text-anchor="end" transform="rotate(-35 '
+                f'{x:.1f} {_MARGIN_T + plot_h + 12})">'
+                f"{html.escape(str(label))}</text>"
+            )
+    else:
+        for tick in _axis_ticks(x_lo, x_hi, log_x):
+            if not (x_lo <= tick <= x_hi):
+                continue
+            x = sx(tick)
+            parts.append(
+                f'<line x1="{x:.1f}" y1="{_MARGIN_T}" x2="{x:.1f}" '
+                f'y2="{_MARGIN_T + plot_h}" class="cgrid"/>'
+            )
+            parts.append(
+                f'<text x="{x:.1f}" y="{_MARGIN_T + plot_h + 16}" '
+                f'text-anchor="middle" class="ctick">'
+                f"{format_number(float(tick))}</text>"
+            )
+    # Axis labels.
+    parts.append(
+        f'<text x="{_MARGIN_L + plot_w / 2}" y="{height - 8}" '
+        f'text-anchor="middle" class="clabel">{html.escape(x_label)}</text>'
+    )
+    parts.append(
+        f'<text x="14" y="{_MARGIN_T + plot_h / 2}" text-anchor="middle" '
+        f'class="clabel" transform="rotate(-90 14 {_MARGIN_T + plot_h / 2})">'
+        f"{html.escape(y_label)}</text>"
+    )
+    # Series.
+    for index, (label, points) in enumerate(cleaned.items()):
+        color = PALETTE[index % len(PALETTE)]
+        points = sorted(points)
+        coords = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in points)
+        if len(points) > 1:
+            parts.append(
+                f'<polyline points="{coords}" fill="none" stroke="{color}" '
+                f'stroke-width="1.8"/>'
+            )
+        if markers:
+            for x, y in points:
+                parts.append(
+                    f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="3.2" '
+                    f'fill="{color}"/>'
+                )
+        legend_y = _MARGIN_T + 14 + 16 * index
+        legend_x = _MARGIN_L + plot_w + 12
+        parts.append(
+            f'<rect x="{legend_x}" y="{legend_y - 8}" width="10" height="10" '
+            f'fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 14}" y="{legend_y + 1}" class="ctick">'
+            f"{html.escape(label)}</text>"
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+# -- tables -----------------------------------------------------------------
+
+
+def markdown_table(frame: Frame, columns: Sequence[str] | None = None) -> str:
+    """A GitHub-flavored markdown table from a frame."""
+    if frame.empty:
+        return "_(no data)_"
+    columns = list(columns or frame.columns)
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in frame:
+        lines.append(
+            "| "
+            + " | ".join(format_number(row.get(column)) for column in columns)
+            + " |"
+        )
+    return "\n".join(lines)
+
+
+def html_table(frame: Frame, columns: Sequence[str] | None = None) -> str:
+    """An HTML table from a frame."""
+    if frame.empty:
+        return "<p><em>no data</em></p>"
+    columns = list(columns or frame.columns)
+    head = "".join(f"<th>{html.escape(column)}</th>" for column in columns)
+    body = []
+    for row in frame:
+        cells = "".join(
+            f"<td>{html.escape(format_number(row.get(column)))}</td>"
+            for column in columns
+        )
+        body.append(f"<tr>{cells}</tr>")
+    return (
+        f"<table><thead><tr>{head}</tr></thead>"
+        f"<tbody>{''.join(body)}</tbody></table>"
+    )
+
+
+# -- report assembly --------------------------------------------------------
+
+_FRONTIER_COLUMNS = (
+    "series", "k", "space_bytes", "max_error", "rel_error", "updates_per_sec",
+)
+_TRAJECTORY_COLUMNS = (
+    "run_id", "source", "metric", "updates_per_sec", "ingest_path",
+    "git_hash", "timestamp_utc",
+)
+_SPEEDUP_COLUMNS = (
+    "backend", "scalar_per_sec", "batch_per_sec", "batch_speedup",
+    "adaptive_per_sec", "ingest_path",
+)
+_CELL_COLUMNS = (
+    "policy", "backend", "alpha", "k", "growth", "updates_per_sec",
+    "seconds_median", "max_error", "rel_error", "space_bytes", "decrements",
+)
+
+_CSS = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 64rem;
+       color: #1a1a1a; padding: 0 1rem; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.2rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: 0.75rem 0; font-size: 13px; }
+th, td { border: 1px solid #d0d0d0; padding: 3px 9px; text-align: right; }
+th { background: #f2f2f2; } td:first-child, th:first-child { text-align: left; }
+.meta { color: #555; font-size: 13px; }
+.ctitle { font: 600 14px system-ui, sans-serif; fill: #1a1a1a; }
+.clabel { font: 12px system-ui, sans-serif; fill: #333; }
+.ctick { font: 10.5px system-ui, sans-serif; fill: #555; }
+.cempty { font: 13px system-ui, sans-serif; fill: #999; }
+.cframe { fill: none; stroke: #bbb; }
+.cgrid { stroke: #e8e8e8; }
+svg { margin: 0.5rem 0; }
+"""
+
+
+def _short_git(value: str | None) -> str:
+    return (value or "unknown")[:8]
+
+
+def frontier_chart(results: ExperimentResults) -> str:
+    """Accuracy-vs-space frontier SVG (log-log) from the latest run."""
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in results.frontier:
+        series.setdefault(row["series"], []).append(
+            (float(row["space_bytes"]), float(row["rel_error"]))
+        )
+    return svg_line_chart(
+        series,
+        title="Accuracy vs space (latest run; lower-left is better)",
+        x_label="modeled space (bytes, log)",
+        y_label="max error / stream weight (log)",
+        log_x=True,
+        log_y=True,
+    )
+
+
+def trajectory_chart(results: ExperimentResults) -> str:
+    """Throughput-trajectory SVG across seed documents and run history."""
+    trajectory = results.trajectory
+    run_ids = trajectory.unique("run_id")
+    labels = [
+        run_id if str(run_id).startswith("seed:") else str(run_id)[:16]
+        for run_id in run_ids
+    ]
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in trajectory:
+        index = run_ids.index(row["run_id"])
+        series.setdefault(row["metric"], []).append(
+            (float(index), float(row["updates_per_sec"]))
+        )
+    return svg_line_chart(
+        series,
+        title="Throughput trajectory (seed BENCH documents, then matrix runs)",
+        x_label="run",
+        y_label="updates/sec (log)",
+        log_y=True,
+        x_categories=labels,
+    )
+
+
+def render_markdown(results: ExperimentResults) -> str:
+    """The whole report as one markdown document."""
+    summary = results.summary
+    host = summary.get("host") or {}
+    lines = [
+        f"# Bench report — {summary['name']}",
+        "",
+        f"- **git:** `{summary.get('git_hash') or 'unknown'}`",
+        f"- **runs in history:** {summary['num_runs']}"
+        f" ({summary['num_cells']} cells)",
+        f"- **window:** {summary.get('started') or '-'} →"
+        f" {summary.get('ended') or '-'}",
+        f"- **ingest path:** {summary.get('ingest_path') or 'unknown'}",
+        f"- **host:** {host.get('hostname', '?')}"
+        f" ({host.get('platform', '?')}, {host.get('cpu_count', '?')} cpus)",
+        f"- **seed documents:** BENCH_ingest.json"
+        f" {'✓' if summary['has_seed_ingest'] else '✗'},"
+        f" BENCH_serve.json {'✓' if summary['has_seed_serve'] else '✗'}",
+        "",
+        "## Throughput trajectory",
+        "",
+        markdown_table(results.trajectory, _TRAJECTORY_COLUMNS),
+        "",
+        "## Accuracy vs space frontier (latest run)",
+        "",
+        markdown_table(results.frontier, _FRONTIER_COLUMNS),
+        "",
+        "## Batch / native speedups (seed ingest trajectory)",
+        "",
+        markdown_table(results.speedups, _SPEEDUP_COLUMNS),
+        "",
+        "## Latest run cells",
+        "",
+        markdown_table(results.latest_cells, _CELL_COLUMNS),
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def render_html(results: ExperimentResults) -> str:
+    """The whole report as one self-contained HTML document."""
+    summary = results.summary
+    host = summary.get("host") or {}
+    title = f"Bench report — {summary['name']}"
+    meta = (
+        f"git <code>{html.escape(_short_git(summary.get('git_hash')))}</code>"
+        f" · {summary['num_runs']} runs / {summary['num_cells']} cells"
+        f" · {html.escape(str(summary.get('started') or '-'))} →"
+        f" {html.escape(str(summary.get('ended') or '-'))}"
+        f" · ingest path {html.escape(str(summary.get('ingest_path') or '?'))}"
+        f" · host {html.escape(str(host.get('hostname', '?')))}"
+        f" ({html.escape(str(host.get('cpu_count', '?')))} cpus)"
+    )
+    sections = [
+        "<!DOCTYPE html>",
+        f'<html lang="en"><head><meta charset="utf-8"><title>{html.escape(title)}'
+        f"</title><style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f'<p class="meta">{meta}</p>',
+        "<h2>Throughput trajectory</h2>",
+        trajectory_chart(results),
+        html_table(results.trajectory, _TRAJECTORY_COLUMNS),
+        "<h2>Accuracy vs space frontier</h2>",
+        frontier_chart(results),
+        html_table(results.frontier, _FRONTIER_COLUMNS),
+        "<h2>Batch / native speedups (seed ingest trajectory)</h2>",
+        html_table(results.speedups, _SPEEDUP_COLUMNS),
+        "<h2>Latest run cells</h2>",
+        html_table(results.latest_cells, _CELL_COLUMNS),
+        "</body></html>",
+    ]
+    return "\n".join(sections)
+
+
+def render_report(
+    results: ExperimentResults, out_dir: str
+) -> dict[str, str]:
+    """Write ``report.html`` + ``report.md`` under ``out_dir``.
+
+    Returns ``{"html": path, "markdown": path}``.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    html_path = os.path.join(out_dir, "report.html")
+    md_path = os.path.join(out_dir, "report.md")
+    with open(html_path, "w", encoding="utf-8") as handle:
+        handle.write(render_html(results))
+    with open(md_path, "w", encoding="utf-8") as handle:
+        handle.write(render_markdown(results))
+    return {"html": html_path, "markdown": md_path}

@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+import math
 from typing import Any, Iterable
 
 
 def _format_value(value: Any) -> str:
     if isinstance(value, float):
+        if not math.isfinite(value):
+            return str(value)  # "nan", "inf", "-inf" — never a format error
         if value == 0:
             return "0"
         if abs(value) >= 1e6 or abs(value) < 1e-3:

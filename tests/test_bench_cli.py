@@ -84,3 +84,82 @@ def test_quick_flag_is_scale_alias(monkeypatch, tmp_path, capsys):
     monkeypatch.setitem(SCALES, "quick", TINY)
     assert cli.main(["space", "--quick"]) == 0
     assert "space" in capsys.readouterr().out.lower()
+
+
+def test_out_appends_are_stamped_with_run_headers(tmp_path, capsys):
+    """Satellite: two appends → two attributable blocks, not one blob."""
+    out = tmp_path / "report.txt"
+    assert cli.main(["space", "--scale", "tiny", "--out", str(out)]) == 0
+    assert cli.main(["bounds", "--scale", "tiny", "--out", str(out)]) == 0
+    capsys.readouterr()
+    text = out.read_text()
+    headers = [line for line in text.splitlines() if line.startswith("==== bench run:")]
+    assert len(headers) == 2
+    assert "==== bench run: space | scale=tiny | git " in headers[0]
+    assert "==== bench run: bounds | scale=tiny | git " in headers[1]
+    # Each header carries the commit and a UTC instant.
+    for header in headers:
+        assert "T" in header and header.rstrip().endswith("====")
+        assert "Z" in header
+    # The stamped blocks still contain their tables, in append order.
+    assert text.index(headers[0]) < text.index("Theorem 4 check")
+
+
+def test_run_header_format():
+    header = cli.run_header("fig1", "quick")
+    assert header.startswith("==== bench run: fig1 | scale=quick | git ")
+    assert header.endswith("====")
+
+
+def test_report_command_end_to_end(tmp_path, monkeypatch, capsys):
+    """The tentpole: matrix run → stamped document → rendered report."""
+    import json
+
+    from repro.bench import matrix
+
+    monkeypatch.chdir(tmp_path)
+    tiny_spec = matrix.MatrixSpec(
+        backends=("columnar",),
+        policies=("smed",),
+        alphas=(1.05,),
+        k_values=(16,),
+        growth_modes=("fixed",),
+        repeats=2,
+        batch_size=512,
+    )
+    monkeypatch.setattr(matrix, "matrix_for_scale", lambda scale: tiny_spec)
+    out = tmp_path / "out.txt"
+    assert cli.main([
+        "report", "--scale", "tiny",
+        "--runs-dir", str(tmp_path / "runs"),
+        "--report-dir", str(tmp_path / "rep"),
+        "--out", str(out),
+    ]) == 0
+    printed = capsys.readouterr().out
+    assert "Experiment matrix" in printed
+    assert "run document:" in printed
+
+    run_files = list((tmp_path / "runs").glob("run-*.json"))
+    assert len(run_files) == 1
+    document = json.loads(run_files[0].read_text())
+    assert document["scale"] == "tiny"
+    assert document["git_hash"] and document["timestamp_utc"].endswith("Z")
+    assert len(document["cells"]) == 1
+
+    html_doc = (tmp_path / "rep" / "report.html").read_text()
+    assert "Accuracy vs space frontier" in html_doc
+    assert "Throughput trajectory" in html_doc
+    assert "report" in out.read_text().splitlines()[0]  # stamped --out header
+
+
+def test_report_dir_defaults_under_runs_dir(tmp_path, monkeypatch):
+    from repro.bench import matrix
+
+    monkeypatch.chdir(tmp_path)
+    tiny_spec = matrix.MatrixSpec(
+        backends=("dict",), policies=("smed",), alphas=(1.05,),
+        k_values=(16,), growth_modes=("fixed",), repeats=1, batch_size=512,
+    )
+    monkeypatch.setattr(matrix, "matrix_for_scale", lambda scale: tiny_spec)
+    assert cli.main(["report", "--scale", "tiny", "--runs-dir", "runs"]) == 0
+    assert (tmp_path / "runs" / "report" / "report.md").exists()

@@ -1,5 +1,7 @@
 """Benchmark plumbing: scales, stream caching, timed feeding."""
 
+import gc
+
 import pytest
 
 from repro.bench.harness import (
@@ -7,13 +9,16 @@ from repro.bench.harness import (
     BenchConfig,
     feed_batches,
     feed_stream,
+    gc_isolated,
     num_batched_updates,
     packet_batches,
     packet_exact,
     packet_stream,
+    repeat_median,
     time_call,
     time_feed,
     time_feed_batches,
+    zipf_exact,
     zipf_weighted_batches,
     zipf_weighted_stream,
 )
@@ -108,3 +113,70 @@ def test_time_call():
     seconds, result = time_call(lambda: sum(range(1000)))
     assert seconds >= 0
     assert result == 499_500
+
+
+def test_gc_isolated_disables_then_restores():
+    assert gc.isenabled()
+    with gc_isolated():
+        assert not gc.isenabled()
+    assert gc.isenabled()
+
+
+def test_gc_isolated_preserves_already_disabled_state():
+    gc.disable()
+    try:
+        with gc_isolated():
+            assert not gc.isenabled()
+        assert not gc.isenabled()  # caller's setting honored, not clobbered
+    finally:
+        gc.enable()
+
+
+def test_gc_isolated_nested():
+    with gc_isolated():
+        with gc_isolated():
+            assert not gc.isenabled()
+        assert not gc.isenabled()  # inner exit must not re-enable early
+    assert gc.isenabled()
+
+
+def test_gc_isolated_restores_on_exception():
+    with pytest.raises(RuntimeError):
+        with gc_isolated():
+            raise RuntimeError("boom")
+    assert gc.isenabled()
+
+
+def test_timed_helpers_run_with_gc_disabled():
+    states = []
+    time_call(lambda: states.append(gc.isenabled()))
+    assert states == [False]
+    assert gc.isenabled()
+
+
+def test_repeat_median_returns_median_and_samples():
+    samples = iter([3.0, 1.0, 2.0])
+    median, seen = repeat_median(lambda: next(samples), repeats=3)
+    assert median == 2.0
+    assert seen == [3.0, 1.0, 2.0]
+
+
+def test_repeat_median_single_repeat():
+    median, seen = repeat_median(lambda: 5.0, repeats=1)
+    assert median == 5.0
+    assert seen == [5.0]
+
+
+def test_repeat_median_rejects_nonpositive_repeats():
+    with pytest.raises(ValueError):
+        repeat_median(lambda: 1.0, repeats=0)
+
+
+def test_zipf_exact_cached_and_consistent():
+    exact = zipf_exact(600, 120, 1.05, seed=3)
+    assert exact is zipf_exact(600, 120, 1.05, seed=3)  # cache hit
+    stream = zipf_weighted_stream(600, 120, 1.05, seed=3)
+    assert exact.num_updates == len(stream)
+    assert exact.total_weight == pytest.approx(
+        sum(weight for _item, weight in stream)
+    )

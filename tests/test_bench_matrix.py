@@ -1,0 +1,120 @@
+"""The declared experiment matrix and its stamped run documents."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import BenchConfig
+from repro.bench.matrix import (
+    FULL_MATRIX,
+    QUICK_MATRIX,
+    RUN_SCHEMA,
+    MatrixSpec,
+    matrix_for_scale,
+    run_cell,
+    run_matrix,
+)
+
+TINY = BenchConfig(
+    num_updates=1_200,
+    unique_sources=250,
+    k_values=(16, 32),
+    merge_pairs=2,
+    merge_updates_per_sketch_factor=3,
+    quantiles=(0, 50),
+    seed=11,
+)
+
+SMALL_SPEC = MatrixSpec(
+    backends=("dict",),
+    policies=("smed",),
+    alphas=(1.05,),
+    k_values=(16,),
+    growth_modes=("fixed",),
+    repeats=2,
+    batch_size=512,
+)
+
+
+def test_cells_cross_product_and_order():
+    spec = MatrixSpec(
+        backends=("dict", "probing"),
+        policies=("smed",),
+        alphas=(1.05,),
+        k_values=(16,),
+        growth_modes=("fixed", "adaptive"),
+    )
+    cells = list(spec.cells(TINY))
+    assert len(cells) == spec.num_cells(TINY) == 4
+    assert cells[0] == {
+        "policy": "smed", "backend": "dict",
+        "alpha": 1.05, "k": 16, "growth": "fixed",
+    }
+    assert [cell["growth"] for cell in cells] == [
+        "fixed", "adaptive", "fixed", "adaptive",
+    ]
+
+
+def test_empty_k_values_fall_back_to_config():
+    spec = MatrixSpec(k_values=())
+    assert spec.resolve_k(TINY) == TINY.k_values
+    assert spec.num_cells(TINY) % len(TINY.k_values) == 0
+
+
+def test_unknown_policy_rejected():
+    spec = MatrixSpec(policies=("slast",))
+    with pytest.raises(ValueError, match="slast"):
+        list(spec.cells(TINY))
+
+
+def test_matrix_for_scale():
+    assert matrix_for_scale("quick") is QUICK_MATRIX
+    assert matrix_for_scale("medium") is FULL_MATRIX
+    assert matrix_for_scale("paper") is FULL_MATRIX
+    assert QUICK_MATRIX.num_cells(TINY) < FULL_MATRIX.num_cells(TINY)
+
+
+def test_run_cell_measures_and_stamps():
+    cell = next(iter(SMALL_SPEC.cells(TINY)))
+    result = run_cell(cell, TINY, SMALL_SPEC)
+    assert result["updates"] == TINY.num_updates
+    assert result["repeats"] == SMALL_SPEC.repeats
+    assert len(result["seconds_samples"]) == SMALL_SPEC.repeats
+    assert result["seconds_median"] > 0
+    assert result["updates_per_sec"] > 0
+    assert result["max_error"] >= 0
+    assert 0 <= result["rel_error"] < 1
+    assert result["space_bytes"] > 0
+    # The cell axes ride along unchanged.
+    for key, value in cell.items():
+        assert result[key] == value
+
+
+def test_run_matrix_persists_stamped_document(tmp_path):
+    runs_dir = tmp_path / "bench_runs"
+    seen = []
+    document, path = run_matrix(
+        TINY, SMALL_SPEC, scale="tiny",
+        runs_dir=str(runs_dir), progress=seen.append,
+    )
+    assert len(seen) == SMALL_SPEC.num_cells(TINY) == 1
+    assert document["schema"] == RUN_SCHEMA
+    assert document["bench"] == "matrix"
+    assert document["scale"] == "tiny"
+    assert document["matrix"]["backends"] == ("dict",)
+    assert len(document["cells"]) == 1
+    # Provenance: every field the results loader validates must exist.
+    assert document["run_id"].endswith(document["git_hash"][:8])
+    assert document["timestamp_utc"].endswith("Z")
+    assert document["host"]["cpu_count"] >= 1
+    assert "ingest_path" in document["metadata"]
+    # Persisted document round-trips (tuples normalize to JSON arrays).
+    assert path == str(runs_dir / f"run-{document['run_id']}.json")
+    on_disk = json.loads((runs_dir / f"run-{document['run_id']}.json").read_text())
+    assert on_disk == json.loads(json.dumps(document))
+
+
+def test_run_matrix_without_persistence():
+    document, path = run_matrix(TINY, SMALL_SPEC, scale="tiny", runs_dir=None)
+    assert path is None
+    assert document["cells"]

@@ -49,4 +49,35 @@ def test_missing_cells_render_blank():
 
 def test_empty_table_renders():
     table = ResultTable("empty", ["x"])
-    assert "empty" in table.to_text()
+    text = table.to_text()
+    assert "empty" in text
+    assert "x" in text  # the header row still appears
+
+
+def test_cell_no_match_message_names_table_and_criteria():
+    table = _table()
+    with pytest.raises(KeyError) as excinfo:
+        table.cell({"name": "zzz", "k": 9}, "value")
+    message = str(excinfo.value)
+    assert "demo" in message  # which table
+    assert "zzz" in message and "9" in message  # which criteria failed
+
+
+def test_unknown_column_message_names_offenders():
+    table = _table()
+    with pytest.raises(KeyError) as excinfo:
+        table.add_row(name="c", bogus=1, wat=2)
+    message = str(excinfo.value)
+    assert "bogus" in message and "wat" in message and "demo" in message
+    assert len(table.rows) == 2  # the bad row was not half-appended
+
+
+def test_non_finite_floats_render():
+    table = ResultTable("odd", ["name", "value"])
+    table.add_row(name="nan", value=float("nan"))
+    table.add_row(name="inf", value=float("inf"))
+    table.add_row(name="ninf", value=float("-inf"))
+    text = table.to_text()
+    assert "nan" in text
+    assert "inf" in text
+    assert "-inf" in text
